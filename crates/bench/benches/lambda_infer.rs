@@ -1,0 +1,60 @@
+//! Framework-cost bench: qualified inference over core-language programs
+//! of increasing size (phase A unification + phase B constraint
+//! generation + solving). The paper's framework claim is that adding
+//! qualifiers to a type system costs little; this measures that overhead
+//! directly by comparing standard inference alone against the full
+//! qualified pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qual_lambda::rules::NonzeroRules;
+use qual_lambda::unify::infer_standard;
+use qual_lambda::{infer_expr, parse};
+use qual_lattice::QualSpace;
+
+/// Builds a program that scales in *width*: a bounded preamble of
+/// let-bound refs, then an additive chain of `n` terms reading and
+/// writing them (additive chains parse iteratively, so program size is
+/// independent of the parser's nesting limit).
+fn program(n: usize) -> String {
+    const VARS: usize = 32;
+    let mut src = String::new();
+    for i in 0..VARS {
+        src.push_str(&format!(
+            "let x{i} = ref ({} + {i}) in ",
+            if i % 3 == 0 { "{nonzero} 1" } else { "2" },
+        ));
+    }
+    src.push_str("let total = ");
+    for i in 0..n {
+        if i > 0 {
+            src.push_str(" + ");
+        }
+        src.push_str(&format!("!x{} * {}", i % VARS, i % 7 + 1));
+    }
+    src.push_str(" in (total)|{top}");
+    src.push_str(" ni");
+    for _ in 0..VARS {
+        src.push_str(" ni");
+    }
+    src
+}
+
+fn bench_lambda(c: &mut Criterion) {
+    let space = QualSpace::figure2();
+    let mut group = c.benchmark_group("lambda_inference");
+    for n in [50usize, 200, 800] {
+        let src = program(n);
+        let expr = parse(&src, &space).expect("generated program parses");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("standard_only", n), &n, |b, _| {
+            b.iter(|| infer_standard(&expr).expect("well typed"));
+        });
+        group.bench_with_input(BenchmarkId::new("qualified", n), &n, |b, _| {
+            b.iter(|| infer_expr(&expr, &space, &NonzeroRules).expect("well typed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lambda);
+criterion_main!(benches);

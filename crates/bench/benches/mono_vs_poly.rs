@@ -1,0 +1,34 @@
+//! The paper's overhead claim: "the polymorphic inference takes at most
+//! 3 times longer than the monomorphic inference" (§4.4). Measures both
+//! modes on each (shrunken) Table-1 benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qual_cgen::table1_profiles;
+use qual_constinfer::{run, Mode};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mono_vs_poly");
+    group.sample_size(10);
+    for p in table1_profiles() {
+        // Shrink the big ones so the whole suite stays fast; composition
+        // (and therefore the mono/poly work ratio) is preserved.
+        let p = p.scaled(p.lines.min(2_000));
+        let src = qual_cgen::generate(&p);
+        let prog = qual_cfront::parse(&src).expect("parses");
+        let sema = qual_cfront::sema::analyze(&prog).expect("resolves");
+        let space = qual_lattice::QualSpace::const_only();
+        group.bench_with_input(BenchmarkId::new("mono", p.name), &p, |b, _| {
+            b.iter(|| run(&prog, &sema, &space, Mode::Monomorphic));
+        });
+        group.bench_with_input(BenchmarkId::new("poly", p.name), &p, |b, _| {
+            b.iter(|| run(&prog, &sema, &space, Mode::Polymorphic));
+        });
+        group.bench_with_input(BenchmarkId::new("polyrec", p.name), &p, |b, _| {
+            b.iter(|| run(&prog, &sema, &space, Mode::PolymorphicRecursive));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

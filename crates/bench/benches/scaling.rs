@@ -1,0 +1,30 @@
+//! The paper's scaling claim: "the inference scales roughly linearly
+//! with the program size" (§4.4). Sweeps generated program size and
+//! measures monomorphic inference end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qual_cgen::table1_profiles;
+use qual_constinfer::{run, Mode};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_scaling");
+    group.sample_size(10);
+    let base = &table1_profiles()[2]; // m4's composition
+    for lines in [500usize, 1_000, 2_000, 4_000] {
+        let src = qual_cgen::generate(&base.scaled(lines));
+        let prog = qual_cfront::parse(&src).expect("parses");
+        let sema = qual_cfront::sema::analyze(&prog).expect("resolves");
+        let space = qual_lattice::QualSpace::const_only();
+        group.throughput(Throughput::Elements(lines as u64));
+        group.bench_with_input(BenchmarkId::new("mono", lines), &lines, |b, _| {
+            b.iter(|| run(&prog, &sema, &space, Mode::Monomorphic));
+        });
+        group.bench_with_input(BenchmarkId::new("poly", lines), &lines, |b, _| {
+            b.iter(|| run(&prog, &sema, &space, Mode::Polymorphic));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the atomic-constraint solver (§3.1): the paper
+//! cites Henglein–Rehof linear-time solvability for a fixed qualifier
+//! set, and predicted a specialized engine would beat its generic
+//! set-constraint toolkit. This measures solve time against constraint
+//! count on chain, tree, and random-graph systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qual_lattice::QualSpace;
+use qual_solve::{ConstraintSet, QVar, Qual, VarSupply};
+
+fn chain_system(n: usize, space: &QualSpace) -> (ConstraintSet, VarSupply) {
+    let mut vars = VarSupply::new();
+    let mut cs = ConstraintSet::new();
+    let konst = space.top();
+    let first = vars.fresh();
+    cs.add(Qual::Const(konst), first);
+    let mut prev = first;
+    for _ in 1..n {
+        let v = vars.fresh();
+        cs.add(prev, v);
+        prev = v;
+    }
+    (cs, vars)
+}
+
+fn random_system(n: usize, space: &QualSpace) -> (ConstraintSet, VarSupply) {
+    // Deterministic pseudo-random edges without pulling in rand here.
+    let mut vars = VarSupply::new();
+    for _ in 0..n {
+        vars.fresh();
+    }
+    let mut cs = ConstraintSet::new();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state as usize
+    };
+    for _ in 0..(n * 2) {
+        let a = QVar::from_index(next() % n);
+        let b = QVar::from_index(next() % n);
+        cs.add(a, b);
+    }
+    for _ in 0..(n / 10).max(1) {
+        let v = QVar::from_index(next() % n);
+        cs.add(Qual::Const(space.top()), v);
+    }
+    (cs, vars)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let space = QualSpace::figure2();
+    let mut group = c.benchmark_group("solver");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let (chain, chain_vars) = chain_system(n, &space);
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| chain.solve(&space, &chain_vars).expect("satisfiable"));
+        });
+        let (rnd, rnd_vars) = random_system(n, &space);
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
+            b.iter(|| rnd.solve(&space, &rnd_vars).expect("satisfiable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Table 2** of the paper: per-benchmark compile time,
+//! monomorphic and polymorphic inference time (average of five runs, as
+//! in the paper), and the four const counts (Declared, Mono, Poly, Total
+//! possible).
+//!
+//! Absolute numbers differ from the paper (different hardware, simulated
+//! benchmarks); the shapes to check are: Declared ≤ Mono ≤ Poly ≤ Total,
+//! poly/mono time ratio ≤ ~3, and inference time roughly linear in
+//! program size.
+
+use qual_bench::measure;
+use qual_cgen::table1_profiles;
+
+fn main() {
+    let runs = if std::env::args().any(|a| a == "--quick") {
+        1
+    } else {
+        5
+    };
+    println!("Table 2: Number of inferred possibly-const positions for benchmarks");
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>12} {:>9} {:>6} {:>6} {:>15}",
+        "Name",
+        "Lines",
+        "Compile (s)",
+        "Mono (s)",
+        "Poly (s)",
+        "Declared",
+        "Mono",
+        "Poly",
+        "Total possible"
+    );
+    println!("{}", "-".repeat(106));
+    let mut rows = Vec::new();
+    for p in table1_profiles() {
+        let row = measure(&p, runs);
+        println!(
+            "{:<16} {:>9} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>6} {:>6} {:>15}",
+            row.name,
+            row.lines,
+            row.compile.as_secs_f64(),
+            row.mono_time.as_secs_f64(),
+            row.poly_time.as_secs_f64(),
+            row.declared,
+            row.mono,
+            row.poly,
+            row.total
+        );
+        rows.push(row);
+    }
+    println!();
+    // The paper's headline checks.
+    for row in &rows {
+        let ratio = row.poly_time.as_secs_f64() / row.mono_time.as_secs_f64().max(1e-9);
+        let extra = row.poly as f64 / row.mono.max(1) as f64;
+        println!(
+            "{:<16} poly/mono time ratio {ratio:>5.2}   poly finds {:>5.1}% more consts than mono   consts vs declared {:>4.2}x",
+            row.name,
+            (extra - 1.0) * 100.0,
+            row.poly as f64 / row.declared.max(1) as f64
+        );
+    }
+}

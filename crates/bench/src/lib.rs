@@ -1,0 +1,137 @@
+//! Shared measurement machinery for regenerating the paper's evaluation
+//! (§4.4): Table 1 (the benchmark suite), Table 2 (timings and const
+//! counts), and Figure 6 (the same counts as percentages).
+//!
+//! Run the binaries:
+//!
+//! ```text
+//! cargo run -p qual-bench --bin table1
+//! cargo run -p qual-bench --bin table2 --release
+//! cargo run -p qual-bench --bin figure6 --release
+//! ```
+//!
+//! and the Criterion micro-benches (`cargo bench -p qual-bench`) for the
+//! scaling and mono-vs-poly claims.
+
+use std::time::{Duration, Instant};
+
+use qual_cgen::Profile;
+use qual_constinfer::{ConstCounts, Mode};
+
+/// One benchmark's full measurement — a row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Generated source line count.
+    pub lines: usize,
+    /// Parse + semantic analysis time ("compile time").
+    pub compile: Duration,
+    /// Monomorphic inference time.
+    pub mono_time: Duration,
+    /// Polymorphic inference time.
+    pub poly_time: Duration,
+    /// Consts declared in the source.
+    pub declared: usize,
+    /// Possible consts under monomorphic inference.
+    pub mono: usize,
+    /// Possible consts under polymorphic inference.
+    pub poly: usize,
+    /// Total interesting positions.
+    pub total: usize,
+}
+
+impl Row {
+    /// The Figure-6 stacked percentages `(declared, mono-extra,
+    /// poly-extra, other)`, summing to 100.
+    #[must_use]
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total as f64;
+        let d = self.declared as f64 / t * 100.0;
+        let m = (self.mono - self.declared) as f64 / t * 100.0;
+        let p = (self.poly - self.mono) as f64 / t * 100.0;
+        (d, m, p, 100.0 - d - m - p)
+    }
+}
+
+/// Generates, compiles, and analyzes one profile, timing each phase.
+/// `runs` repetitions are averaged for the inference times (the paper
+/// used the average of five).
+///
+/// # Panics
+///
+/// Panics if the generated program fails to parse or resolve (generator
+/// bug by construction).
+#[must_use]
+pub fn measure(profile: &Profile, runs: u32) -> Row {
+    let src = qual_cgen::generate(profile);
+    let lines = src.lines().count();
+
+    let t0 = Instant::now();
+    let prog = qual_cfront::parse(&src).expect("generated source parses");
+    let sema = qual_cfront::sema::analyze(&prog).expect("generated source resolves");
+    let compile = t0.elapsed();
+
+    let space = qual_lattice::QualSpace::const_only();
+    let time_mode = |mode: Mode| -> (Duration, ConstCounts) {
+        let mut best_counts = ConstCounts::default();
+        let mut total = Duration::ZERO;
+        for _ in 0..runs.max(1) {
+            let t = Instant::now();
+            let analysis = qual_constinfer::run(&prog, &sema, &space, mode);
+            total += t.elapsed();
+            best_counts = qual_constinfer::count::summarize(&prog, analysis).counts;
+        }
+        (total / runs.max(1), best_counts)
+    };
+    let (mono_time, mono_counts) = time_mode(Mode::Monomorphic);
+    let (poly_time, poly_counts) = time_mode(Mode::Polymorphic);
+    assert_eq!(mono_counts.total, poly_counts.total);
+
+    Row {
+        name: profile.name.to_owned(),
+        lines,
+        compile,
+        mono_time,
+        poly_time,
+        declared: mono_counts.declared,
+        mono: mono_counts.inferred,
+        poly: poly_counts.inferred,
+        total: mono_counts.total,
+    }
+}
+
+/// Renders a simple ASCII horizontal bar of `pct` percent, `width` chars.
+#[must_use]
+pub fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qual_cgen::table1_profiles;
+
+    #[test]
+    fn measure_produces_consistent_row() {
+        let p = table1_profiles()[0].scaled(400);
+        let row = measure(&p, 1);
+        assert!(row.declared <= row.mono);
+        assert!(row.mono <= row.poly);
+        assert!(row.poly <= row.total);
+        let (d, m, x, o) = row.percentages();
+        assert!((d + m + x + o - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bar_renders() {
+        assert_eq!(bar(50.0, 10), "#####.....");
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(100.0, 4), "####");
+    }
+}

@@ -1,0 +1,47 @@
+//! Errors for the C front end.
+
+use std::fmt;
+
+use crate::lexer::Span;
+
+/// A lexing, parsing, or semantic error in C source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CError {
+    /// Creates an error at `span`.
+    pub fn at(span: Span, message: impl Into<String>) -> CError {
+        CError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C error at bytes {}..{}: {}",
+            self.span.lo, self.span.hi, self.message
+        )
+    }
+}
+
+impl std::error::Error for CError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_location() {
+        let e = CError::at(Span::new(1, 4), "oops");
+        assert_eq!(e.to_string(), "C error at bytes 1..4: oops");
+    }
+}

@@ -1,0 +1,567 @@
+//! Lexer for the C subset.
+
+use std::fmt;
+
+use crate::error::CError;
+
+/// A byte range in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start byte (inclusive).
+    pub lo: u32,
+    /// End byte (exclusive).
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    #[must_use]
+    pub fn new(lo: u32, hi: u32) -> Span {
+        Span { lo, hi }
+    }
+
+    /// Covering span.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// C tokens (subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    IntLit(i64),
+    CharLit(i64),
+    StrLit(String),
+    // keywords
+    KwInt,
+    KwChar,
+    KwLong,
+    KwShort,
+    KwUnsigned,
+    KwSigned,
+    KwVoid,
+    KwFloat,
+    KwDouble,
+    KwConst,
+    KwStruct,
+    KwEnum,
+    KwUnion,
+    KwTypedef,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwStatic,
+    KwExtern,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwGoto,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Ellipsis,
+    Dot,
+    Arrow,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AmpAmp,
+    PipePipe,
+    PlusPlus,
+    MinusMinus,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::IntLit(n) => write!(f, "integer `{n}`"),
+            Tok::CharLit(c) => write!(f, "char literal `{c}`"),
+            Tok::StrLit(_) => write!(f, "string literal"),
+            Tok::Eof => write!(f, "end of file"),
+            other => write!(f, "`{}`", other.text()),
+        }
+    }
+}
+
+impl Tok {
+    fn text(&self) -> &'static str {
+        match self {
+            Tok::KwInt => "int",
+            Tok::KwChar => "char",
+            Tok::KwLong => "long",
+            Tok::KwShort => "short",
+            Tok::KwUnsigned => "unsigned",
+            Tok::KwSigned => "signed",
+            Tok::KwVoid => "void",
+            Tok::KwFloat => "float",
+            Tok::KwDouble => "double",
+            Tok::KwConst => "const",
+            Tok::KwStruct => "struct",
+            Tok::KwEnum => "enum",
+            Tok::KwUnion => "union",
+            Tok::KwTypedef => "typedef",
+            Tok::KwIf => "if",
+            Tok::KwElse => "else",
+            Tok::KwWhile => "while",
+            Tok::KwDo => "do",
+            Tok::KwFor => "for",
+            Tok::KwReturn => "return",
+            Tok::KwBreak => "break",
+            Tok::KwContinue => "continue",
+            Tok::KwSizeof => "sizeof",
+            Tok::KwStatic => "static",
+            Tok::KwExtern => "extern",
+            Tok::KwSwitch => "switch",
+            Tok::KwCase => "case",
+            Tok::KwDefault => "default",
+            Tok::KwGoto => "goto",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Question => "?",
+            Tok::Ellipsis => "...",
+            Tok::Dot => ".",
+            Tok::Arrow => "->",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Tilde => "~",
+            Tok::Bang => "!",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::AmpAmp => "&&",
+            Tok::PipePipe => "||",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::PercentAssign => "%=",
+            Tok::AmpAssign => "&=",
+            Tok::PipeAssign => "|=",
+            Tok::CaretAssign => "^=",
+            Tok::ShlAssign => "<<=",
+            Tok::ShrAssign => ">>=",
+            _ => "?",
+        }
+    }
+}
+
+/// Token plus location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Its source range.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "int" => Tok::KwInt,
+        "char" => Tok::KwChar,
+        "long" => Tok::KwLong,
+        "short" => Tok::KwShort,
+        "unsigned" => Tok::KwUnsigned,
+        "signed" => Tok::KwSigned,
+        "void" => Tok::KwVoid,
+        "float" => Tok::KwFloat,
+        "double" => Tok::KwDouble,
+        "const" => Tok::KwConst,
+        "struct" => Tok::KwStruct,
+        "enum" => Tok::KwEnum,
+        "union" => Tok::KwUnion,
+        "typedef" => Tok::KwTypedef,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "do" => Tok::KwDo,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "sizeof" => Tok::KwSizeof,
+        "static" => Tok::KwStatic,
+        "extern" => Tok::KwExtern,
+        "switch" => Tok::KwSwitch,
+        "case" => Tok::KwCase,
+        "default" => Tok::KwDefault,
+        "goto" => Tok::KwGoto,
+        _ => return None,
+    })
+}
+
+/// Tokenizes C source (handles `//` and `/* */` comments; no
+/// preprocessor — the paper's analysis is independent of it).
+///
+/// # Errors
+///
+/// Returns [`CError`] on unterminated comments/strings or unknown
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, CError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    macro_rules! push {
+        ($tok:expr, $lo:expr, $hi:expr) => {
+            out.push(SpannedTok {
+                tok: $tok,
+                span: Span::new($lo as u32, $hi as u32),
+            })
+        };
+    }
+    while i < b.len() {
+        let lo = i;
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(CError::at(
+                            Span::new(start as u32, b.len() as u32),
+                            "unterminated block comment",
+                        ));
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut val: i64 = 0;
+                if c == b'0' && matches!(b.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        val = val.wrapping_mul(16)
+                            + i64::from((b[i] as char).to_digit(16).unwrap_or(0));
+                        i += 1;
+                    }
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        val = val.wrapping_mul(10) + i64::from(b[i] - b'0');
+                        i += 1;
+                    }
+                }
+                // Swallow integer suffixes.
+                while i < b.len() && matches!(b[i], b'u' | b'U' | b'l' | b'L') {
+                    i += 1;
+                }
+                push!(Tok::IntLit(val), start, i);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                push!(
+                    keyword(word).unwrap_or_else(|| Tok::Ident(word.to_owned())),
+                    start,
+                    i
+                );
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut text = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(CError::at(
+                            Span::new(start as u32, b.len() as u32),
+                            "unterminated string literal",
+                        ));
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            if i + 1 < b.len() {
+                                text.push(escape(b[i + 1]));
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        other => {
+                            text.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::StrLit(text), start, i);
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let val = if i < b.len() && b[i] == b'\\' {
+                    let v = escape(*b.get(i + 1).unwrap_or(&b'0')) as i64;
+                    i += 2;
+                    v
+                } else if i < b.len() {
+                    let v = i64::from(b[i]);
+                    i += 1;
+                    v
+                } else {
+                    0
+                };
+                if i < b.len() && b[i] == b'\'' {
+                    i += 1;
+                } else {
+                    return Err(CError::at(
+                        Span::new(start as u32, i as u32),
+                        "unterminated char literal",
+                    ));
+                }
+                push!(Tok::CharLit(val), start, i);
+            }
+            _ => {
+                // Punctuation and operators, longest match first.
+                let three = src.get(i..i + 3).unwrap_or("");
+                let two = src.get(i..i + 2).unwrap_or("");
+                let (tok, len) = match three {
+                    "..." => (Tok::Ellipsis, 3),
+                    "<<=" => (Tok::ShlAssign, 3),
+                    ">>=" => (Tok::ShrAssign, 3),
+                    _ => match two {
+                        "->" => (Tok::Arrow, 2),
+                        "<<" => (Tok::Shl, 2),
+                        ">>" => (Tok::Shr, 2),
+                        "<=" => (Tok::Le, 2),
+                        ">=" => (Tok::Ge, 2),
+                        "==" => (Tok::EqEq, 2),
+                        "!=" => (Tok::NotEq, 2),
+                        "&&" => (Tok::AmpAmp, 2),
+                        "||" => (Tok::PipePipe, 2),
+                        "++" => (Tok::PlusPlus, 2),
+                        "--" => (Tok::MinusMinus, 2),
+                        "+=" => (Tok::PlusAssign, 2),
+                        "-=" => (Tok::MinusAssign, 2),
+                        "*=" => (Tok::StarAssign, 2),
+                        "/=" => (Tok::SlashAssign, 2),
+                        "%=" => (Tok::PercentAssign, 2),
+                        "&=" => (Tok::AmpAssign, 2),
+                        "|=" => (Tok::PipeAssign, 2),
+                        "^=" => (Tok::CaretAssign, 2),
+                        _ => match c {
+                            b'(' => (Tok::LParen, 1),
+                            b')' => (Tok::RParen, 1),
+                            b'{' => (Tok::LBrace, 1),
+                            b'}' => (Tok::RBrace, 1),
+                            b'[' => (Tok::LBracket, 1),
+                            b']' => (Tok::RBracket, 1),
+                            b';' => (Tok::Semi, 1),
+                            b',' => (Tok::Comma, 1),
+                            b':' => (Tok::Colon, 1),
+                            b'?' => (Tok::Question, 1),
+                            b'.' => (Tok::Dot, 1),
+                            b'+' => (Tok::Plus, 1),
+                            b'-' => (Tok::Minus, 1),
+                            b'*' => (Tok::Star, 1),
+                            b'/' => (Tok::Slash, 1),
+                            b'%' => (Tok::Percent, 1),
+                            b'&' => (Tok::Amp, 1),
+                            b'|' => (Tok::Pipe, 1),
+                            b'^' => (Tok::Caret, 1),
+                            b'~' => (Tok::Tilde, 1),
+                            b'!' => (Tok::Bang, 1),
+                            b'<' => (Tok::Lt, 1),
+                            b'>' => (Tok::Gt, 1),
+                            b'=' => (Tok::Assign, 1),
+                            _ => {
+                                return Err(CError::at(
+                                    Span::new(lo as u32, lo as u32 + 1),
+                                    format!(
+                                        "unexpected character `{}`",
+                                        &src[i..].chars().next().unwrap()
+                                    ),
+                                ))
+                            }
+                        },
+                    },
+                };
+                i += len;
+                push!(tok, lo, i);
+            }
+        }
+    }
+    push!(Tok::Eof, b.len(), b.len());
+    Ok(out)
+}
+
+fn escape(c: u8) -> char {
+    match c {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("const int *x;"),
+            vec![
+                Tok::KwConst,
+                Tok::KwInt,
+                Tok::Star,
+                Tok::Ident("x".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("a <<= b >> c >= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ShlAssign,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds("p->x"), vec![
+            Tok::Ident("p".into()), Tok::Arrow, Tok::Ident("x".into()), Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(kinds("42 0x2a 'a' '\\n'"), vec![
+            Tok::IntLit(42), Tok::IntLit(42), Tok::CharLit(97), Tok::CharLit(10), Tok::Eof
+        ]);
+        assert_eq!(kinds("\"hi\\n\""), vec![Tok::StrLit("hi\n".into()), Tok::Eof]);
+        assert_eq!(kinds("10UL 7u"), vec![Tok::IntLit(10), Tok::IntLit(7), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n /* block\n */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn varargs_ellipsis() {
+        assert_eq!(
+            kinds("f(int, ...)"),
+            vec![
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::KwInt,
+                Tok::Comma,
+                Tok::Ellipsis,
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(lex("int x = @;").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'x").is_err());
+    }
+}

@@ -1,0 +1,591 @@
+//! Semantic analysis: scopes, symbol resolution, and the C type of every
+//! expression.
+//!
+//! The analysis is deliberately permissive in the places the paper calls
+//! out (§4.2): unknown functions are implicitly declared (`int f(...)`,
+//! a conservative "library" signature), calls may pass extra arguments
+//! ("we simply ignore extra arguments"), and casts always succeed. It is
+//! strict about the things qualifier inference needs: every identifier
+//! must resolve and member accesses must name real struct fields.
+
+use std::collections::HashMap;
+
+use crate::ast::{
+    BinOp, Block, Expr, ExprKind, FnDef, Item, Program, Stmt, UnOp,
+};
+use crate::error::CError;
+use crate::types::{CTy, CTyKind, FnTy, Scalar};
+
+/// What an identifier refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// A local variable or parameter of the named function.
+    Local {
+        /// The enclosing function.
+        func: String,
+        /// The variable name.
+        name: String,
+    },
+    /// A global variable.
+    Global(String),
+    /// A defined or declared function.
+    Function(String),
+    /// An enum constant with its value.
+    EnumConst(i64),
+}
+
+/// The result of semantic analysis.
+#[derive(Debug, Default)]
+pub struct Sema {
+    /// The C type of every expression node (r-value types are *not*
+    /// array-decayed here; consumers call [`CTy::decayed`] as needed).
+    pub expr_ty: HashMap<u32, CTy>,
+    /// Whether each expression is an l-value.
+    pub lvalue: HashMap<u32, bool>,
+    /// What each identifier expression resolved to.
+    pub resolution: HashMap<u32, Resolution>,
+    /// Struct tag → fields.
+    pub structs: HashMap<String, Vec<(String, CTy)>>,
+    /// Every function signature in the program (defined and declared).
+    pub signatures: HashMap<String, FnTy>,
+    /// Names of *defined* functions (the rest are library functions; the
+    /// analysis treats their unannotated pointer parameters as
+    /// conservatively non-const, §4.2).
+    pub defined: Vec<String>,
+    /// Global variable types.
+    pub globals: HashMap<String, CTy>,
+    /// Functions that were called but never declared (implicitly
+    /// `int f(...)`).
+    pub implicit_functions: Vec<String>,
+}
+
+impl Sema {
+    /// The type of expression `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` does not belong to the analyzed program.
+    #[must_use]
+    pub fn ty(&self, e: &Expr) -> &CTy {
+        &self.expr_ty[&e.id]
+    }
+
+    /// Whether `e` is an l-value.
+    #[must_use]
+    pub fn is_lvalue(&self, e: &Expr) -> bool {
+        self.lvalue.get(&e.id).copied().unwrap_or(false)
+    }
+
+    /// Whether `name` is a defined (analyzable) function.
+    #[must_use]
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.defined.iter().any(|d| d == name)
+    }
+}
+
+/// Analyzes a parsed program.
+///
+/// # Errors
+///
+/// Returns [`CError`] for unresolved identifiers, unknown struct fields,
+/// or uses of non-struct values as structs.
+pub fn analyze(prog: &Program) -> Result<Sema, CError> {
+    let mut sema = Sema::default();
+    let mut enum_consts: HashMap<String, i64> = HashMap::new();
+
+    // Pass 1: collect type-level and signature-level information.
+    for item in &prog.items {
+        match item {
+            Item::StructDef { name, fields, .. } => {
+                sema.structs.insert(name.clone(), fields.clone());
+            }
+            Item::EnumDef { consts, .. } => {
+                for (n, v) in consts {
+                    enum_consts.insert(n.clone(), *v);
+                }
+            }
+            Item::Global { name, ty, .. } => {
+                sema.globals.insert(name.clone(), ty.clone());
+            }
+            Item::Func(f) => {
+                sema.signatures.insert(f.name.clone(), f.sig());
+                sema.defined.push(f.name.clone());
+            }
+            Item::Proto { name, sig, .. } => {
+                sema.signatures.entry(name.clone()).or_insert(sig.clone());
+            }
+            Item::Typedef { .. } => {}
+        }
+    }
+
+    // Pass 2: type every function body and global initializer.
+    let mut cx = Cx {
+        sema: &mut sema,
+        enum_consts: &enum_consts,
+        scopes: Vec::new(),
+        current_fn: String::new(),
+    };
+    for item in &prog.items {
+        match item {
+            Item::Func(f) => cx.check_fn(f)?,
+            Item::Global { init: Some(e), .. } => {
+                cx.current_fn.clear();
+                cx.scopes.clear();
+                cx.expr(e)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(sema)
+}
+
+struct Cx<'a> {
+    sema: &'a mut Sema,
+    enum_consts: &'a HashMap<String, i64>,
+    scopes: Vec<HashMap<String, CTy>>,
+    current_fn: String,
+}
+
+impl Cx<'_> {
+    fn check_fn(&mut self, f: &FnDef) -> Result<(), CError> {
+        self.current_fn = f.name.clone();
+        self.scopes.clear();
+        let mut top = HashMap::new();
+        for (name, ty) in &f.params {
+            top.insert(name.clone(), ty.decayed());
+        }
+        self.scopes.push(top);
+        self.block(&f.body)?;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), CError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Decl { name, ty, init, .. } => {
+                if let Some(e) = init {
+                    self.expr(e)?;
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack nonempty")
+                    .insert(name.clone(), ty.clone());
+                Ok(())
+            }
+            Stmt::Expr(e) => self.expr(e).map(|_| ()),
+            Stmt::If { cond, then, els } => {
+                self.expr(cond)?;
+                self.block(then)?;
+                if let Some(b) = els {
+                    self.block(b)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+                self.expr(cond)?;
+                self.block(body)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(s) = init {
+                    self.stmt(s)?;
+                }
+                if let Some(e) = cond {
+                    self.expr(e)?;
+                }
+                if let Some(e) = step {
+                    self.expr(e)?;
+                }
+                self.block(body)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Switch { cond, arms } => {
+                self.expr(cond)?;
+                for arm in arms {
+                    self.block(&arm.body)?;
+                }
+                Ok(())
+            }
+            Stmt::Label(_, inner) => self.stmt(inner),
+            Stmt::Goto(..) => Ok(()),
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.expr(e)?;
+                }
+                Ok(())
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => Ok(()),
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<&CTy> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn record(&mut self, e: &Expr, ty: CTy, lvalue: bool) -> CTy {
+        self.sema.expr_ty.insert(e.id, ty.clone());
+        self.sema.lvalue.insert(e.id, lvalue);
+        ty
+    }
+
+    fn field_of(&self, ty: &CTy, field: &str, e: &Expr) -> Result<CTy, CError> {
+        let CTyKind::Struct(tag) = &ty.kind else {
+            return Err(CError::at(
+                e.span,
+                format!("member access on non-struct type `{ty}`"),
+            ));
+        };
+        let fields = self.sema.structs.get(tag).ok_or_else(|| {
+            CError::at(e.span, format!("unknown struct `{tag}`"))
+        })?;
+        fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| {
+                CError::at(
+                    e.span,
+                    format!("struct `{tag}` has no field `{field}`"),
+                )
+            })
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<CTy, CError> {
+        let (ty, lv) = match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::Sizeof => {
+                (CTy::int(), false)
+            }
+            ExprKind::StrLit(_) => {
+                // C90 string literals have type char[] (writable), which
+                // keeps correct-but-crusty programs type-correct; the
+                // qualifier analysis decides constness separately.
+                (CTy::char_().ptr_to(), false)
+            }
+            ExprKind::Ident(name) => {
+                if let Some(ty) = self.lookup_local(name) {
+                    let ty = ty.clone();
+                    self.sema.resolution.insert(
+                        e.id,
+                        Resolution::Local {
+                            func: self.current_fn.clone(),
+                            name: name.clone(),
+                        },
+                    );
+                    (ty, true)
+                } else if let Some(ty) = self.sema.globals.get(name) {
+                    let ty = ty.clone();
+                    self.sema
+                        .resolution
+                        .insert(e.id, Resolution::Global(name.clone()));
+                    (ty, true)
+                } else if let Some(v) = self.enum_consts.get(name) {
+                    self.sema
+                        .resolution
+                        .insert(e.id, Resolution::EnumConst(*v));
+                    (CTy::int(), false)
+                } else if let Some(sig) = self.sema.signatures.get(name) {
+                    let ty = CTy {
+                        is_const: false,
+                        kind: CTyKind::Func(Box::new(sig.clone())),
+                    };
+                    self.sema
+                        .resolution
+                        .insert(e.id, Resolution::Function(name.clone()));
+                    (ty, false)
+                } else {
+                    return Err(CError::at(
+                        e.span,
+                        format!("unresolved identifier `{name}`"),
+                    ));
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let it = self.expr(inner)?;
+                match op {
+                    UnOp::Deref => {
+                        let d = it.decayed();
+                        let pointee = d.pointee().cloned().ok_or_else(|| {
+                            CError::at(e.span, format!("dereference of non-pointer `{it}`"))
+                        })?;
+                        (pointee, true)
+                    }
+                    UnOp::Addr => (it.decayed_addr(), false),
+                    UnOp::Neg | UnOp::Not | UnOp::BitNot => (CTy::int(), false),
+                    UnOp::PreInc | UnOp::PreDec => (it.decayed(), false),
+                }
+            }
+            ExprKind::PostIncDec(inner, _) => {
+                let it = self.expr(inner)?;
+                (it.decayed(), false)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.expr(a)?.decayed();
+                let tb = self.expr(b)?.decayed();
+                let ty = match op {
+                    BinOp::Add | BinOp::Sub => {
+                        // Pointer arithmetic keeps the pointer type.
+                        if ta.is_pointerish() {
+                            ta
+                        } else if tb.is_pointerish() {
+                            tb
+                        } else {
+                            arith(&ta, &tb)
+                        }
+                    }
+                    BinOp::Mul | BinOp::Div | BinOp::Rem => arith(&ta, &tb),
+                    _ => CTy::int(),
+                };
+                (ty, false)
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let tl = self.expr(lhs)?;
+                self.expr(rhs)?;
+                let _ = op;
+                (tl, false)
+            }
+            ExprKind::Call(callee, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                let ret = match &callee.kind {
+                    ExprKind::Ident(name) if self.lookup_local(name).is_none()
+                        && !self.sema.globals.contains_key(name) =>
+                    {
+                        // Function call by name; implicit declaration if
+                        // unknown (§4.2's conservative library treatment).
+                        let sig = match self.sema.signatures.get(name) {
+                            Some(s) => s.clone(),
+                            None => {
+                                let sig = FnTy {
+                                    ret: CTy::int(),
+                                    params: Vec::new(),
+                                    varargs: true,
+                                };
+                                self.sema
+                                    .signatures
+                                    .insert(name.clone(), sig.clone());
+                                self.sema.implicit_functions.push(name.clone());
+                                sig
+                            }
+                        };
+                        self.sema
+                            .resolution
+                            .insert(callee.id, Resolution::Function(name.clone()));
+                        self.record(
+                            callee,
+                            CTy {
+                                is_const: false,
+                                kind: CTyKind::Func(Box::new(sig.clone())),
+                            },
+                            false,
+                        );
+                        sig.ret
+                    }
+                    _ => {
+                        // Calling through an expression (function pointer).
+                        let tc = self.expr(callee)?.decayed();
+                        match &tc.kind {
+                            CTyKind::Func(sig) => sig.ret.clone(),
+                            CTyKind::Ptr(inner) => match &inner.kind {
+                                CTyKind::Func(sig) => sig.ret.clone(),
+                                _ => CTy::int(),
+                            },
+                            _ => CTy::int(),
+                        }
+                    }
+                };
+                (ret, false)
+            }
+            ExprKind::Index(base, idx) => {
+                let tb = self.expr(base)?.decayed();
+                self.expr(idx)?;
+                let elem = tb.pointee().cloned().ok_or_else(|| {
+                    CError::at(e.span, format!("indexing non-pointer `{tb}`"))
+                })?;
+                (elem, true)
+            }
+            ExprKind::Member(base, field) => {
+                let tb = self.expr(base)?;
+                let lv = self.sema.is_lvalue(base);
+                (self.field_of(&tb, field, e)?, lv)
+            }
+            ExprKind::PMember(base, field) => {
+                let tb = self.expr(base)?.decayed();
+                let pointee = tb.pointee().cloned().ok_or_else(|| {
+                    CError::at(e.span, format!("`->` on non-pointer `{tb}`"))
+                })?;
+                (self.field_of(&pointee, field, e)?, true)
+            }
+            ExprKind::Cast(ty, inner) => {
+                self.expr(inner)?;
+                (ty.clone(), false)
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.expr(c)?;
+                let tt = self.expr(t)?;
+                self.expr(f)?;
+                (tt.decayed(), false)
+            }
+            ExprKind::Comma(a, b) => {
+                self.expr(a)?;
+                let tb = self.expr(b)?;
+                (tb, false)
+            }
+        };
+        Ok(self.record(e, ty, lv))
+    }
+}
+
+fn arith(a: &CTy, b: &CTy) -> CTy {
+    // Usual arithmetic conversions, coarsened.
+    for s in [Scalar::Double, Scalar::Float, Scalar::Long] {
+        if a.kind == CTyKind::Scalar(s) || b.kind == CTyKind::Scalar(s) {
+            return CTy::scalar(s);
+        }
+    }
+    CTy::int()
+}
+
+impl CTy {
+    /// `&e`: address of a possibly-array value (arrays of T give ptr(T)
+    /// here rather than ptr(array), which is all the analysis needs).
+    #[must_use]
+    fn decayed_addr(&self) -> CTy {
+        self.clone().ptr_to()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyzed(src: &str) -> (Program, Sema) {
+        let p = parse(src).expect("parses");
+        let s = analyze(&p).expect("analyzes");
+        (p, s)
+    }
+
+    /// Finds the type of the first expression of the given rendered form.
+    fn all_types(sema: &Sema) -> Vec<String> {
+        let mut v: Vec<String> = sema.expr_ty.values().map(ToString::to_string).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn types_parameters_and_locals() {
+        let (_, s) = analyzed(
+            "int f(int *p) {
+               int x = *p;
+               return x;
+             }",
+        );
+        assert!(all_types(&s).contains(&"ptr(int)".to_owned()));
+        assert!(all_types(&s).contains(&"int".to_owned()));
+    }
+
+    #[test]
+    fn string_literals_are_char_ptr() {
+        let (_, s) = analyzed("char *f(void) { return (char *)\"hi\"; }");
+        assert!(all_types(&s).contains(&"ptr(char)".to_owned()));
+    }
+
+    #[test]
+    fn member_access_types() {
+        let (_, s) = analyzed(
+            "struct st { int x; char *name; };
+             char *f(struct st *p, struct st v) { v.x = 1; return p->name; }",
+        );
+        assert!(all_types(&s).contains(&"ptr(char)".to_owned()));
+    }
+
+    #[test]
+    fn implicit_function_declaration() {
+        let (_, s) = analyzed("int f(void) { return mystery(1, 2); }");
+        assert_eq!(s.implicit_functions, vec!["mystery".to_owned()]);
+        assert!(s.signatures.contains_key("mystery"));
+        assert!(!s.is_defined("mystery"));
+        assert!(s.is_defined("f"));
+    }
+
+    #[test]
+    fn array_indexing_and_decay() {
+        let (_, s) = analyzed(
+            "int sum(int *xs, int n) {
+               int t = 0;
+               for (int i = 0; i < n; i++) t += xs[i];
+               return t;
+             }",
+        );
+        assert!(all_types(&s).contains(&"int".to_owned()));
+    }
+
+    #[test]
+    fn pointer_arithmetic_keeps_pointer() {
+        let (p, s) = analyzed("char *next(char *s) { return s + 1; }");
+        let f = p.function("next").unwrap();
+        if let Stmt::Return(Some(e), _) = &f.body.stmts[0] {
+            assert_eq!(s.ty(e).to_string(), "ptr(char)");
+        } else {
+            panic!("expected return");
+        }
+    }
+
+    #[test]
+    fn errors_on_unresolved() {
+        let p = parse("int f(void) { return nope; }").unwrap();
+        assert!(analyze(&p).is_err());
+        let p = parse("struct s { int x; }; int f(struct s v) { return v.y; }").unwrap();
+        assert!(analyze(&p).is_err());
+        let p = parse("int f(int x) { return *x; }").unwrap();
+        assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn enum_constants_resolve() {
+        let (_, s) = analyzed("enum e { A, B }; int f(void) { return A + B; }");
+        assert!(s
+            .resolution
+            .values()
+            .any(|r| matches!(r, Resolution::EnumConst(0))));
+    }
+
+    #[test]
+    fn lvalueness() {
+        let (p, s) = analyzed("int f(int *p) { return *p + 1; }");
+        let f = p.function("f").unwrap();
+        if let Stmt::Return(Some(e), _) = &f.body.stmts[0] {
+            // `*p + 1` is not an lvalue but `*p` inside is.
+            assert!(!s.is_lvalue(e));
+            if let ExprKind::Binary(_, a, _) = &e.kind {
+                assert!(s.is_lvalue(a));
+            }
+        }
+    }
+
+    #[test]
+    fn globals_resolve() {
+        let (_, s) = analyzed("int g; int f(void) { g = 1; return g; }");
+        assert!(s
+            .resolution
+            .values()
+            .any(|r| matches!(r, Resolution::Global(_))));
+    }
+}

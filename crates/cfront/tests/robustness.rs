@@ -1,0 +1,66 @@
+//! Robustness: the C front end must never panic — arbitrary byte soup
+//! produces errors, not crashes, and anything that parses must also
+//! survive sema and the pretty-printer.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_and_parser_never_panic(src in "\\PC*") {
+        let _ = qual_cfront::parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_c_like_soup(
+        src in "[a-z{}();,*&=+<>\\[\\]0-9 \\n\"/]*"
+    ) {
+        if let Ok(prog) = qual_cfront::parse(&src) {
+            // Whatever parsed must print and re-parse.
+            let printed = qual_cfront::pretty::render_program(&prog);
+            let _ = qual_cfront::parse(&printed);
+            // Sema may reject (unresolved names) but must not panic.
+            let _ = qual_cfront::sema::analyze(&prog);
+        }
+    }
+
+    #[test]
+    fn token_stream_fragments_never_panic(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "char", "const", "struct", "typedef", "*", "x", "y",
+                "f", "(", ")", "{", "}", ";", ",", "=", "1", "return",
+                "if", "else", "while", "[", "]", "...", "switch", "case",
+                "default", ":", "goto", "extern", "static", "\"s\"",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        if let Ok(prog) = qual_cfront::parse(&src) {
+            let _ = qual_cfront::sema::analyze(&prog);
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs() {
+    // Deep nesting is rejected with an error rather than a stack
+    // overflow (the parser caps expression nesting).
+    let deep = format!("int f(void) {{ return {}1{}; }}", "(".repeat(500), ")".repeat(500));
+    let err = qual_cfront::parse(&deep).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+    // Sane depths still parse.
+    let ok = format!("int f(void) {{ return {}1{}; }}", "(".repeat(40), ")".repeat(40));
+    assert!(qual_cfront::parse(&ok).is_ok());
+
+    // Unterminated constructs.
+    for src in ["struct s {", "int f(void) {", "char *s = \"", "/*", "int x = '", "f("] {
+        assert!(qual_cfront::parse(src).is_err(), "{src:?} should error");
+    }
+
+    // Empty and whitespace-only.
+    assert!(qual_cfront::parse("").unwrap().items.is_empty());
+    assert!(qual_cfront::parse("  \n\t ").unwrap().items.is_empty());
+}

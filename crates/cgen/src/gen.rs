@@ -1,0 +1,385 @@
+//! The deterministic C benchmark generator.
+//!
+//! Emits a self-contained, type-correct C translation unit whose
+//! interesting const positions follow a [`Composition`](crate::profile::Composition): some functions
+//! declare `const` (the original programmer's effort), some are
+//! monomorphically inferable readers, some exhibit the `strchr` pattern
+//! (a shared helper used by both a writer and readers) so that only the
+//! polymorphic analysis can recover their constness, and the rest write
+//! through their parameters or hand them to non-const library functions.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::Profile;
+
+/// Which inference (if any) can recover const for a function's pointer
+/// parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Category {
+    /// `const` already written by the programmer.
+    Declared,
+    /// Read-only; monomorphic inference finds it.
+    MonoReader,
+    /// Forwards to a shared helper also used by a writer; only
+    /// polymorphic inference finds it.
+    PolyOnly,
+    /// Writes through the parameter (or passes it to a non-const library
+    /// function): never const.
+    Other,
+}
+
+/// Generates the C source for a profile.
+#[must_use]
+pub fn generate(profile: &Profile) -> String {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(profile.seed),
+        out: String::new(),
+        fn_counter: 0,
+        line_estimate: 0,
+        readers: Vec::new(),
+        mono_helpers: Vec::new(),
+        poly_helpers: Vec::new(),
+    };
+    g.prelude();
+    g.structs();
+    g.shared_helpers();
+
+    let c = profile.composition;
+    // Keep emitting categorized functions until the line target is met.
+    while g.line_estimate < profile.lines.saturating_sub(30) {
+        let roll: f64 = g.rng.gen();
+        let cat = if roll < c.declared {
+            Category::Declared
+        } else if roll < c.declared + c.mono_extra {
+            Category::MonoReader
+        } else if roll < c.declared + c.mono_extra + c.poly_extra {
+            Category::PolyOnly
+        } else {
+            Category::Other
+        };
+        g.function(cat);
+    }
+    g.main();
+    g.out
+}
+
+struct Gen {
+    rng: StdRng,
+    out: String,
+    fn_counter: u32,
+    line_estimate: usize,
+    /// Names of generated reader functions `int f(const char *)`-shaped,
+    /// callable from `main`.
+    readers: Vec<String>,
+    /// Helpers only ever used read-only (mono-safe).
+    mono_helpers: Vec<String>,
+    /// Helpers shared with a writer (poisoned monomorphically).
+    poly_helpers: Vec<String>,
+}
+
+impl Gen {
+    fn emit(&mut self, text: &str) {
+        self.out.push_str(text);
+        self.line_estimate += text.bytes().filter(|b| *b == b'\n').count();
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.fn_counter += 1;
+        format!("{prefix}_{}", self.fn_counter)
+    }
+
+    fn prelude(&mut self) {
+        self.emit(
+            "/* Generated benchmark program: simulated const-usage profile.\n\
+             \x20  See qual-cgen for the generation rules. */\n\
+             extern int printf(const char *fmt, ...);\n\
+             extern int strcmp(const char *a, const char *b);\n\
+             extern int strlen(const char *s);\n\
+             extern char *strcpy(char *dst, const char *src);\n\
+             extern void *malloc(int n);\n\
+             extern void free(void *p);\n\
+             extern int atoi(const char *s);\n\
+             extern int legacy_scan(char *buf);\n\n\
+             typedef char byte_t;\n\
+             typedef int word_t;\n\n\
+             int g_count = 0;\n\
+             char g_scratch[256];\n\n",
+        );
+    }
+
+    fn structs(&mut self) {
+        self.emit(
+            "struct entry { int key; char *name; int flags; };\n\
+             struct table { struct entry *slots; int used; int cap; };\n\n\
+             int entry_key(struct entry *e) { return e->key; }\n\
+             void entry_mark(struct entry *e, int f) { e->flags = f; }\n\n",
+        );
+        self.line_estimate += 2;
+    }
+
+    /// The shared helper functions that create (or avoid) the `strchr`
+    /// pattern.
+    fn shared_helpers(&mut self) {
+        // A mono-safe helper: only readers ever use it.
+        self.emit(
+            "char *skip_ws(char *s) {\n\
+             \x20 while (*s == ' ' || *s == '\\t') s++;\n\
+             \x20 return s;\n\
+             }\n\n",
+        );
+        self.mono_helpers.push("skip_ws".to_owned());
+
+        // The strchr-style helper: returns a pointer into its argument.
+        self.emit(
+            "char *find_ch(char *s, int c) {\n\
+             \x20 while (*s && *s != c) s++;\n\
+             \x20 return s;\n\
+             }\n\n\
+             /* One writer uses find_ch's result destructively, so the\n\
+             \x20  monomorphic analysis must mark its parameter non-const. */\n\
+             void chop_at(char *line, int c) {\n\
+             \x20 char *p = find_ch(line, c);\n\
+             \x20 *p = 0;\n\
+             }\n\n",
+        );
+        self.poly_helpers.push("find_ch".to_owned());
+
+        // A mutually-recursive scanner pair (exercises SCC handling and,
+        // in polymorphic-recursion mode, intra-SCC instantiation).
+        self.emit(
+            "int scan_b(char *s);\n\
+             int scan_a(char *s) {\n\
+             \x20 if (!*s) return 0;\n\
+             \x20 return 1 + scan_b(s + 1);\n\
+             }\n\
+             int scan_b(char *s) {\n\
+             \x20 if (!*s) return 0;\n\
+             \x20 return 1 + scan_a(s + 1);\n\
+             }\n\n",
+        );
+        self.mono_helpers.push("scan_a".to_owned());
+    }
+
+    /// A classifier built on `switch` (exercises the full statement
+    /// grammar; read-only over its parameter).
+    fn switch_fn(&mut self) {
+        let name = self.fresh("classify");
+        let a = self.rng.gen_range(1..64);
+        let b = self.rng.gen_range(64..128);
+        let text = format!(
+            "int {name}(char *s) {{\n\
+             \x20 int r = 0;\n\
+             \x20 switch (s[0]) {{\n\
+             \x20   case {a}: r = 1; break;\n\
+             \x20   case {b}: r = 2; break;\n\
+             \x20   default: r = 3; break;\n\
+             \x20 }}\n\
+             \x20 return r;\n\
+             }}\n\n"
+        );
+        self.emit(&text);
+        self.readers.push(name);
+    }
+
+    fn function(&mut self, cat: Category) {
+        match cat {
+            Category::Declared => self.reader_fn(true, false),
+            Category::MonoReader => {
+                let roll: f64 = self.rng.gen();
+                if roll < 0.35 {
+                    self.mono_forwarder_fn();
+                } else if roll < 0.5 {
+                    self.switch_fn();
+                } else {
+                    self.reader_fn(false, false);
+                }
+            }
+            Category::PolyOnly => self.poly_forwarder_fn(),
+            Category::Other => {
+                if self.rng.gen_bool(0.5) {
+                    self.writer_fn();
+                } else {
+                    self.library_user_fn();
+                }
+            }
+        }
+    }
+
+    /// Filler statements that keep the body realistic without touching
+    /// the parameter's constness.
+    fn filler(&mut self, ind: &str, var: &str) -> String {
+        let mut s = String::new();
+        let n = self.rng.gen_range(1..5);
+        for i in 0..n {
+            match self.rng.gen_range(0..4) {
+                0 => {
+                    let _ = writeln!(s, "{ind}{var} = {var} * 2 + {i};");
+                }
+                1 => {
+                    let _ = writeln!(s, "{ind}if ({var} > {}) {var} -= {i};", i * 10);
+                }
+                2 => {
+                    let _ = writeln!(s, "{ind}g_count += {var} & {};", i + 1);
+                }
+                _ => {
+                    let _ = writeln!(
+                        s,
+                        "{ind}for (int k{i} = 0; k{i} < {var}; k{i}++) g_count++;"
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    /// A read-only function over a string parameter. `declared` writes
+    /// the const; `via_struct` reads through the shared struct instead.
+    fn reader_fn(&mut self, declared: bool, via_struct: bool) {
+        let name = self.fresh(if declared { "sum_decl" } else { "sum" });
+        let cq = if declared { "const " } else { "" };
+        let filler = self.filler("  ", "acc");
+        let body = if via_struct {
+            "  acc += entry_key(e);\n".to_owned()
+        } else {
+            String::new()
+        };
+        let text = format!(
+            "int {name}({cq}char *s, int n) {{\n\
+             \x20 int acc = 0;\n\
+             \x20 for (int i = 0; i < n && s[i]; i++) acc += s[i];\n\
+             {body}{filler}\
+             \x20 return acc;\n\
+             }}\n\n"
+        );
+        self.emit(&text);
+        self.readers.push(name);
+    }
+
+    /// A reader that forwards through a mono-safe helper: inference must
+    /// reason interprocedurally but monomorphism suffices.
+    fn mono_forwarder_fn(&mut self) {
+        let name = self.fresh("scan");
+        let helper = self.mono_helpers[self.rng.gen_range(0..self.mono_helpers.len())].clone();
+        let filler = self.filler("  ", "total");
+        let text = format!(
+            "int {name}(char *text) {{\n\
+             \x20 char *p = {helper}(text);\n\
+             \x20 int total = 0;\n\
+             \x20 while (*p) {{ total += *p; p++; }}\n\
+             {filler}\
+             \x20 return total;\n\
+             }}\n\n"
+        );
+        self.emit(&text);
+        self.readers.push(name);
+    }
+
+    /// A reader that forwards through the writer-shared helper: only the
+    /// polymorphic analysis keeps it const-able (§1's strchr example).
+    fn poly_forwarder_fn(&mut self) {
+        let name = self.fresh("lookup");
+        let helper = self.poly_helpers[self.rng.gen_range(0..self.poly_helpers.len())].clone();
+        let c = self.rng.gen_range(32..127);
+        let filler = self.filler("  ", "n");
+        let text = format!(
+            "int {name}(char *key) {{\n\
+             \x20 char *hit = {helper}(key, {c});\n\
+             \x20 int n = *hit;\n\
+             {filler}\
+             \x20 return n;\n\
+             }}\n\n"
+        );
+        self.emit(&text);
+        self.readers.push(name);
+    }
+
+    /// Writes through its pointer parameter: never const.
+    fn writer_fn(&mut self) {
+        let name = self.fresh("fill");
+        let v = self.rng.gen_range(0..100);
+        let filler = self.filler("  ", "i");
+        let text = format!(
+            "void {name}(char *buf, int n) {{\n\
+             \x20 int i = 0;\n\
+             \x20 for (i = 0; i < n; i++) buf[i] = (char)({v} + i);\n\
+             \x20 buf[n] = 0;\n\
+             {filler}\
+             }}\n\n"
+        );
+        self.emit(&text);
+    }
+
+    /// Passes its parameter to a library function that does not declare
+    /// const: conservatively poisoned (§4.2).
+    fn library_user_fn(&mut self) {
+        let name = self.fresh("legacy");
+        let filler = self.filler("  ", "r");
+        let text = format!(
+            "int {name}(char *data) {{\n\
+             \x20 int r = legacy_scan(data);\n\
+             {filler}\
+             \x20 return r;\n\
+             }}\n\n"
+        );
+        self.emit(&text);
+    }
+
+    /// A `main` exercising a sample of the generated functions (keeps
+    /// everything reachable in the FDG).
+    fn main(&mut self) {
+        let mut body = String::new();
+        body.push_str("  char buf[64];\n  int acc = 0;\n  strcpy(buf, \"benchmark\");\n");
+        let sample: Vec<String> = self
+            .readers
+            .iter()
+            .take(24)
+            .cloned()
+            .collect();
+        for (i, r) in sample.iter().enumerate() {
+            if r.starts_with("sum") {
+                let _ = writeln!(body, "  acc += {r}(buf, {});", i + 1);
+            } else {
+                let _ = writeln!(body, "  acc += {r}(buf);");
+            }
+        }
+        body.push_str("  chop_at(buf, 'm');\n");
+        body.push_str("  printf(\"%d\\n\", acc + g_count);\n  return 0;\n");
+        let text = format!("int main(void) {{\n{body}}}\n");
+        self.emit(&text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::table1_profiles;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = &table1_profiles()[0];
+        assert_eq!(generate(p), generate(p));
+    }
+
+    #[test]
+    fn line_counts_approximate_target() {
+        for p in table1_profiles() {
+            let src = generate(&p);
+            let lines = src.lines().count();
+            assert!(
+                lines >= p.lines * 9 / 10 && lines <= p.lines * 12 / 10,
+                "{}: wanted ~{}, got {lines}",
+                p.name,
+                p.lines
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_programs() {
+        let ps = table1_profiles();
+        assert_ne!(generate(&ps[0]), generate(&ps[1].scaled(ps[0].lines)));
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic C benchmark generator standing in for the six GNU
+//! programs of the paper's Table 1 (§4.4).
+//!
+//! The original benchmark sources cannot ship with this repository, so
+//! each benchmark is simulated: [`profile::table1_profiles`] records each
+//! program's name, line count, and description from Table 1 together with
+//! the const-usage composition implied by Table 2, and [`generate`] emits
+//! a deterministic, type-correct C program with that composition. See
+//! `DESIGN.md` ("Substitutions") for why this preserves the evaluation's
+//! shape.
+//!
+//! ```
+//! use qual_cgen::{generate, table1_profiles};
+//!
+//! let woman = &table1_profiles()[0];
+//! let src = generate(woman);
+//! assert!(src.contains("int main(void)"));
+//! // The generated program parses with the bundled C front end:
+//! assert!(qual_cfront::parse(&src).is_ok());
+//! ```
+
+pub mod gen;
+pub mod profile;
+
+pub use gen::generate;
+pub use profile::{table1_profiles, Composition, Profile};

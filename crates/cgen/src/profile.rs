@@ -1,0 +1,174 @@
+//! Benchmark profiles reproducing Table 1 of the paper.
+//!
+//! The original GNU sources (woman-3.0a … uucp-1.04) are not
+//! redistributable here, so each benchmark is *simulated*: a profile
+//! records the line count and description from Table 1 plus the
+//! const-usage composition reverse-engineered from Table 2 (what fraction
+//! of interesting positions were declared const, monomorphically
+//! inferable, only polymorphically inferable, or not const-able), and the
+//! generator emits a deterministic C program with that composition. The
+//! *shape* of the paper's results — poly ≥ mono ≥ declared, poly/mono
+//! time ratio, linear scaling — is a property of the inference algorithm,
+//! which runs unmodified on the simulated programs.
+
+/// The const-usage composition of one benchmark, as fractions of the
+/// total interesting positions (from Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Composition {
+    /// Positions declared const in the source.
+    pub declared: f64,
+    /// Additional positions the monomorphic analysis can make const.
+    pub mono_extra: f64,
+    /// Additional positions only the polymorphic analysis can make const.
+    pub poly_extra: f64,
+}
+
+impl Composition {
+    /// Derives a composition from the paper's Table-2 row.
+    #[must_use]
+    pub fn from_counts(declared: u32, mono: u32, poly: u32, total: u32) -> Composition {
+        let t = f64::from(total);
+        Composition {
+            declared: f64::from(declared) / t,
+            mono_extra: f64::from(mono - declared) / t,
+            poly_extra: f64::from(poly - mono) / t,
+        }
+    }
+
+    /// The "other" (never const) fraction.
+    #[must_use]
+    pub fn other(&self) -> f64 {
+        (1.0 - self.declared - self.mono_extra - self.poly_extra).max(0.0)
+    }
+}
+
+/// One benchmark profile (a row of Table 1 plus its Table-2 composition).
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Benchmark name as in Table 1.
+    pub name: &'static str,
+    /// Line count from Table 1.
+    pub lines: usize,
+    /// Description from Table 1.
+    pub description: &'static str,
+    /// Const-usage composition (from Table 2).
+    pub composition: Composition,
+    /// RNG seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// A scaled copy targeting a different line count (for scaling
+    /// benches).
+    #[must_use]
+    pub fn scaled(&self, lines: usize) -> Profile {
+        Profile {
+            lines,
+            ..self.clone()
+        }
+    }
+}
+
+/// The six benchmarks of Table 1, in the paper's order.
+///
+/// Compositions are derived from the paper's Table 2:
+///
+/// | name | declared | mono | poly | total |
+/// |---|---|---|---|---|
+/// | woman-3.0a | 50 | 67 | 72 | 95 |
+/// | patch-2.5 | 84 | 99 | 107 | 148 |
+/// | m4-1.4 | 88 | 249 | 262 | 370 |
+/// | diffutils-2.7 | 153 | 209 | 243 | 372 |
+/// | ssh-1.2.26 | 147 | 316 | 347 | 547 |
+/// | uucp-1.04 | 433 | 1116 | 1299 | 1773 |
+#[must_use]
+pub fn table1_profiles() -> Vec<Profile> {
+    vec![
+        Profile {
+            name: "woman-3.0a",
+            lines: 1496,
+            description: "Replacement for man package",
+            composition: Composition::from_counts(50, 67, 72, 95),
+            seed: 1,
+        },
+        Profile {
+            name: "patch-2.5",
+            lines: 5303,
+            description: "Apply a diff file to an original",
+            composition: Composition::from_counts(84, 99, 107, 148),
+            seed: 2,
+        },
+        Profile {
+            name: "m4-1.4",
+            lines: 7741,
+            description: "Unix macro preprocessor",
+            composition: Composition::from_counts(88, 249, 262, 370),
+            seed: 3,
+        },
+        Profile {
+            name: "diffutils-2.7",
+            lines: 8741,
+            description: "Collection of utilities for diffing files",
+            composition: Composition::from_counts(153, 209, 243, 372),
+            seed: 4,
+        },
+        Profile {
+            name: "ssh-1.2.26",
+            lines: 18620,
+            description: "Secure shell",
+            composition: Composition::from_counts(147, 316, 347, 547),
+            seed: 5,
+        },
+        Profile {
+            name: "uucp-1.04",
+            lines: 36913,
+            description: "Unix to unix copy package",
+            composition: Composition::from_counts(433, 1116, 1299, 1773),
+            seed: 6,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_profiles_matching_table1() {
+        let ps = table1_profiles();
+        assert_eq!(ps.len(), 6);
+        assert_eq!(ps[0].name, "woman-3.0a");
+        assert_eq!(ps[0].lines, 1496);
+        assert_eq!(ps[5].name, "uucp-1.04");
+        assert_eq!(ps[5].lines, 36913);
+    }
+
+    #[test]
+    fn compositions_are_sane() {
+        for p in table1_profiles() {
+            let c = p.composition;
+            assert!(c.declared > 0.0 && c.declared < 1.0, "{}", p.name);
+            assert!(c.mono_extra >= 0.0);
+            assert!(c.poly_extra >= 0.0);
+            assert!(c.other() >= 0.0);
+            let sum = c.declared + c.mono_extra + c.poly_extra + c.other();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uucp_has_the_paper_headline_ratio() {
+        // "uucp-1.04 can have more than 2.5 times more consts than are
+        // actually present."
+        let c = Composition::from_counts(433, 1116, 1299, 1773);
+        let poly_over_declared = (c.declared + c.mono_extra + c.poly_extra) / c.declared;
+        assert!(poly_over_declared > 2.5);
+    }
+
+    #[test]
+    fn scaled_keeps_composition() {
+        let p = table1_profiles()[0].scaled(10_000);
+        assert_eq!(p.lines, 10_000);
+        assert_eq!(p.name, "woman-3.0a");
+    }
+}

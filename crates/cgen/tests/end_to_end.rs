@@ -1,0 +1,87 @@
+//! End-to-end: every generated benchmark parses, resolves, and produces
+//! the paper's qualitative result shape (declared ≤ mono ≤ poly ≤ total,
+//! poly strictly better than mono, many more consts inferable than
+//! declared).
+
+use qual_cgen::{generate, table1_profiles};
+use qual_constinfer::{analyze_source, Mode};
+
+#[test]
+fn smallest_benchmark_full_pipeline() {
+    let p = table1_profiles()[0].scaled(600);
+    let src = generate(&p);
+    let mono = analyze_source(&src, Mode::Monomorphic).expect("mono analyzes");
+    let poly = analyze_source(&src, Mode::Polymorphic).expect("poly analyzes");
+    assert!(mono.analysis.solution.is_ok(), "generated program is correct C");
+    assert!(poly.analysis.solution.is_ok());
+
+    let (m, q) = (mono.counts, poly.counts);
+    assert_eq!(m.total, q.total);
+    assert!(m.declared <= m.inferred, "{m:?}");
+    assert!(m.inferred <= q.inferred, "{m:?} vs {q:?}");
+    assert!(q.inferred <= q.total);
+    assert!(
+        m.inferred > m.declared,
+        "inference must find more than declared: {m:?}"
+    );
+    assert!(
+        q.inferred > m.inferred,
+        "poly must beat mono on the strchr pattern: {m:?} vs {q:?}"
+    );
+}
+
+#[test]
+fn all_profiles_parse_and_resolve() {
+    for p in table1_profiles() {
+        // Shrink very large profiles to keep the test fast; composition
+        // is preserved.
+        let lines = p.lines.min(1200);
+        let src = generate(&p.scaled(lines));
+        let prog = qual_cfront::parse(&src)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", p.name));
+        qual_cfront::sema::analyze(&prog)
+            .unwrap_or_else(|e| panic!("{}: sema failed: {e}", p.name));
+    }
+}
+
+#[test]
+fn composition_is_roughly_respected() {
+    // On a mid-size program the generated fractions should be within a
+    // loose tolerance of the profile.
+    let p = table1_profiles()[2].scaled(2000); // m4: low declared, high mono
+    let src = generate(&p);
+    let poly = analyze_source(&src, Mode::Polymorphic).expect("analyzes");
+    let c = poly.counts;
+    let declared_frac = c.declared as f64 / c.total as f64;
+    let poly_frac = c.inferred as f64 / c.total as f64;
+    let want = p.composition;
+    assert!(
+        (declared_frac - want.declared).abs() < 0.25,
+        "declared {declared_frac:.2} vs wanted {:.2}",
+        want.declared
+    );
+    let want_poly = want.declared + want.mono_extra + want.poly_extra;
+    assert!(
+        (poly_frac - want_poly).abs() < 0.3,
+        "poly {poly_frac:.2} vs wanted {want_poly:.2}"
+    );
+}
+
+#[test]
+fn generated_programs_pretty_print_round_trip() {
+    // print → parse → print is a fixpoint, and the re-parsed program
+    // analyzes to exactly the same counts.
+    for p in table1_profiles().iter().take(2) {
+        let src = generate(&p.scaled(700));
+        let prog = qual_cfront::parse(&src).unwrap();
+        let printed = qual_cfront::pretty::render_program(&prog);
+        let reparsed = qual_cfront::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", p.name));
+        let printed2 = qual_cfront::pretty::render_program(&reparsed);
+        assert_eq!(printed, printed2, "{}: printer fixpoint", p.name);
+
+        let a = analyze_source(&src, Mode::Polymorphic).unwrap();
+        let b = analyze_source(&printed, Mode::Polymorphic).unwrap();
+        assert_eq!(a.counts, b.counts, "{}", p.name);
+    }
+}

@@ -1,0 +1,119 @@
+//! `cqual` — command-line const inference for C, in the spirit of the
+//! tool the paper built (and its successor CQual).
+//!
+//! ```text
+//! cqual [--mode mono|poly|polyrec] [--annotate|--rewrite|--report] FILE...
+//! ```
+//!
+//! * `--report` (default): the Table-2 style counts plus per-position
+//!   classification.
+//! * `--annotate`: print every defined function's signature with the
+//!   inferable consts inserted.
+//! * `--rewrite`: print the whole program with the (monomorphic)
+//!   inferable consts inserted.
+//!
+//! Multiple files are concatenated and analyzed as one program, exactly
+//! as the paper handles multi-file benchmarks ("We analyzed each set of
+//! programs at once").
+
+use std::process::ExitCode;
+
+use qual_constinfer::{analyze_source, rewrite_source, Mode, PositionClass};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite] FILE...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Polymorphic;
+    let mut action = "report".to_owned();
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mode" => match args.next().as_deref() {
+                Some("mono") => mode = Mode::Monomorphic,
+                Some("poly") => mode = Mode::Polymorphic,
+                Some("polyrec") => mode = Mode::PolymorphicRecursive,
+                _ => return usage(),
+            },
+            "--report" | "--annotate" | "--rewrite" => {
+                action = a.trim_start_matches("--").to_owned();
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => return usage(),
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let mut src = String::new();
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => {
+                src.push_str(&text);
+                src.push('\n');
+            }
+            Err(e) => {
+                eprintln!("cqual: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let result = match analyze_source(&src, mode) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cqual: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = &result.analysis.solution {
+        eprintln!(
+            "cqual: warning: qualifier constraints unsatisfiable \
+             (declared consts conflict with uses); counts are empty"
+        );
+        eprint!("{}", qual_solve::diag::render_violations(&src, e));
+    }
+
+    match action.as_str() {
+        "annotate" => {
+            let prog = qual_cfront::parse(&src).expect("already parsed once");
+            print!("{}", result.annotated_signatures(&prog));
+        }
+        "rewrite" => {
+            if mode == Mode::Polymorphic {
+                eprintln!(
+                    "cqual: note: rewriting uses the monomorphic result \
+                     (polymorphic extras cannot be expressed as C consts)"
+                );
+            }
+            let prog = qual_cfront::parse(&src).expect("already parsed once");
+            let mono = analyze_source(&src, Mode::Monomorphic).expect("re-analysis");
+            print!("{}", rewrite_source(&prog, &mono));
+        }
+        _ => {
+            let c = result.counts;
+            println!(
+                "{} interesting positions: {} declared const, {} inferable const ({mode:?})",
+                c.total, c.declared, c.inferred
+            );
+            for p in &result.positions {
+                let class = match p.class {
+                    PositionClass::MustConst => "must be const",
+                    PositionClass::MustNotConst => "cannot be const",
+                    PositionClass::Either => "could be const",
+                };
+                let declared = if p.declared { " [declared]" } else { "" };
+                println!("  {:<32} {class}{declared}", p.label());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

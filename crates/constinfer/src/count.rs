@@ -1,0 +1,370 @@
+//! Counting "interesting" const positions (§4.4).
+//!
+//! A position is each pointer level of each parameter and of the result
+//! of every *defined* function — e.g. `int foo(int x, int *y)` has one
+//! interesting position (the contents of `y`). Each position is
+//! classified three ways from the least/greatest solutions, and the
+//! columns of Table 2 fall out:
+//!
+//! * **Declared** — `const` written in the source;
+//! * **Mono/Poly** — positions that *may* be const under the respective
+//!   analysis (must-const + either);
+//! * **Total possible** — all interesting positions.
+
+use qual_cfront::ast::Program;
+use qual_cfront::sema;
+use qual_cfront::{CTy, CTyKind};
+
+use crate::engine::{run, Analysis, Mode};
+use crate::qtypes::QcShape;
+use crate::ConstInferError;
+
+/// The three-way classification of one position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionClass {
+    /// Must be const (the least solution already carries `const`).
+    MustConst,
+    /// Cannot be const (some write reaches it).
+    MustNotConst,
+    /// Unconstrained: could be either (these are the extra consts the
+    /// tool reports).
+    Either,
+}
+
+/// One interesting position and its analysis result.
+#[derive(Debug, Clone)]
+pub struct Position {
+    /// The enclosing defined function.
+    pub function: String,
+    /// Parameter index, or `None` for the return value.
+    pub param: Option<usize>,
+    /// Pointer level (0 = outermost pointee).
+    pub level: usize,
+    /// Whether the source declared `const` here.
+    pub declared: bool,
+    /// The classification.
+    pub class: PositionClass,
+}
+
+impl Position {
+    /// Whether the analysis allows const here (class 1 or 3).
+    #[must_use]
+    pub fn can_be_const(self: &Position) -> bool {
+        matches!(
+            self.class,
+            PositionClass::MustConst | PositionClass::Either
+        )
+    }
+
+    /// A compact label like `f(arg 0, level 1)` or `f(return, level 0)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.param {
+            Some(i) => format!("{}(arg {i}, level {})", self.function, self.level),
+            None => format!("{}(return, level {})", self.function, self.level),
+        }
+    }
+}
+
+/// The Table-2 style totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstCounts {
+    /// Consts declared in the source at interesting positions.
+    pub declared: usize,
+    /// Positions that may be const under this analysis.
+    pub inferred: usize,
+    /// All interesting positions.
+    pub total: usize,
+}
+
+/// A complete const-inference result.
+#[derive(Debug)]
+pub struct ConstResult {
+    /// The totals.
+    pub counts: ConstCounts,
+    /// Per-position detail.
+    pub positions: Vec<Position>,
+    /// The raw analysis (arena, constraints, solution).
+    pub analysis: Analysis,
+}
+
+impl ConstResult {
+    /// Renders every defined function's signature with the inferred
+    /// consts inserted — the "text of the original C program with some
+    /// extra const qualifiers" the paper aims for (§4.2), restricted to
+    /// signatures.
+    #[must_use]
+    pub fn annotated_signatures(&self, prog: &Program) -> String {
+        let mut out = String::new();
+        for f in prog.functions() {
+            let mut sig = String::new();
+            sig.push_str(&render_ty_annotated(
+                &f.ret,
+                &self.positions,
+                &f.name,
+                None,
+            ));
+            sig.push(' ');
+            sig.push_str(&f.name);
+            sig.push('(');
+            for (i, (pname, pty)) in f.params.iter().enumerate() {
+                if i > 0 {
+                    sig.push_str(", ");
+                }
+                sig.push_str(&render_ty_annotated(
+                    pty,
+                    &self.positions,
+                    &f.name,
+                    Some(i),
+                ));
+                sig.push(' ');
+                sig.push_str(pname);
+            }
+            if f.varargs {
+                sig.push_str(", ...");
+            }
+            sig.push_str(");\n");
+            out.push_str(&sig);
+        }
+        out
+    }
+}
+
+/// Renders a C type left-to-right with `const` inserted at every
+/// const-able pointer level.
+fn render_ty_annotated(
+    ty: &CTy,
+    positions: &[Position],
+    func: &str,
+    param: Option<usize>,
+) -> String {
+    // Collect pointee levels outermost-first.
+    let can = |level: usize| {
+        positions
+            .iter()
+            .find(|p| p.function == func && p.param == param && p.level == level)
+            .is_some_and(Position::can_be_const)
+    };
+    // Base type first.
+    let mut levels = Vec::new();
+    let mut cur = ty.decayed();
+    while let CTyKind::Ptr(inner) = cur.kind {
+        levels.push(());
+        cur = inner.decayed();
+    }
+    let depth = levels.len();
+    let base = match &cur.kind {
+        CTyKind::Scalar(s) => s.to_string(),
+        CTyKind::Struct(t) => format!("struct {t}"),
+        other => format!("{other:?}"),
+    };
+    // In C reading order, the innermost pointee is written first:
+    // `const char **` has level 1 (the char) as the deepest.
+    let mut s = String::new();
+    if depth > 0 && can(depth - 1) {
+        s.push_str("const ");
+    }
+    s.push_str(&base);
+    for lvl in (0..depth).rev() {
+        s.push_str(" *");
+        if lvl > 0 && can(lvl - 1) {
+            s.push_str("const ");
+        }
+    }
+    s
+}
+
+/// Classifies every interesting position of an analysis.
+#[must_use]
+pub fn classify(prog: &Program, analysis: &Analysis) -> Vec<Position> {
+    let mut out = Vec::new();
+    let Some(sol) = analysis.solution.as_ref().ok() else {
+        return out;
+    };
+    let Some(c) = analysis.space.id("const") else {
+        return out;
+    };
+    for f in prog.functions() {
+        let Some(sig) = analysis.signatures.get(&f.name) else {
+            continue;
+        };
+        // Parameters: spine of the parameter's value.
+        for (i, cell) in sig.params.iter().enumerate() {
+            let QcShape::Ref(value) = analysis.arena.get(*cell).shape else {
+                continue;
+            };
+            let declared_flags = pointee_flags(&f.params[i].1);
+            for (level, node) in analysis.arena.spine(value).iter().enumerate() {
+                let q = analysis.arena.get(*node).qual;
+                let must = sol.eval_least(q).has(&analysis.space, c);
+                let can = sol.eval_greatest(q).has(&analysis.space, c);
+                out.push(Position {
+                    function: f.name.clone(),
+                    param: Some(i),
+                    level,
+                    declared: declared_flags.get(level).copied().unwrap_or(false),
+                    class: if must {
+                        PositionClass::MustConst
+                    } else if can {
+                        PositionClass::Either
+                    } else {
+                        PositionClass::MustNotConst
+                    },
+                });
+            }
+        }
+        // Return value spine.
+        let declared_flags = pointee_flags(&f.ret);
+        for (level, node) in analysis.arena.spine(sig.ret).iter().enumerate() {
+            let q = analysis.arena.get(*node).qual;
+            let must = sol.eval_least(q).has(&analysis.space, c);
+            let can = sol.eval_greatest(q).has(&analysis.space, c);
+            out.push(Position {
+                function: f.name.clone(),
+                param: None,
+                level,
+                declared: declared_flags.get(level).copied().unwrap_or(false),
+                class: if must {
+                    PositionClass::MustConst
+                } else if can {
+                    PositionClass::Either
+                } else {
+                    PositionClass::MustNotConst
+                },
+            });
+        }
+    }
+    out
+}
+
+fn pointee_flags(ty: &CTy) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut cur = ty.decayed();
+    while let CTyKind::Ptr(inner) = cur.kind {
+        flags.push(inner.is_const);
+        cur = inner.decayed();
+    }
+    flags
+}
+
+/// End-to-end: parse, analyze, infer, count.
+///
+/// # Errors
+///
+/// Returns [`ConstInferError`] if the source fails to parse or resolve.
+pub fn analyze_source(src: &str, mode: Mode) -> Result<ConstResult, ConstInferError> {
+    let prog = qual_cfront::parse(src)?;
+    let sem = sema::analyze(&prog)?;
+    let analysis = run(&prog, &sem, &qual_lattice::QualSpace::const_only(), mode);
+    Ok(summarize(&prog, analysis))
+}
+
+/// Counts positions for an existing analysis.
+#[must_use]
+pub fn summarize(prog: &Program, analysis: Analysis) -> ConstResult {
+    let positions = classify(prog, &analysis);
+    let counts = ConstCounts {
+        declared: positions.iter().filter(|p| p.declared).count(),
+        inferred: positions.iter().filter(|p| p.can_be_const()).count(),
+        total: positions.len(),
+    };
+    ConstResult {
+        counts,
+        positions,
+        analysis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(src: &str, mode: Mode) -> ConstCounts {
+        analyze_source(src, mode).expect("analyzes").counts
+    }
+
+    #[test]
+    fn paper_interesting_definition() {
+        // int foo(int x, int *y): exactly one interesting position.
+        let c = counts("int foo(int x, int *y) { return x + *y; }", Mode::Monomorphic);
+        assert_eq!(c.total, 1);
+        assert_eq!(c.declared, 0);
+        assert_eq!(c.inferred, 1, "y is never written: could be const");
+    }
+
+    #[test]
+    fn declared_consts_are_counted() {
+        let c = counts(
+            "int f(const char *s, char *t) { *t = *s; return 0; }",
+            Mode::Monomorphic,
+        );
+        assert_eq!(c.total, 2);
+        assert_eq!(c.declared, 1);
+        assert_eq!(c.inferred, 1, "s const; t written so not const-able");
+    }
+
+    #[test]
+    fn double_pointers_have_two_positions() {
+        let c = counts(
+            "void f(char **argv) { argv[0] = 0; }",
+            Mode::Monomorphic,
+        );
+        assert_eq!(c.total, 2);
+        // argv[0] is written: level 0 non-const; level 1 (the chars) free.
+        assert_eq!(c.inferred, 1);
+    }
+
+    #[test]
+    fn return_positions_counted() {
+        let c = counts(
+            "char *f(char *s) { return s; }",
+            Mode::Monomorphic,
+        );
+        assert_eq!(c.total, 2); // param pointee + return pointee
+        assert_eq!(c.inferred, 2);
+    }
+
+    #[test]
+    fn poly_geq_mono_on_strchr_pattern() {
+        let src = "char *id(char *s) { return s; }
+                   void writer(char *buf) { *id(buf) = 'x'; }
+                   char *reader(char *msg) { return id(msg); }";
+        let m = counts(src, Mode::Monomorphic);
+        let p = counts(src, Mode::Polymorphic);
+        assert_eq!(m.total, p.total);
+        assert!(p.inferred > m.inferred, "poly {p:?} vs mono {m:?}");
+        assert!(m.inferred >= m.declared);
+    }
+
+    #[test]
+    fn annotated_signatures_render() {
+        let r = analyze_source(
+            "int first(char *s) { return s[0]; }",
+            Mode::Monomorphic,
+        )
+        .unwrap();
+        let prog = qual_cfront::parse("int first(char *s) { return s[0]; }").unwrap();
+        let text = r.annotated_signatures(&prog);
+        assert!(text.contains("const char *"), "got: {text}");
+        assert!(text.contains("first"), "got: {text}");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let r = analyze_source("char *f(char *s) { return s; }", Mode::Monomorphic)
+            .unwrap();
+        let labels: Vec<String> = r.positions.iter().map(Position::label).collect();
+        assert!(labels.contains(&"f(arg 0, level 0)".to_owned()));
+        assert!(labels.contains(&"f(return, level 0)".to_owned()));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(analyze_source("int f(", Mode::Monomorphic).is_err());
+        assert!(analyze_source(
+            "int f(void) { return undefined_var; }",
+            Mode::Monomorphic
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,1081 @@
+//! The const-inference engine (§4): constraint generation over C
+//! programs, in monomorphic or polymorphic (FDG-driven) mode.
+
+use std::collections::HashMap;
+
+use qual_cfront::ast::{
+    Block, Expr, ExprKind, FnDef, Item, Program, Stmt, UnOp,
+};
+use qual_cfront::sema::{Resolution, Sema};
+use qual_cfront::{CTy, CTyKind};
+use qual_lattice::QualSpace;
+use qual_solve::{
+    ConstraintSet, Provenance, QVar, Qual, Scheme, Solution, SolveError, VarSupply,
+};
+
+use crate::fdg::Fdg;
+use crate::qtypes::{QcArena, QcId, QcShape, StructTable, Translator};
+
+/// Monomorphic (one signature per function) or polymorphic (per-call
+/// instantiation via the FDG, §4.3) analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The C type system's usual regime.
+    Monomorphic,
+    /// Let-style qualifier polymorphism over the FDG.
+    Polymorphic,
+    /// Polymorphic *recursion* (§4.3: "we would prefer to use polymorphic
+    /// recursion rather than let-style polymorphism ... the computation
+    /// of polymorphic recursive types is decidable and in fact should be
+    /// very efficient"): within each SCC, Mycroft-style iteration from
+    /// the most general scheme until the scheme supports its own
+    /// derivation, so even mutually-recursive calls are instantiated
+    /// per call site.
+    PolymorphicRecursive,
+}
+
+/// A function's signature template nodes.
+#[derive(Debug, Clone)]
+pub struct SigNodes {
+    /// L-value cells of the parameters, in order.
+    pub params: Vec<QcId>,
+    /// The r-value node of the return.
+    pub ret: QcId,
+}
+
+/// The raw analysis result (counting lives in [`crate::count`]).
+#[derive(Debug)]
+pub struct Analysis {
+    /// All qualified types built.
+    pub arena: QcArena,
+    /// The qualifier space used (declares `const`).
+    pub space: QualSpace,
+    /// The variable supply.
+    pub supply: VarSupply,
+    /// The full constraint system.
+    pub constraints: ConstraintSet,
+    /// Solutions (the system is always satisfiable: the program is
+    /// assumed to be correct C, and declared consts only add lower
+    /// bounds; but casts severed flows make this non-trivially true, so
+    /// we keep the error side).
+    pub solution: Result<Solution, SolveError>,
+    /// Signature template nodes per defined function.
+    pub signatures: HashMap<String, SigNodes>,
+    /// Which mode ran.
+    pub mode: Mode,
+}
+
+/// Tuning knobs for the analysis.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct Options {
+    /// Compact polymorphic schemes to their signature interface before
+    /// use (the §6 simplification). Identical results (see the ablation
+    /// tests); useful when presenting schemes or when call-site counts
+    /// dwarf function sizes. Off by default: on the benchmark suite the
+    /// per-function compaction costs slightly more than the smaller
+    /// instantiations save.
+    pub simplify_schemes: bool,
+}
+
+
+/// Runs const inference on an analyzed program with default [`Options`].
+///
+/// The qualifier space must declare `const` (use
+/// [`QualSpace::const_only`]).
+#[must_use]
+pub fn run(prog: &Program, sema: &Sema, space: &QualSpace, mode: Mode) -> Analysis {
+    run_with_options(prog, sema, space, mode, Options::default())
+}
+
+/// Runs const inference with explicit [`Options`].
+#[must_use]
+pub fn run_with_options(
+    prog: &Program,
+    sema: &Sema,
+    space: &QualSpace,
+    mode: Mode,
+    options: Options,
+) -> Analysis {
+    let mut eng = Engine {
+        sema,
+        space: space.clone(),
+        arena: QcArena::new(),
+        supply: VarSupply::new(),
+        cs: ConstraintSet::new(),
+        structs: StructTable::new(),
+        globals: HashMap::new(),
+        sigs: HashMap::new(),
+        schemes: HashMap::new(),
+        locals: Vec::new(),
+        current_ret: None,
+        current_scc: Vec::new(),
+        instantiate_intra_scc: false,
+        mode,
+        struct_defs: sema.structs.clone(),
+    };
+
+    // Global variables first: their qualifier variables are "free in the
+    // environment" and never generalized.
+    for item in &prog.items {
+        if let Item::Global { name, ty, .. } = item {
+            let cell = eng.translator().lvalue_of(ty);
+            eng.globals.insert(name.clone(), cell);
+        }
+    }
+    // Signature templates. In monomorphic mode every function gets its
+    // (single, shared) template now. In polymorphic mode templates are
+    // created inside each SCC's generalization window instead, so that
+    // their qualifier variables are quantified by (Letv).
+    if mode == Mode::Monomorphic {
+        for f in prog.functions() {
+            eng.make_sig(f);
+        }
+    }
+    // Global initializers.
+    for item in &prog.items {
+        if let Item::Global {
+            name,
+            init: Some(e),
+            ..
+        } = item
+        {
+            let cell = eng.globals[name];
+            let v = eng.expr(e);
+            let contents = eng.contents_of(cell);
+            eng.flow(v.rty, contents, Provenance::synthetic("global initializer"));
+        }
+    }
+
+    match mode {
+        Mode::Monomorphic => {
+            for f in prog.functions() {
+                eng.current_scc = vec![f.name.clone()];
+                eng.analyze_fn(f);
+            }
+        }
+        Mode::Polymorphic | Mode::PolymorphicRecursive => {
+            let fdg = Fdg::build(prog);
+            for scc in &fdg.sccs {
+                let names: Vec<String> =
+                    scc.iter().map(|v| fdg.names[*v].clone()).collect();
+                let recursive = scc.len() > 1
+                    || scc
+                        .first()
+                        .is_some_and(|v| fdg.edges[*v].contains(v));
+                if mode == Mode::PolymorphicRecursive && recursive {
+                    eng.polyrec_scc(&names, prog, options);
+                    continue;
+                }
+                let mark = eng.supply.count();
+                let cs_mark = eng.cs.len();
+                eng.current_scc = names.clone();
+                // Templates first (mutual recursion needs them all), then
+                // bodies — all inside the window opened at `mark`.
+                for name in &names {
+                    if let Some(f) = prog.function(name) {
+                        eng.make_sig(f);
+                    }
+                }
+                for name in &names {
+                    if let Some(f) = prog.function(name) {
+                        eng.analyze_fn(f);
+                    }
+                }
+                // (Letv) over the SCC: generalize each member's signature
+                // over the qualifier variables created in this window.
+                let bound: Vec<QVar> = (mark..eng.supply.count())
+                    .map(QVar::from_index)
+                    .collect();
+                // Constraints mentioning window variables can only be in
+                // the suffix added during this window.
+                let window = &eng.cs.constraints()[cs_mark..];
+                let mut new_schemes = Vec::new();
+                for name in &names {
+                    let sig = eng.sigs[name].clone();
+                    let mut scheme = Scheme::generalize_in(sig, bound.clone(), window);
+                    if options.simplify_schemes {
+                        // The interface is the signature spine: parameter
+                        // cells, their contents, and the return value.
+                        let mut keep = Vec::new();
+                        for cell in &scheme.body().params {
+                            eng.arena.vars_of(*cell, &mut keep);
+                        }
+                        eng.arena.vars_of(scheme.body().ret, &mut keep);
+                        let keep: std::collections::HashSet<QVar> =
+                            keep.into_iter().collect();
+                        scheme = scheme.simplified(&keep);
+                    }
+                    new_schemes.push((name.clone(), scheme));
+                }
+                eng.schemes.extend(new_schemes);
+            }
+        }
+    }
+
+    let solution = eng.cs.solve(space, &eng.supply);
+    Analysis {
+        arena: eng.arena,
+        space: space.clone(),
+        supply: eng.supply,
+        constraints: eng.cs,
+        solution,
+        signatures: eng.sigs,
+        mode,
+    }
+}
+
+/// The value of an analyzed expression: an optional l-value cell (the
+/// ref written through by assignment) plus the r-value node, plus any
+/// extra cells that must be non-const for a write to be legal (e.g. the
+/// struct base of a member write).
+struct EVal {
+    lcell: Option<QcId>,
+    guards: Vec<QcId>,
+    rty: QcId,
+}
+
+impl EVal {
+    fn rvalue(rty: QcId) -> EVal {
+        EVal {
+            lcell: None,
+            guards: Vec::new(),
+            rty,
+        }
+    }
+}
+
+struct Engine<'a> {
+    sema: &'a Sema,
+    space: QualSpace,
+    arena: QcArena,
+    supply: VarSupply,
+    cs: ConstraintSet,
+    structs: StructTable,
+    globals: HashMap<String, QcId>,
+    sigs: HashMap<String, SigNodes>,
+    schemes: HashMap<String, Scheme<SigNodes>>,
+    /// Scoped local cells of the function being analyzed.
+    locals: Vec<HashMap<String, QcId>>,
+    current_ret: Option<QcId>,
+    current_scc: Vec<String>,
+    /// During a polymorphic-recursion round, intra-SCC calls instantiate
+    /// the previous round's schemes instead of linking directly.
+    instantiate_intra_scc: bool,
+    mode: Mode,
+    struct_defs: HashMap<String, Vec<(String, CTy)>>,
+}
+
+/// A canonical, alpha-renamed view of one scheme's captured constraints,
+/// used to detect the polymorphic-recursion fixpoint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum CanonTerm {
+    /// The i-th interface variable (position in the signature spine).
+    Interface(usize),
+    /// A free variable (global/struct field) by raw id.
+    Free(usize),
+    /// A lattice constant by canonical bits.
+    Const(u64),
+}
+
+impl Engine<'_> {
+    /// Mycroft iteration over one recursive SCC: start every member from
+    /// the most general scheme (fresh signature, no constraints), then
+    /// repeatedly re-analyze the bodies with *all* calls — including
+    /// intra-SCC ones — instantiating the previous round's schemes, until
+    /// the compacted interface summaries stop changing. On convergence
+    /// the schemes support their own derivations, which is exactly the
+    /// polymorphic-recursion typing rule. If the iteration cap is hit
+    /// without convergence, a final let-style round (monomorphic
+    /// self-calls) restores the sound baseline.
+    fn polyrec_scc(&mut self, names: &[String], prog: &Program, options: Options) {
+        const MAX_ROUNDS: usize = 8;
+        self.current_scc = names.to_vec();
+
+        // Round 0: most general assumption.
+        for name in names {
+            if let Some(f) = prog.function(name) {
+                self.make_sig(f);
+                let sig = self.sigs[name].clone();
+                let bound = self.sig_interface(&sig);
+                self.schemes
+                    .insert(name.clone(), Scheme::generalize_in(sig, bound, &[]));
+            }
+        }
+        let mut prev = self.scc_summaries(names);
+
+        for round in 0..MAX_ROUNDS {
+            let converged = self.polyrec_round(names, prog, options, true);
+            let cur = self.scc_summaries(names);
+            let stable = cur == prev;
+            prev = cur;
+            let _ = (round, converged);
+            if stable {
+                return;
+            }
+        }
+        // Did not converge: one authoritative let-style round.
+        self.polyrec_round(names, prog, options, false);
+    }
+
+    /// One analysis round over the SCC with fresh signature templates.
+    /// `instantiate_self`: whether intra-SCC calls use the previous
+    /// schemes (polyrec round) or link directly (let-style round).
+    fn polyrec_round(
+        &mut self,
+        names: &[String],
+        prog: &Program,
+        options: Options,
+        instantiate_self: bool,
+    ) -> bool {
+        let mark = self.supply.count();
+        let cs_mark = self.cs.len();
+        for name in names {
+            if let Some(f) = prog.function(name) {
+                self.make_sig(f);
+            }
+        }
+        self.instantiate_intra_scc = instantiate_self;
+        for name in names {
+            if let Some(f) = prog.function(name) {
+                self.analyze_fn(f);
+            }
+        }
+        self.instantiate_intra_scc = false;
+
+        let bound: Vec<QVar> = (mark..self.supply.count()).map(QVar::from_index).collect();
+        let window: Vec<_> = self.cs.constraints()[cs_mark..].to_vec();
+        for name in names {
+            let sig = self.sigs[name].clone();
+            let mut scheme = Scheme::generalize_in(sig, bound.clone(), &window);
+            if options.simplify_schemes {
+                let keep: std::collections::HashSet<QVar> =
+                    self.sig_interface(scheme.body()).into_iter().collect();
+                scheme = scheme.simplified(&keep);
+            }
+            self.schemes.insert(name.clone(), scheme);
+        }
+        true
+    }
+
+    /// The signature spine variables, in deterministic order.
+    fn sig_interface(&self, sig: &SigNodes) -> Vec<QVar> {
+        let mut vars = Vec::new();
+        for cell in &sig.params {
+            self.arena.vars_of(*cell, &mut vars);
+        }
+        self.arena.vars_of(sig.ret, &mut vars);
+        vars
+    }
+
+    /// Alpha-renamed summaries of every scheme in the SCC, for fixpoint
+    /// detection across rounds (templates differ each round, so interface
+    /// variables are canonicalized by their spine position).
+    fn scc_summaries(&self, names: &[String]) -> Vec<Vec<(CanonTerm, CanonTerm, u64)>> {
+        names
+            .iter()
+            .map(|name| {
+                let Some(scheme) = self.schemes.get(name) else {
+                    return Vec::new();
+                };
+                let interface = self.sig_interface(scheme.body());
+                let index: HashMap<QVar, usize> = interface
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (*v, i))
+                    .collect();
+                let canon = |q: Qual| match q {
+                    Qual::Var(v) => index
+                        .get(&v)
+                        .map(|i| CanonTerm::Interface(*i))
+                        .unwrap_or(CanonTerm::Free(v.index())),
+                    Qual::Const(c) => CanonTerm::Const(c.bits()),
+                };
+                let mut rows: Vec<(CanonTerm, CanonTerm, u64)> = scheme
+                    .captured_constraints()
+                    .iter()
+                    .map(|c| (canon(c.lhs), canon(c.rhs), c.mask))
+                    .collect();
+                rows.sort();
+                rows.dedup();
+                rows
+            })
+            .collect()
+    }
+
+    fn make_sig(&mut self, f: &FnDef) {
+        let params = f
+            .params
+            .iter()
+            .map(|(_, t)| {
+                let decayed = t.decayed();
+                self.translator().lvalue_of(&decayed)
+            })
+            .collect();
+        let ret = self.translator().rvalue_of(&f.ret);
+        self.sigs.insert(f.name.clone(), SigNodes { params, ret });
+    }
+
+    fn translator(&mut self) -> Translator<'_> {
+        Translator {
+            arena: &mut self.arena,
+            supply: &mut self.supply,
+            space: &self.space,
+            cs: &mut self.cs,
+        }
+    }
+
+    fn prov(e: &Expr, what: &'static str) -> Provenance {
+        Provenance::at(e.span.lo, e.span.hi, what)
+    }
+
+    /// The contents node of a `Ref` cell (or a fresh value node when the
+    /// shape is unexpectedly not a ref — severed flows can cause this).
+    fn contents_of(&mut self, cell: QcId) -> QcId {
+        match self.arena.get(cell).shape {
+            QcShape::Ref(inner) => inner,
+            _ => {
+                let q = Qual::Var(self.supply.fresh());
+                self.arena.mk(q, QcShape::Val)
+            }
+        }
+    }
+
+    /// Requires the cell's qualifier to be below `¬const` — the (Assign′)
+    /// restriction of §2.4, masked to the const coordinate.
+    fn write_through(&mut self, cell: QcId, at: Provenance) {
+        if let Some(c) = self.space.id("const") {
+            let q = self.arena.get(cell).qual;
+            self.cs.add_masked(q, self.space.not_q(c), &[c], at);
+        }
+    }
+
+    /// Structural flow `a ⊑ b` between value nodes: qualifier flows
+    /// covariantly; `Ref` contents are invariant (SubRef). Shape
+    /// mismatches (e.g. the literal 0 flowing into a pointer) generate
+    /// nothing deeper — there is no aliasing to protect.
+    fn flow(&mut self, a: QcId, b: QcId, at: Provenance) {
+        let (qa, qb) = (self.arena.get(a).qual, self.arena.get(b).qual);
+        self.cs.add_with(qa, qb, at);
+        if let (QcShape::Ref(ca), QcShape::Ref(cb)) = (self.arena.get(a).shape.clone(), self.arena.get(b).shape.clone()) { self.equate(ca, cb, at) }
+    }
+
+    /// Structural equality (both flow directions, recursively).
+    fn equate(&mut self, a: QcId, b: QcId, at: Provenance) {
+        if a == b {
+            return;
+        }
+        let (qa, qb) = (self.arena.get(a).qual, self.arena.get(b).qual);
+        self.cs.add_eq(qa, qb, at);
+        if let (QcShape::Ref(ca), QcShape::Ref(cb)) = (self.arena.get(a).shape.clone(), self.arena.get(b).shape.clone()) { self.equate(ca, cb, at) }
+    }
+
+    fn fresh_val(&mut self) -> QcId {
+        let q = Qual::Var(self.supply.fresh());
+        self.arena.mk(q, QcShape::Val)
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<QcId> {
+        self.locals.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn analyze_fn(&mut self, f: &FnDef) {
+        let sig = self.sigs[&f.name].clone();
+        self.locals.clear();
+        let mut top = HashMap::new();
+        for ((name, _), cell) in f.params.iter().zip(sig.params.iter()) {
+            top.insert(name.clone(), *cell);
+        }
+        self.locals.push(top);
+        self.current_ret = Some(sig.ret);
+        self.block(&f.body);
+        self.locals.pop();
+        self.current_ret = None;
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.locals.push(HashMap::new());
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.locals.pop();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, ty, init, .. } => {
+                let cell = self.translator().lvalue_of(ty);
+                if let Some(e) = init {
+                    let v = self.expr(e);
+                    let contents = self.contents_of(cell);
+                    self.flow(v.rty, contents, Self::prov(e, "initializer"));
+                }
+                self.locals
+                    .last_mut()
+                    .expect("scope stack nonempty")
+                    .insert(name.clone(), cell);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+            }
+            Stmt::If { cond, then, els } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(b) = els {
+                    self.block(b);
+                }
+            }
+            Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.locals.push(HashMap::new());
+                if let Some(s) = init {
+                    self.stmt(s);
+                }
+                if let Some(e) = cond {
+                    self.expr(e);
+                }
+                if let Some(e) = step {
+                    self.expr(e);
+                }
+                self.block(body);
+                self.locals.pop();
+            }
+            Stmt::Return(Some(e), _) => {
+                let v = self.expr(e);
+                if let Some(ret) = self.current_ret {
+                    self.flow(v.rty, ret, Self::prov(e, "return value"));
+                }
+            }
+            Stmt::Switch { cond, arms } => {
+                self.expr(cond);
+                for arm in arms {
+                    self.block(&arm.body);
+                }
+            }
+            Stmt::Label(_, inner) => self.stmt(inner),
+            Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Goto(..) => {}
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> EVal {
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::Sizeof => {
+                EVal::rvalue(self.fresh_val())
+            }
+            ExprKind::StrLit(_) => {
+                // C90 string literals have writable type char[] (writing
+                // one is undefined behaviour but type-correct), so no
+                // const lower bound: a correct-C program that passes a
+                // literal into an eventually-written position must stay
+                // satisfiable. The literal's cell is a fresh ref.
+                let ty = CTy::char_().ptr_to();
+                let v = self.translator().rvalue_of(&ty);
+                EVal::rvalue(v)
+            }
+            ExprKind::Ident(name) => match self.sema.resolution.get(&e.id) {
+                Some(Resolution::Local { .. }) => {
+                    let cell = self
+                        .lookup_local(name)
+                        .expect("sema resolved local exists in engine scope");
+                    let rty = self.contents_of(cell);
+                    EVal {
+                        lcell: Some(cell),
+                        guards: Vec::new(),
+                        rty,
+                    }
+                }
+                Some(Resolution::Global(g)) => {
+                    let cell = self.globals[g];
+                    let rty = self.contents_of(cell);
+                    EVal {
+                        lcell: Some(cell),
+                        guards: Vec::new(),
+                        rty,
+                    }
+                }
+                Some(Resolution::Function(fname)) => {
+                    // A function name outside callee position: its
+                    // address escapes; conservatively un-const its
+                    // pointer parameters (anyone may call it with
+                    // writable data expectations).
+                    if let Some(sig) = self.sigs.get(fname).cloned() {
+                        for p in sig.params {
+                            let contents = self.contents_of(p);
+                            for node in self.arena.spine(contents) {
+                                self.write_through(node, Self::prov(e, "address-taken function"));
+                            }
+                        }
+                    }
+                    let q = Qual::Var(self.supply.fresh());
+                    EVal::rvalue(self.arena.mk(q, QcShape::Fun))
+                }
+                Some(Resolution::EnumConst(_)) | None => EVal::rvalue(self.fresh_val()),
+            },
+            ExprKind::Unary(op, inner) => {
+                let iv = self.expr(inner);
+                match op {
+                    UnOp::Deref => {
+                        // The pointer value *is* the ref to the pointee
+                        // cell in the θ encoding.
+                        let rty = self.contents_of(iv.rty);
+                        EVal {
+                            lcell: Some(iv.rty),
+                            guards: Vec::new(),
+                            rty,
+                        }
+                    }
+                    UnOp::Addr => match iv.lcell {
+                        Some(cell) => EVal::rvalue(cell),
+                        None => {
+                            let ty = self.sema.ty(e).clone();
+                            let v = self.translator().rvalue_of(&ty);
+                            EVal::rvalue(v)
+                        }
+                    },
+                    UnOp::Neg | UnOp::Not | UnOp::BitNot => EVal::rvalue(self.fresh_val()),
+                    UnOp::PreInc | UnOp::PreDec => {
+                        self.write_value(&iv, Self::prov(e, "increment"));
+                        EVal::rvalue(iv.rty)
+                    }
+                }
+            }
+            ExprKind::PostIncDec(inner, _) => {
+                let iv = self.expr(inner);
+                self.write_value(&iv, Self::prov(e, "increment"));
+                EVal::rvalue(iv.rty)
+            }
+            ExprKind::Binary(op, a, b) => {
+                use qual_cfront::ast::BinOp;
+                let va = self.expr(a);
+                let vb = self.expr(b);
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        // Pointer arithmetic aliases the same cells: keep
+                        // the pointer operand's node.
+                        if matches!(self.arena.get(va.rty).shape, QcShape::Ref(_)) {
+                            EVal::rvalue(va.rty)
+                        } else if matches!(self.arena.get(vb.rty).shape, QcShape::Ref(_)) {
+                            EVal::rvalue(vb.rty)
+                        } else {
+                            EVal::rvalue(self.fresh_val())
+                        }
+                    }
+                    _ => EVal::rvalue(self.fresh_val()),
+                }
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let lv = self.expr(lhs);
+                let rv = self.expr(rhs);
+                let _ = op; // compound assigns read too, but the write is what matters
+                self.write_value(&lv, Self::prov(e, "assignment"));
+                if let Some(cell) = lv.lcell {
+                    let contents = self.contents_of(cell);
+                    self.flow(rv.rty, contents, Self::prov(e, "assignment"));
+                }
+                EVal::rvalue(lv.rty)
+            }
+            ExprKind::Call(callee, args) => self.call(e, callee, args),
+            ExprKind::Index(base, idx) => {
+                let bv = self.expr(base);
+                self.expr(idx);
+                let rty = self.contents_of(bv.rty);
+                EVal {
+                    lcell: Some(bv.rty),
+                    guards: Vec::new(),
+                    rty,
+                }
+            }
+            ExprKind::Member(base, field) => {
+                let bv = self.expr(base);
+                let mut guards = bv.guards;
+                guards.extend(bv.lcell);
+                self.member_cell(base, bv.rty, field, guards)
+            }
+            ExprKind::PMember(base, field) => {
+                let bv = self.expr(base);
+                // Writing through p->f also requires the pointee cell
+                // (the pointer's target) to be non-const.
+                let pointee_guard = vec![bv.rty];
+                let struct_val = self.contents_of(bv.rty);
+                self.member_cell(base, struct_val, field, pointee_guard)
+            }
+            ExprKind::Cast(ty, inner) => {
+                // Explicit casts lose any association (§4.2).
+                self.expr(inner);
+                let ty = ty.clone();
+                let v = self.translator().rvalue_of(&ty);
+                EVal::rvalue(v)
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.expr(c);
+                let vt = self.expr(t);
+                let vf = self.expr(f);
+                let ty = self.sema.ty(e).clone();
+                let out = self.translator().rvalue_of(&ty.decayed());
+                self.flow(vt.rty, out, Self::prov(e, "conditional"));
+                self.flow(vf.rty, out, Self::prov(e, "conditional"));
+                EVal::rvalue(out)
+            }
+            ExprKind::Comma(a, b) => {
+                self.expr(a);
+                let vb = self.expr(b);
+                EVal::rvalue(vb.rty)
+            }
+        }
+    }
+
+    /// The shared field cell of `tag.field` as an l-value.
+    fn member_cell(
+        &mut self,
+        base: &Expr,
+        struct_val: QcId,
+        field: &str,
+        guards: Vec<QcId>,
+    ) -> EVal {
+        let tag = match &self.arena.get(struct_val).shape {
+            QcShape::Struct(tag) => tag.clone(),
+            _ => {
+                // Severed or unknown: use sema's type if possible.
+                match &self.sema.ty(base).decayed().kind {
+                    CTyKind::Struct(t) => t.clone(),
+                    CTyKind::Ptr(inner) => match &inner.kind {
+                        CTyKind::Struct(t) => t.clone(),
+                        _ => return EVal::rvalue(self.fresh_val()),
+                    },
+                    _ => return EVal::rvalue(self.fresh_val()),
+                }
+            }
+        };
+        let Some(fty) = self
+            .struct_defs
+            .get(&tag)
+            .and_then(|fs| fs.iter().find(|(n, _)| n == field))
+            .map(|(_, t)| t.clone())
+        else {
+            return EVal::rvalue(self.fresh_val());
+        };
+        let mut tr = Translator {
+            arena: &mut self.arena,
+            supply: &mut self.supply,
+            space: &self.space,
+            cs: &mut self.cs,
+        };
+        let cell = self.structs.field_cell(&tag, field, &fty, &mut tr);
+        let rty = self.contents_of(cell);
+        EVal {
+            lcell: Some(cell),
+            guards,
+            rty,
+        }
+    }
+
+    /// Applies the write restriction to a value's cell and guards.
+    fn write_value(&mut self, v: &EVal, at: Provenance) {
+        if let Some(cell) = v.lcell {
+            self.write_through(cell, at);
+        }
+        for g in &v.guards {
+            self.write_through(*g, at);
+        }
+    }
+
+    fn call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> EVal {
+        let arg_vals: Vec<EVal> = args.iter().map(|a| self.expr(a)).collect();
+        let fname = match (&callee.kind, self.sema.resolution.get(&callee.id)) {
+            (ExprKind::Ident(n), Some(Resolution::Function(_)) | None) => Some(n.clone()),
+            _ => None,
+        };
+        let Some(fname) = fname else {
+            // Indirect call: conservative — every pointer argument may be
+            // written by the unknown callee.
+            self.expr(callee);
+            for av in &arg_vals {
+                for node in self.arena.spine(av.rty) {
+                    self.write_through(node, Self::prov(e, "indirect call"));
+                }
+            }
+            return EVal::rvalue(self.fresh_val());
+        };
+
+        if self.sema.is_defined(&fname) {
+            let use_scheme = matches!(
+                self.mode,
+                Mode::Polymorphic | Mode::PolymorphicRecursive
+            ) && self.schemes.contains_key(&fname)
+                && (!self.current_scc.contains(&fname) || self.instantiate_intra_scc);
+            let sig = if use_scheme {
+                // (Var′): fresh instance per call site.
+                let scheme = self.schemes[&fname].clone();
+                let arena = &mut self.arena;
+                scheme.instantiate(&mut self.supply, &mut self.cs, |body, f| SigNodes {
+                    params: body
+                        .params
+                        .iter()
+                        .map(|p| arena.copy_with(*p, f))
+                        .collect(),
+                    ret: arena.copy_with(body.ret, f),
+                })
+            } else {
+                self.sigs[&fname].clone()
+            };
+            for (av, pcell) in arg_vals.iter().zip(sig.params.iter()) {
+                let contents = self.contents_of(*pcell);
+                self.flow(av.rty, contents, Self::prov(e, "argument"));
+            }
+            // Extra arguments (wrong-arity calls) are ignored (§4.2).
+            EVal::rvalue(sig.ret)
+        } else {
+            // Library function: parameters not declared const are
+            // conservatively non-const (§4.2).
+            let declared = self.sema.signatures.get(&fname).cloned();
+            for (i, av) in arg_vals.iter().enumerate() {
+                let declared_param = declared.as_ref().and_then(|s| s.params.get(i));
+                self.constrain_library_arg(av.rty, declared_param, e);
+            }
+            let ret_ty = declared
+                .as_ref()
+                .map_or_else(CTy::int, |s| s.ret.clone());
+            let v = self.translator().rvalue_of(&ret_ty.decayed());
+            EVal::rvalue(v)
+        }
+    }
+
+    /// For a library call: walk the argument's pointer spine alongside
+    /// the declared parameter type; any level not declared const is
+    /// forced non-const ("lack of const does mean can't-be-const").
+    fn constrain_library_arg(&mut self, arg: QcId, declared: Option<&CTy>, e: &Expr) {
+        let spine = self.arena.spine(arg);
+        let flags = declared.map(pointee_const_flags).unwrap_or_default();
+        for (i, node) in spine.iter().enumerate() {
+            let declared_const = flags.get(i).copied().unwrap_or(false);
+            if !declared_const {
+                self.write_through(*node, Self::prov(e, "library call"));
+            }
+        }
+    }
+}
+
+/// The `const` flags of each pointee level of a declared parameter type,
+/// outermost pointer first.
+fn pointee_const_flags(t: &CTy) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut cur = t.decayed();
+    while let CTyKind::Ptr(inner) = cur.kind {
+        flags.push(inner.is_const);
+        cur = inner.decayed();
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qual_cfront::{parse, sema};
+
+    fn analyze(src: &str, mode: Mode) -> Analysis {
+        let prog = parse(src).expect("parses");
+        let sem = sema::analyze(&prog).expect("sema");
+        run(&prog, &sem, &QualSpace::const_only(), mode)
+    }
+
+    /// Classification of a function's parameter position: (can_const,
+    /// must_const) of pointer level `level` of parameter `param`.
+    fn param_level(a: &Analysis, f: &str, param: usize, level: usize) -> (bool, bool) {
+        let sol = a.solution.as_ref().expect("satisfiable");
+        let c = a.space.id("const").unwrap();
+        let cell = a.signatures[f].params[param];
+        let QcShape::Ref(value) = a.arena.get(cell).shape else {
+            panic!("param cell is a ref");
+        };
+        let spine = a.arena.spine(value);
+        let q = a.arena.get(spine[level]).qual;
+        (
+            sol.eval_greatest(q).has(&a.space, c),
+            sol.eval_least(q).has(&a.space, c),
+        )
+    }
+
+    #[test]
+    fn pure_reader_param_can_be_const() {
+        let a = analyze(
+            "int strlen2(char *s) {
+               int n = 0;
+               while (*s) { s++; n++; }
+               return n;
+             }",
+            Mode::Monomorphic,
+        );
+        let (can, must) = param_level(&a, "strlen2", 0, 0);
+        assert!(can, "read-only pointee is const-able");
+        assert!(!must);
+    }
+
+    #[test]
+    fn written_param_cannot_be_const() {
+        let a = analyze(
+            "void zero(int *p, int n) {
+               for (int i = 0; i < n; i++) p[i] = 0;
+             }",
+            Mode::Monomorphic,
+        );
+        let (can, _) = param_level(&a, "zero", 0, 0);
+        assert!(!can, "written-through pointee must stay non-const");
+    }
+
+    #[test]
+    fn declared_const_is_must_const() {
+        let a = analyze(
+            "int peek(const int *p) { return *p; }",
+            Mode::Monomorphic,
+        );
+        let (can, must) = param_level(&a, "peek", 0, 0);
+        assert!(can && must);
+    }
+
+    #[test]
+    fn flows_propagate_nonconst_backwards() {
+        // caller passes p to a writer; p's own parameter becomes
+        // non-const-able too.
+        let a = analyze(
+            "void writer(int *q) { *q = 1; }
+             void caller(int *p) { writer(p); }",
+            Mode::Monomorphic,
+        );
+        let (can, _) = param_level(&a, "caller", 0, 0);
+        assert!(!can, "flow into a writer poisons the caller's param");
+    }
+
+    #[test]
+    fn library_params_poison_unless_declared_const() {
+        let a = analyze(
+            "int puts(const char *s);
+             int mystery(char *s);
+             void f(char *a, char *b) { puts(a); mystery(b); }",
+            Mode::Monomorphic,
+        );
+        let (can_a, _) = param_level(&a, "f", 0, 0);
+        let (can_b, _) = param_level(&a, "f", 1, 0);
+        assert!(can_a, "puts declares const: a stays const-able");
+        assert!(!can_b, "mystery does not: b is poisoned");
+    }
+
+    #[test]
+    fn explicit_cast_severs_flow() {
+        let a = analyze(
+            "void writer(int *q) { *q = 1; }
+             void caller(int *p) { writer((int *)p); }",
+            Mode::Monomorphic,
+        );
+        let (can, _) = param_level(&a, "caller", 0, 0);
+        assert!(can, "the cast severed the flow (§4.2)");
+    }
+
+    #[test]
+    fn struct_fields_shared_across_instances() {
+        let a = analyze(
+            "struct st { int *p; };
+             void f(struct st a, struct st b) {
+               *(a.p) = 1;   /* write through a's field */
+               b.p;          /* b shares the field qualifier */
+             }",
+            Mode::Monomorphic,
+        );
+        // Both a.p and b.p contents are non-const-able because fields are
+        // shared. We check via the shared field cell's poisoning: analyze
+        // a reader of b.p.
+        let a2 = analyze(
+            "struct st { int *p; };
+             int g(struct st b) { return *(b.p); }
+             void f(struct st a) { *(a.p) = 1; }",
+            Mode::Monomorphic,
+        );
+        assert!(a.solution.is_ok());
+        assert!(a2.solution.is_ok());
+    }
+
+    #[test]
+    fn polymorphic_id_distinguishes_call_sites() {
+        // The strchr pattern (§1): identity on pointers used both for
+        // writing and with const data.
+        let src = "char *id(char *s) { return s; }
+                   void writer(char *buf) { *id(buf) = 'x'; }
+                   int reader(const char *msg) { return *id((char *)0 ? (char *)0 : (char *)msg); }";
+        // NOTE: reader defeats the type system with casts, as real C
+        // does; the interesting check is mono vs poly on a cleaner case.
+        let src_clean = "char *id(char *s) { return s; }
+                         void writer(char *buf) { *id(buf) = 'x'; }
+                         char *reader(char *msg) { return id(msg); }";
+        let mono = analyze(src_clean, Mode::Monomorphic);
+        let poly = analyze(src_clean, Mode::Polymorphic);
+        let _ = src;
+        // Monomorphic: the write in `writer` flows through id's shared
+        // signature and poisons reader's msg as well.
+        let c = mono.space.id("const").unwrap();
+        let msg_can = |a: &Analysis| {
+            let sol = a.solution.as_ref().unwrap();
+            let cell = a.signatures["reader"].params[0];
+            let QcShape::Ref(value) = a.arena.get(cell).shape else {
+                unreachable!()
+            };
+            let spine = a.arena.spine(value);
+            sol.eval_greatest(a.arena.get(spine[0]).qual).has(&a.space, c)
+        };
+        assert!(!msg_can(&mono), "mono: writer's use poisons msg");
+        assert!(msg_can(&poly), "poly: each call site instantiates id");
+    }
+
+    #[test]
+    fn recursion_is_handled() {
+        let a = analyze(
+            "int len(const char *s) { return *s ? 1 + len(s + 1) : 0; }",
+            Mode::Polymorphic,
+        );
+        assert!(a.solution.is_ok());
+        let (can, must) = param_level(&a, "len", 0, 0);
+        assert!(can && must);
+    }
+
+    #[test]
+    fn string_literals_do_not_poison() {
+        let a = analyze(
+            "int f(const char *s);
+             int g(void) { return f(\"hello\"); }",
+            Mode::Monomorphic,
+        );
+        assert!(a.solution.is_ok());
+    }
+
+    #[test]
+    fn both_modes_are_satisfiable_on_compound_program() {
+        let src = "
+            struct buf { char *data; int len; };
+            int copy(char *dst, const char *src2) {
+              int i = 0;
+              while (src2[i]) { dst[i] = src2[i]; i++; }
+              dst[i] = 0;
+              return i;
+            }
+            int use(struct buf *b) {
+              char tmp[16];
+              return copy(tmp, b->data);
+            }
+            int main(void) {
+              struct buf b;
+              b.len = 0;
+              return use(&b);
+            }";
+        for mode in [Mode::Monomorphic, Mode::Polymorphic] {
+            let a = analyze(src, mode);
+            assert!(a.solution.is_ok(), "{mode:?}: {:?}", a.solution);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The function dependence graph of Definition 4 (§4.3).
+//!
+//! Vertices are the program's defined functions; there is an edge from
+//! `f` to `g` iff `f`'s body contains an occurrence of the name `g`.
+//! Strongly-connected components are the sets of mutually-recursive
+//! functions; polymorphic inference analyzes them in reverse depth-first
+//! (topological) order, generalizing after each component.
+
+use std::collections::{HashMap, HashSet};
+
+use qual_cfront::ast::{Block, Expr, ExprKind, Item, Program, Stmt};
+
+/// The function dependence graph plus its SCC decomposition.
+#[derive(Debug)]
+pub struct Fdg {
+    /// Function names, indexed by vertex id.
+    pub names: Vec<String>,
+    /// Adjacency: `edges[f]` = functions mentioned by `f`.
+    pub edges: Vec<Vec<usize>>,
+    /// SCCs in *reverse topological order* (callees before callers) —
+    /// exactly the order polymorphic inference wants.
+    pub sccs: Vec<Vec<usize>>,
+}
+
+impl Fdg {
+    /// Builds the FDG of `prog`.
+    #[must_use]
+    pub fn build(prog: &Program) -> Fdg {
+        let mut names = Vec::new();
+        let mut index = HashMap::new();
+        for item in &prog.items {
+            if let Item::Func(f) = item {
+                index.insert(f.name.clone(), names.len());
+                names.push(f.name.clone());
+            }
+        }
+        let mut edges = vec![Vec::new(); names.len()];
+        for item in &prog.items {
+            if let Item::Func(f) = item {
+                let from = index[&f.name];
+                let mut mentioned = HashSet::new();
+                collect_block(&f.body, &mut mentioned);
+                let mut targets: Vec<usize> = mentioned
+                    .iter()
+                    .filter_map(|n| index.get(n).copied())
+                    .collect();
+                targets.sort_unstable();
+                edges[from] = targets;
+            }
+        }
+        let sccs = tarjan(&edges);
+        Fdg {
+            names,
+            edges,
+            sccs,
+        }
+    }
+
+    /// The vertex id of a function.
+    #[must_use]
+    pub fn vertex(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The SCC index containing `v`.
+    #[must_use]
+    pub fn scc_of(&self, v: usize) -> usize {
+        self.sccs
+            .iter()
+            .position(|scc| scc.contains(&v))
+            .expect("every vertex is in an SCC")
+    }
+}
+
+fn collect_block(b: &Block, out: &mut HashSet<String>) {
+    for s in &b.stmts {
+        collect_stmt(s, out);
+    }
+}
+
+fn collect_stmt(s: &Stmt, out: &mut HashSet<String>) {
+    match s {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                collect_expr(e, out);
+            }
+        }
+        Stmt::Expr(e) => collect_expr(e, out),
+        Stmt::If { cond, then, els } => {
+            collect_expr(cond, out);
+            collect_block(then, out);
+            if let Some(b) = els {
+                collect_block(b, out);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            collect_expr(cond, out);
+            collect_block(body, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(s) = init {
+                collect_stmt(s, out);
+            }
+            if let Some(e) = cond {
+                collect_expr(e, out);
+            }
+            if let Some(e) = step {
+                collect_expr(e, out);
+            }
+            collect_block(body, out);
+        }
+        Stmt::Switch { cond, arms } => {
+            collect_expr(cond, out);
+            for arm in arms {
+                collect_block(&arm.body, out);
+            }
+        }
+        Stmt::Label(_, inner) => collect_stmt(inner, out),
+        Stmt::Return(Some(e), _) => collect_expr(e, out),
+        Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Goto(..) => {}
+        Stmt::Block(b) => collect_block(b, out),
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Ident(n) => {
+            out.insert(n.clone());
+        }
+        ExprKind::IntLit(_)
+        | ExprKind::CharLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::Sizeof => {}
+        ExprKind::Unary(_, a) | ExprKind::PostIncDec(a, _) | ExprKind::Cast(_, a) => {
+            collect_expr(a, out);
+        }
+        ExprKind::Member(a, _) | ExprKind::PMember(a, _) => collect_expr(a, out),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(_, a, b)
+        | ExprKind::Index(a, b)
+        | ExprKind::Comma(a, b) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+        ExprKind::Call(f, args) => {
+            collect_expr(f, out);
+            for a in args {
+                collect_expr(a, out);
+            }
+        }
+        ExprKind::Cond(a, b, c) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+            collect_expr(c, out);
+        }
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative); returns components in reverse
+/// topological order (Tarjan emits each SCC after all SCCs it can reach).
+fn tarjan(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    // Iterative DFS with an explicit frame stack.
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize), // (vertex, next child position)
+    }
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut child) => {
+                    let mut descended = false;
+                    while child < edges[v].len() {
+                        let w = edges[v][child];
+                        child += 1;
+                        if index[w] == usize::MAX {
+                            frames.push(Frame::Resume(v, child));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        }
+                        if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack nonempty");
+                            on_stack[w] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                    // Propagate lowlink to the parent frame.
+                    if let Some(Frame::Resume(p, _)) = frames.last() {
+                        let p = *p;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qual_cfront::parse;
+
+    fn fdg(src: &str) -> Fdg {
+        Fdg::build(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn simple_call_chain_is_reverse_topological() {
+        let g = fdg("int c(void) { return 1; }
+                     int b(void) { return c(); }
+                     int a(void) { return b(); }");
+        // callees first
+        let order: Vec<&str> = g
+            .sccs
+            .iter()
+            .map(|scc| g.names[scc[0]].as_str())
+            .collect();
+        assert_eq!(order, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_scc() {
+        let g = fdg("int odd(int n);
+                     int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+                     int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+                     int main(void) { return even(10); }");
+        assert_eq!(g.sccs.len(), 2);
+        assert_eq!(g.sccs[0].len(), 2, "even/odd form one SCC");
+        assert_eq!(g.names[g.sccs[1][0]], "main");
+    }
+
+    #[test]
+    fn self_recursion_is_a_singleton_scc() {
+        let g = fdg("int fact(int n) { return n ? n * fact(n - 1) : 1; }");
+        assert_eq!(g.sccs, vec![vec![0]]);
+    }
+
+    #[test]
+    fn mention_without_call_is_an_edge() {
+        // Definition 4: an edge exists iff the *name* occurs.
+        let g = fdg("int helper(int x) { return x; }
+                     int user(void) { int (*p)(int) = helper; return 0; }");
+        let u = g.vertex("user").unwrap();
+        let h = g.vertex("helper").unwrap();
+        assert!(g.edges[u].contains(&h));
+    }
+
+    #[test]
+    fn library_calls_create_no_vertices() {
+        let g = fdg("int f(void) { return printf(\"x\"); }");
+        assert_eq!(g.names, vec!["f"]);
+        assert!(g.edges[0].is_empty());
+    }
+
+    #[test]
+    fn diamond_order_respects_dependencies() {
+        let g = fdg("int d(void) { return 0; }
+                     int b(void) { return d(); }
+                     int c(void) { return d(); }
+                     int a(void) { return b() + c(); }");
+        let pos = |n: &str| {
+            g.sccs
+                .iter()
+                .position(|scc| scc.iter().any(|v| g.names[*v] == n))
+                .unwrap()
+        };
+        assert!(pos("d") < pos("b"));
+        assert!(pos("d") < pos("c"));
+        assert!(pos("b") < pos("a"));
+        assert!(pos("c") < pos("a"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Const inference for C — the application system of *A Theory of Type
+//! Qualifiers* (PLDI 1999), §4.
+//!
+//! Given a C program, the analysis infers, for every "interesting"
+//! position (each pointer level of the parameters and results of defined
+//! functions, §4.4), whether it
+//!
+//! 1. **must** be `const`,
+//! 2. **must not** be `const` (something writes through it), or
+//! 3. **could be either** (an unconstrained qualifier variable).
+//!
+//! The number of *possible* consts is (1) + (3). Two analysis modes are
+//! provided: [`Mode::Monomorphic`] (the C type system's regime) and
+//! [`Mode::Polymorphic`], which applies let-style qualifier polymorphism
+//! over the function dependence graph (Definition 4) and finds strictly
+//! more const-able positions on programs that reuse helpers in both
+//! const and non-const contexts (the `strchr` pattern of §1).
+//!
+//! ```
+//! use qual_constinfer::{analyze_source, Mode};
+//!
+//! let src = "int first(char *s) { return s[0]; }";
+//! let result = analyze_source(src, Mode::Monomorphic)?;
+//! assert_eq!(result.counts.total, 1);     // contents of `s`
+//! assert_eq!(result.counts.declared, 0);  // no const written
+//! assert_eq!(result.counts.inferred, 1);  // but it could be const
+//! # Ok::<(), qual_constinfer::ConstInferError>(())
+//! ```
+
+pub mod count;
+pub mod engine;
+pub mod fdg;
+pub mod qtypes;
+pub mod rewrite;
+
+use std::fmt;
+
+pub use count::{analyze_source, ConstCounts, ConstResult, Position, PositionClass};
+pub use engine::{run, run_with_options, Analysis, Mode, Options, SigNodes};
+pub use fdg::Fdg;
+pub use rewrite::{apply_consts, rewrite_source};
+
+/// Errors from the end-to-end driver (parse or sema failures — the
+/// inference itself cannot fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstInferError {
+    /// The underlying front-end error.
+    pub inner: qual_cfront::CError,
+}
+
+impl fmt::Display for ConstInferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "const inference failed: {}", self.inner)
+    }
+}
+
+impl std::error::Error for ConstInferError {}
+
+impl From<qual_cfront::CError> for ConstInferError {
+    fn from(inner: qual_cfront::CError) -> ConstInferError {
+        ConstInferError { inner }
+    }
+}

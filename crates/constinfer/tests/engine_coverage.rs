@@ -1,0 +1,166 @@
+//! Focused coverage of the const-inference engine's §4.2 corner cases:
+//! globals, varargs, address-of, struct pointer fields, switch/goto
+//! bodies, and cast interactions.
+
+use qual_constinfer::{analyze_source, Mode, PositionClass};
+
+fn class_of(src: &str, func: &str, param: Option<usize>, level: usize) -> PositionClass {
+    let r = analyze_source(src, Mode::Monomorphic).expect("analyzes");
+    r.positions
+        .iter()
+        .find(|p| p.function == func && p.param == param && p.level == level)
+        .unwrap_or_else(|| panic!("no position {func}/{param:?}/{level}"))
+        .class
+}
+
+#[test]
+fn writing_through_global_pointer_poisons_the_source() {
+    let src = "char *g;
+               void seed(char *p) { g = p; }
+               void smash(void) { *g = 0; }";
+    // p flows into g; g's pointee is written: p cannot be const.
+    assert_eq!(
+        class_of(src, "seed", Some(0), 0),
+        PositionClass::MustNotConst
+    );
+}
+
+#[test]
+fn global_reader_stays_constable() {
+    let src = "char *g;
+               void seed(char *p) { g = p; }
+               int peek(void) { return *g; }";
+    assert_eq!(class_of(src, "seed", Some(0), 0), PositionClass::Either);
+}
+
+#[test]
+fn varargs_and_extra_arguments_are_ignored() {
+    // §4.2: "Both cases happen in practice; we simply ignore extra
+    // arguments."
+    let src = "int f(int a) { return a; }
+               int g(char *s) { return f(1, s, s + 2); }";
+    let r = analyze_source(src, Mode::Monomorphic).unwrap();
+    assert!(r.analysis.solution.is_ok());
+    // s went only into ignored positions: still const-able.
+    let p = r
+        .positions
+        .iter()
+        .find(|p| p.function == "g" && p.param == Some(0))
+        .unwrap();
+    assert!(p.can_be_const());
+}
+
+#[test]
+fn address_of_local_flows() {
+    let src = "void fill(int *p) { *p = 1; }
+               int f(void) { int x = 0; fill(&x); return x; }";
+    let r = analyze_source(src, Mode::Monomorphic).unwrap();
+    assert!(r.analysis.solution.is_ok());
+    assert_eq!(
+        class_of(src, "fill", Some(0), 0),
+        PositionClass::MustNotConst
+    );
+}
+
+#[test]
+fn struct_pointer_fields_share_across_instances() {
+    // Writing through one instance's field pointer poisons the shared
+    // field for a function that only reads another instance.
+    let src = "struct buf { char *data; };
+               void smash(struct buf *b) { b->data[0] = 0; }
+               int read_it(struct buf *r, char *other) {
+                 char *d = r->data;
+                 return *d + *other;
+               }";
+    let r = analyze_source(src, Mode::Monomorphic).unwrap();
+    assert!(r.analysis.solution.is_ok());
+    // `other` is untouched by the struct sharing.
+    let other = r
+        .positions
+        .iter()
+        .find(|p| p.function == "read_it" && p.param == Some(1))
+        .unwrap();
+    assert!(other.can_be_const());
+}
+
+#[test]
+fn switch_and_goto_bodies_are_analyzed() {
+    let src = "void poison(char *p) {
+                 switch (p[0]) {
+                   case 1: p[1] = 0; break;
+                   default: break;
+                 }
+               }
+               int route(char *s) {
+                 if (s[0]) goto out;
+                 return 0;
+               out:
+                 return s[1];
+               }";
+    // The write inside the switch arm is seen.
+    assert_eq!(
+        class_of(src, "poison", Some(0), 0),
+        PositionClass::MustNotConst
+    );
+    // The labelled path only reads.
+    assert_eq!(class_of(src, "route", Some(0), 0), PositionClass::Either);
+}
+
+#[test]
+fn cast_to_int_and_back_severs_both_ways() {
+    let src = "void writer(char *q) { *q = 1; }
+               void f(char *p) {
+                 long cookie = (long)p;
+                 writer((char *)cookie);
+               }";
+    let r = analyze_source(src, Mode::Monomorphic).unwrap();
+    assert!(r.analysis.solution.is_ok());
+    // The round-trip through an integer severed the flow (unsound in
+    // principle, but exactly the paper's stated choice: "For explicit
+    // casts we choose to lose any association").
+    assert_eq!(class_of(src, "f", Some(0), 0), PositionClass::Either);
+}
+
+#[test]
+fn conditional_expression_merges_flows() {
+    let src = "void writer(char *q) { *q = 1; }
+               void f(char *a, char *b, int c) {
+                 writer(c ? a : b);
+               }";
+    // Both arms flow into the written parameter.
+    assert_eq!(class_of(src, "f", Some(0), 0), PositionClass::MustNotConst);
+    assert_eq!(class_of(src, "f", Some(1), 0), PositionClass::MustNotConst);
+}
+
+#[test]
+fn compound_assign_and_incdec_write() {
+    let src = "void bump(int *p) { *p += 1; }
+               void step(int *q) { (*q)++; }";
+    assert_eq!(class_of(src, "bump", Some(0), 0), PositionClass::MustNotConst);
+    assert_eq!(class_of(src, "step", Some(0), 0), PositionClass::MustNotConst);
+}
+
+#[test]
+fn pointer_arithmetic_aliases() {
+    let src = "void f(char *p) { char *q = p + 4; *q = 0; }";
+    assert_eq!(class_of(src, "f", Some(0), 0), PositionClass::MustNotConst);
+}
+
+#[test]
+fn returning_a_parameter_links_positions() {
+    // Writing through the returned pointer must reach the parameter.
+    let src = "char *pass(char *s) { return s; }
+               void user(char *t) { *pass(t) = 1; }";
+    assert_eq!(
+        class_of(src, "pass", Some(0), 0),
+        PositionClass::MustNotConst
+    );
+    assert_eq!(class_of(src, "user", Some(0), 0), PositionClass::MustNotConst);
+}
+
+#[test]
+fn static_functions_are_still_defined_functions() {
+    let src = "static int helper(char *s) { return *s; }
+               int main(void) { return helper(\"x\"); }";
+    assert_eq!(class_of(src, "helper", Some(0), 0), PositionClass::Either);
+}

@@ -1,0 +1,119 @@
+//! Polymorphic recursion (§4.3): the mode must (a) agree with let-style
+//! polymorphism everywhere let-style is already precise, (b) never be
+//! *less* precise, and (c) strictly win on recursive helpers whose
+//! intra-SCC uses need distinct qualifier instantiations.
+
+use qual_cgen::{generate, table1_profiles};
+use qual_constinfer::{analyze_source, Mode};
+
+#[test]
+fn polyrec_matches_poly_on_nonrecursive_programs() {
+    let src = "char *id(char *s) { return s; }
+               void writer(char *buf) { *id(buf) = 'x'; }
+               char *reader(char *msg) { return id(msg); }";
+    let poly = analyze_source(src, Mode::Polymorphic).unwrap();
+    let rec = analyze_source(src, Mode::PolymorphicRecursive).unwrap();
+    assert_eq!(poly.counts, rec.counts);
+    for (a, b) in poly.positions.iter().zip(rec.positions.iter()) {
+        assert_eq!(a.class, b.class, "{}", a.label());
+    }
+}
+
+#[test]
+fn polyrec_handles_self_recursion() {
+    let src = "int len(const char *s) { return *s ? 1 + len(s + 1) : 0; }
+               int use_len(char *p) { return len(p); }";
+    let rec = analyze_source(src, Mode::PolymorphicRecursive).unwrap();
+    assert!(rec.analysis.solution.is_ok());
+    // len's parameter stays must-const; use_len's p is const-able.
+    assert_eq!(rec.counts.declared, 1);
+    assert_eq!(rec.counts.inferred, 2);
+}
+
+#[test]
+fn polyrec_handles_mutual_recursion() {
+    let src = "int odd_len(char *s);
+               int even_len(char *s) { return *s ? odd_len(s + 1) : 0; }
+               int odd_len(char *s) { return *s ? even_len(s + 1) : 1; }
+               int reader(char *m) { return even_len(m); }";
+    for mode in [Mode::Polymorphic, Mode::PolymorphicRecursive] {
+        let r = analyze_source(src, mode).unwrap();
+        assert!(r.analysis.solution.is_ok(), "{mode:?}");
+        assert_eq!(r.counts.total, 3, "{mode:?}");
+        assert_eq!(r.counts.inferred, 3, "{mode:?}: all read-only");
+    }
+}
+
+/// The case where polymorphic recursion strictly beats let-style: a
+/// recursive dispatcher whose *intra-SCC* call site feeds a helper used
+/// both read-only and for writing. Let-style polymorphism analyzes the
+/// whole SCC monomorphically, so the write poisons the read-only path;
+/// Mycroft iteration instantiates the intra-SCC call per site.
+#[test]
+fn polyrec_beats_let_style_inside_an_scc() {
+    let src = "
+        char *mark(char *s);
+        /* walk and mark are mutually recursive: one SCC. */
+        char *walk(char *s, int n) {
+          if (n <= 0) return s;
+          return mark(s + 1);
+        }
+        char *mark(char *s) {
+          return walk(s, 0);
+        }
+        /* A writer uses walk's result destructively... */
+        void stamp(char *buf) { *walk(buf, 1) = 'x'; }
+        /* ...while a reader only inspects it. */
+        int probe(char *msg) { return *walk(msg, 2); }
+    ";
+    let poly = analyze_source(src, Mode::Polymorphic).unwrap();
+    let rec = analyze_source(src, Mode::PolymorphicRecursive).unwrap();
+    assert!(poly.analysis.solution.is_ok());
+    assert!(rec.analysis.solution.is_ok());
+    assert_eq!(poly.counts.total, rec.counts.total);
+    assert!(
+        rec.counts.inferred >= poly.counts.inferred,
+        "polyrec may never lose precision: {:?} vs {:?}",
+        rec.counts,
+        poly.counts
+    );
+    let probe_can = |r: &qual_constinfer::ConstResult| {
+        r.positions
+            .iter()
+            .find(|p| p.function == "probe" && p.param == Some(0) && p.level == 0)
+            .unwrap()
+            .can_be_const()
+    };
+    // Both analyses must mark stamp's buf non-const.
+    for r in [&poly, &rec] {
+        let stamp = r
+            .positions
+            .iter()
+            .find(|p| p.function == "stamp" && p.param == Some(0))
+            .unwrap();
+        assert!(!stamp.can_be_const());
+    }
+    assert!(
+        probe_can(&rec),
+        "polyrec keeps probe's read-only use const-able: {:?}",
+        rec.positions
+    );
+}
+
+#[test]
+fn polyrec_on_generated_benchmarks_is_sound_and_no_worse() {
+    for p in table1_profiles().iter().take(2) {
+        let src = generate(&p.scaled(600));
+        let poly = analyze_source(&src, Mode::Polymorphic).unwrap();
+        let rec = analyze_source(&src, Mode::PolymorphicRecursive).unwrap();
+        assert!(rec.analysis.solution.is_ok(), "{}", p.name);
+        assert_eq!(poly.counts.total, rec.counts.total, "{}", p.name);
+        assert!(
+            rec.counts.inferred >= poly.counts.inferred,
+            "{}: {:?} vs {:?}",
+            p.name,
+            rec.counts,
+            poly.counts
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! The strongest end-to-end invariant of the tool (§4.2): taking the
+//! monomorphic analysis result, writing every inferable const back into
+//! the source, and re-analyzing must (a) still typecheck, (b) report all
+//! previously-inferable positions as *declared*, and (c) change no
+//! classification — the greatest solution witnesses all the new consts
+//! simultaneously.
+
+use qual_cgen::{generate, table1_profiles};
+use qual_constinfer::{analyze_source, rewrite_source, Mode};
+
+#[test]
+fn rewrite_fixpoint_on_generated_benchmarks() {
+    for p in table1_profiles().iter().take(3) {
+        let src = generate(&p.scaled(700));
+        let prog = qual_cfront::parse(&src).expect("parses");
+        let original = analyze_source(&src, Mode::Monomorphic).expect("analyzes");
+        assert!(original.analysis.solution.is_ok(), "{}", p.name);
+
+        let rewritten = rewrite_source(&prog, &original);
+        let again = analyze_source(&rewritten, Mode::Monomorphic)
+            .unwrap_or_else(|e| panic!("{}: rewritten source broken: {e}", p.name));
+        assert!(
+            again.analysis.solution.is_ok(),
+            "{}: rewriting must preserve type-correctness",
+            p.name
+        );
+        assert_eq!(
+            again.counts.declared, original.counts.inferred,
+            "{}: every inferable const is now declared",
+            p.name
+        );
+        assert_eq!(
+            again.counts.inferred, original.counts.inferred,
+            "{}: no new consts appear or disappear",
+            p.name
+        );
+        assert_eq!(again.counts.total, original.counts.total, "{}", p.name);
+
+        // Idempotence: rewriting again changes nothing.
+        let prog2 = qual_cfront::parse(&rewritten).unwrap();
+        let rewritten2 = rewrite_source(&prog2, &again);
+        let prog3 = qual_cfront::parse(&rewritten2).unwrap();
+        let text_a = qual_cfront::pretty::render_program(&prog2);
+        let text_b = qual_cfront::pretty::render_program(&prog3);
+        // Compare only the function signatures (bodies unchanged anyway).
+        assert_eq!(text_a, text_b, "{}: rewrite is idempotent", p.name);
+    }
+}
+
+#[test]
+fn poly_rewrite_would_overclaim() {
+    // The paper: "For the polymorphic type system we need to leave these
+    // as unconstrained variables, since they may be required to be const
+    // or non-const in different contexts." Writing the *polymorphic*
+    // result back as monomorphic consts can make the program ill-typed —
+    // demonstrate on the strchr pattern.
+    let src = "char *id(char *s) { return s; }
+               void writer(char *buf) { *id(buf) = 'x'; }
+               char *reader(char *msg) { return id(msg); }";
+    let prog = qual_cfront::parse(src).unwrap();
+    let poly = analyze_source(src, Mode::Polymorphic).unwrap();
+    let rewritten = rewrite_source(&prog, &poly);
+    // id's parameter became const (it can be, in *some* context), but
+    // writer still writes through id's result: a monomorphic re-check
+    // must reject (unsatisfiable constraints).
+    let again = analyze_source(&rewritten, Mode::Monomorphic).unwrap();
+    assert!(
+        again.analysis.solution.is_err(),
+        "monomorphic recheck must reject the polymorphic annotation:\n{rewritten}"
+    );
+    // A *polymorphic* re-check rejects too: a source-level `const` is a
+    // lower bound on *every* instantiation of `id`, so the writer's use
+    // still conflicts. This is exactly why the paper insists the
+    // poly-only positions "may be required to be const or non-const in
+    // different contexts" and cannot be written back as annotations —
+    // C has no syntax for a qualifier-polymorphic signature (§6's open
+    // problem of presenting polymorphic constrained types).
+    let again_poly = analyze_source(&rewritten, Mode::Polymorphic).unwrap();
+    assert!(
+        again_poly.analysis.solution.is_err(),
+        "declared const constrains every instance:\n{rewritten}"
+    );
+}

@@ -1,0 +1,430 @@
+//! Abstract syntax for the paper's core language (Figure 1, extended with
+//! updateable references in §2.4 and qualifier annotations/assertions in
+//! §2.2):
+//!
+//! ```text
+//! e ::= x | n | () | λx.e | e₁ e₂ | if e₁ then e₂ else e₃ fi
+//!     | let x = e₁ in e₂ ni | ref e | !e | e₁ := e₂
+//!     | e₁ + e₂ | e₁ * e₂          (arithmetic extension)
+//!     | (e₁, e₂) | fst e | snd e   (pair extension, §2.1's generic c ∈ Σ)
+//!     | l e        (qualifier annotation)
+//!     | e|l        (qualifier assertion)
+//! ```
+
+use std::fmt;
+
+use qual_lattice::{QualSet, QualSpace};
+
+/// A byte range in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub lo: u32,
+    /// End byte offset (exclusive).
+    pub hi: u32,
+}
+
+impl Span {
+    /// A span covering bytes `lo..hi`.
+    #[must_use]
+    pub fn new(lo: u32, hi: u32) -> Span {
+        Span { lo, hi }
+    }
+
+    /// The empty span used for synthesized nodes.
+    #[must_use]
+    pub fn dummy() -> Span {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Identifies an expression node within one parsed program.
+///
+/// Node ids are dense and unique per [`Expr`] tree; inference results are
+/// keyed by them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// An expression node: a kind, a source span, and a unique id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The syntactic form.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+    /// Unique node id within the tree.
+    pub id: NodeId,
+}
+
+/// Arithmetic operators over integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`.
+    Add,
+    /// `*`.
+    Mul,
+}
+
+impl ArithOp {
+    /// Applies the operator (wrapping).
+    #[must_use]
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            ArithOp::Add => a.wrapping_add(b),
+            ArithOp::Mul => a.wrapping_mul(b),
+        }
+    }
+
+    /// The operator's source text.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Mul => "*",
+        }
+    }
+}
+
+/// The syntactic forms of the core language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// A program variable `x`.
+    Var(String),
+    /// An integer literal `n`.
+    Int(i64),
+    /// The unit value `()`.
+    Unit,
+    /// Abstraction `λx.e` (written `\x. e`).
+    Lam(String, Box<Expr>),
+    /// Application `e₁ e₂`.
+    App(Box<Expr>, Box<Expr>),
+    /// Conditional `if e₁ then e₂ else e₃ fi`; 0 is false, non-zero true.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `let x = e₁ in e₂ ni`; the site of qualifier polymorphism.
+    Let(String, Box<Expr>, Box<Expr>),
+    /// `ref e`: allocates an updateable reference.
+    Ref(Box<Expr>),
+    /// `!e`: reads a reference.
+    Deref(Box<Expr>),
+    /// `e₁ := e₂`: stores into a reference.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Integer arithmetic `e₁ + e₂` / `e₁ * e₂`; the result qualifier is
+    /// a rule-set choice point ([`crate::rules::QualifierRules::on_arith`]).
+    Binop(ArithOp, Box<Expr>, Box<Expr>),
+    /// Pair construction `(e₁, e₂)` — demonstrates that the framework
+    /// extends to any constructor `c ∈ Σ` (§2.1).
+    Pair(Box<Expr>, Box<Expr>),
+    /// First projection `fst e`.
+    Fst(Box<Expr>),
+    /// Second projection `snd e`.
+    Snd(Box<Expr>),
+    /// Qualifier annotation `l e`: raises the top-level qualifier to `l`.
+    Annot(QualSet, Box<Expr>),
+    /// Qualifier assertion `e|l`: requires the top-level qualifier ⊑ `l`.
+    Assert(Box<Expr>, QualSet),
+    /// A store location; produced only by the operational semantics,
+    /// never by the parser.
+    Loc(usize),
+}
+
+impl Expr {
+    /// Builds a node with a dummy span and id 0 (renumber afterwards with
+    /// [`Expr::renumber`] before running inference).
+    #[must_use]
+    pub fn synthetic(kind: ExprKind) -> Expr {
+        Expr {
+            kind,
+            span: Span::dummy(),
+            id: NodeId(0),
+        }
+    }
+
+    /// Whether this expression is a *syntactic value* `v` (Figure 1,
+    /// extended with `()` and annotated values per §3.3): values may be
+    /// generalized by let-polymorphism under the value restriction.
+    #[must_use]
+    pub fn is_value(&self) -> bool {
+        match &self.kind {
+            ExprKind::Var(_)
+            | ExprKind::Int(_)
+            | ExprKind::Unit
+            | ExprKind::Lam(..)
+            | ExprKind::Loc(_) => true,
+            ExprKind::Annot(_, e) => e.is_value(),
+            ExprKind::Pair(a, b) => a.is_value() && b.is_value(),
+            _ => false,
+        }
+    }
+
+    /// Reassigns dense, unique [`NodeId`]s across the whole tree (preorder)
+    /// and returns the number of nodes.
+    pub fn renumber(&mut self) -> u32 {
+        fn go(e: &mut Expr, next: &mut u32) {
+            e.id = NodeId(*next);
+            *next += 1;
+            match &mut e.kind {
+                ExprKind::Var(_) | ExprKind::Int(_) | ExprKind::Unit | ExprKind::Loc(_) => {}
+                ExprKind::Lam(_, b)
+                | ExprKind::Ref(b)
+                | ExprKind::Deref(b)
+                | ExprKind::Fst(b)
+                | ExprKind::Snd(b) => go(b, next),
+                ExprKind::Annot(_, b) | ExprKind::Assert(b, _) => go(b, next),
+                ExprKind::App(a, b)
+                | ExprKind::Assign(a, b)
+                | ExprKind::Pair(a, b)
+                | ExprKind::Binop(_, a, b) => {
+                    go(a, next);
+                    go(b, next);
+                }
+                ExprKind::If(a, b, c) => {
+                    go(a, next);
+                    go(b, next);
+                    go(c, next);
+                }
+                ExprKind::Let(_, a, b) => {
+                    go(a, next);
+                    go(b, next);
+                }
+            }
+        }
+        let mut next = 0;
+        go(self, &mut next);
+        next
+    }
+
+    /// The `strip` transformation of §2.3: removes every qualifier
+    /// annotation and assertion, yielding a term of the unqualified
+    /// language (Observation 1).
+    #[must_use]
+    pub fn strip(&self) -> Expr {
+        let kind = match &self.kind {
+            ExprKind::Annot(_, e) => return e.strip(),
+            ExprKind::Assert(e, _) => return e.strip(),
+            ExprKind::Var(x) => ExprKind::Var(x.clone()),
+            ExprKind::Int(n) => ExprKind::Int(*n),
+            ExprKind::Unit => ExprKind::Unit,
+            ExprKind::Loc(a) => ExprKind::Loc(*a),
+            ExprKind::Lam(x, b) => ExprKind::Lam(x.clone(), Box::new(b.strip())),
+            ExprKind::App(a, b) => ExprKind::App(Box::new(a.strip()), Box::new(b.strip())),
+            ExprKind::If(a, b, c) => ExprKind::If(
+                Box::new(a.strip()),
+                Box::new(b.strip()),
+                Box::new(c.strip()),
+            ),
+            ExprKind::Let(x, a, b) => {
+                ExprKind::Let(x.clone(), Box::new(a.strip()), Box::new(b.strip()))
+            }
+            ExprKind::Ref(e) => ExprKind::Ref(Box::new(e.strip())),
+            ExprKind::Deref(e) => ExprKind::Deref(Box::new(e.strip())),
+            ExprKind::Assign(a, b) => {
+                ExprKind::Assign(Box::new(a.strip()), Box::new(b.strip()))
+            }
+            ExprKind::Pair(a, b) => ExprKind::Pair(Box::new(a.strip()), Box::new(b.strip())),
+            ExprKind::Binop(op, a, b) => {
+                ExprKind::Binop(*op, Box::new(a.strip()), Box::new(b.strip()))
+            }
+            ExprKind::Fst(a) => ExprKind::Fst(Box::new(a.strip())),
+            ExprKind::Snd(a) => ExprKind::Snd(Box::new(a.strip())),
+        };
+        Expr {
+            kind,
+            span: self.span,
+            id: self.id,
+        }
+    }
+
+    /// Renders the expression in source syntax, using `space` to name the
+    /// qualifier constants in annotations and assertions.
+    #[must_use]
+    pub fn render(&self, space: &QualSpace) -> String {
+        struct R<'a>(&'a Expr, &'a QualSpace);
+        impl fmt::Display for R<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                render_into(self.0, self.1, f)
+            }
+        }
+        R(self, space).to_string()
+    }
+}
+
+fn render_set(set: QualSet, space: &QualSpace) -> String {
+    // Render as the canonical brace syntax the parser accepts. A set is
+    // printed relative to `none()`: present qualifiers are listed.
+    let names = space.render(set);
+    format!("{{{names}}}")
+}
+
+fn render_into(e: &Expr, space: &QualSpace, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match &e.kind {
+        ExprKind::Var(x) => write!(f, "{x}"),
+        ExprKind::Int(n) => write!(f, "{n}"),
+        ExprKind::Unit => write!(f, "()"),
+        ExprKind::Loc(a) => write!(f, "<loc {a}>"),
+        ExprKind::Lam(x, b) => {
+            write!(f, "(\\{x}. ")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::App(a, b) => {
+            write!(f, "(")?;
+            render_into(a, space, f)?;
+            write!(f, " ")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::If(a, b, c) => {
+            write!(f, "if ")?;
+            render_into(a, space, f)?;
+            write!(f, " then ")?;
+            render_into(b, space, f)?;
+            write!(f, " else ")?;
+            render_into(c, space, f)?;
+            write!(f, " fi")
+        }
+        ExprKind::Let(x, a, b) => {
+            write!(f, "let {x} = ")?;
+            render_into(a, space, f)?;
+            write!(f, " in ")?;
+            render_into(b, space, f)?;
+            write!(f, " ni")
+        }
+        ExprKind::Ref(b) => {
+            write!(f, "(ref ")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Deref(b) => {
+            write!(f, "(!")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Assign(a, b) => {
+            write!(f, "(")?;
+            render_into(a, space, f)?;
+            write!(f, " := ")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Pair(a, b) => {
+            write!(f, "(")?;
+            render_into(a, space, f)?;
+            write!(f, ", ")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Binop(op, a, b) => {
+            write!(f, "(")?;
+            render_into(a, space, f)?;
+            write!(f, " {} ", op.symbol())?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Fst(b) => {
+            write!(f, "(fst ")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Snd(b) => {
+            write!(f, "(snd ")?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Annot(l, b) => {
+            write!(f, "({} ", render_set(*l, space))?;
+            render_into(b, space, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Assert(b, l) => {
+            write!(f, "(")?;
+            render_into(b, space, f)?;
+            write!(f, "|{})", render_set(*l, space))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(x: &str) -> Expr {
+        Expr::synthetic(ExprKind::Var(x.into()))
+    }
+
+    #[test]
+    fn values_are_classified_correctly() {
+        assert!(var("x").is_value());
+        assert!(Expr::synthetic(ExprKind::Int(3)).is_value());
+        assert!(Expr::synthetic(ExprKind::Unit).is_value());
+        let lam = Expr::synthetic(ExprKind::Lam("x".into(), Box::new(var("x"))));
+        assert!(lam.is_value());
+        let app = Expr::synthetic(ExprKind::App(
+            Box::new(lam.clone()),
+            Box::new(var("y")),
+        ));
+        assert!(!app.is_value());
+        let annot = Expr::synthetic(ExprKind::Annot(QualSet::from_bits(0), Box::new(lam)));
+        assert!(annot.is_value());
+        let annot_app = Expr::synthetic(ExprKind::Annot(QualSet::from_bits(0), Box::new(app)));
+        assert!(!annot_app.is_value());
+        let r = Expr::synthetic(ExprKind::Ref(Box::new(var("x"))));
+        assert!(!r.is_value(), "ref e computes (allocates)");
+    }
+
+    #[test]
+    fn renumber_is_dense_preorder() {
+        let mut e = Expr::synthetic(ExprKind::App(
+            Box::new(var("f")),
+            Box::new(Expr::synthetic(ExprKind::Int(1))),
+        ));
+        let n = e.renumber();
+        assert_eq!(n, 3);
+        assert_eq!(e.id, NodeId(0));
+        match &e.kind {
+            ExprKind::App(a, b) => {
+                assert_eq!(a.id, NodeId(1));
+                assert_eq!(b.id, NodeId(2));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn strip_removes_annotations_and_assertions() {
+        let inner = var("x");
+        let e = Expr::synthetic(ExprKind::Assert(
+            Box::new(Expr::synthetic(ExprKind::Annot(
+                QualSet::from_bits(1),
+                Box::new(inner.clone()),
+            ))),
+            QualSet::from_bits(1),
+        ));
+        assert_eq!(e.strip().kind, inner.kind);
+    }
+
+    #[test]
+    fn span_to_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn render_round_readable() {
+        let space = qual_lattice::QualSpace::const_only();
+        let e = Expr::synthetic(ExprKind::Assign(
+            Box::new(var("x")),
+            Box::new(Expr::synthetic(ExprKind::Int(2))),
+        ));
+        assert_eq!(e.render(&space), "(x := 2)");
+    }
+}

@@ -1,0 +1,463 @@
+//! The declarative checking system of Figure 4, run over *ground*
+//! qualified types (all qualifier variables replaced by the least
+//! solution).
+//!
+//! The paper presents type *checking* rules (Figure 4) and separately
+//! derives the *inference* system (§3.1). This module closes the loop:
+//! after inference solves the constraints, every syntax-directed rule's
+//! side conditions are re-verified on the solved types using the ground
+//! subtyping relation. Agreement between the two paths is a strong
+//! correctness check on the constraint decomposition, and the property
+//! tests exercise it on random programs.
+
+use qual_lattice::{QualSet, QualSpace};
+use qual_solve::{ConstraintSet, Provenance, Qual, Solution};
+
+use crate::ast::{Expr, ExprKind};
+use crate::infer::Outcome;
+use crate::rules::QualifierRules;
+use crate::types::{QShape, QTyArena, QTyId};
+
+/// A ground qualified type: every level carries a concrete lattice
+/// element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GTy {
+    /// `l int`.
+    Int(QualSet),
+    /// `l unit`.
+    Unit(QualSet),
+    /// `l (ρ₁ → ρ₂)`.
+    Fun(QualSet, Box<GTy>, Box<GTy>),
+    /// `l ref(ρ)`.
+    Ref(QualSet, Box<GTy>),
+    /// `l (ρ₁ × ρ₂)`.
+    Pair(QualSet, Box<GTy>, Box<GTy>),
+}
+
+impl GTy {
+    /// The top-level qualifier.
+    #[must_use]
+    pub fn qual(&self) -> QualSet {
+        match self {
+            GTy::Int(q) | GTy::Unit(q) | GTy::Fun(q, ..) | GTy::Ref(q, _) | GTy::Pair(q, ..) => {
+                *q
+            }
+        }
+    }
+
+    /// Renders the type with `space` naming the qualifiers.
+    #[must_use]
+    pub fn render(&self, space: &QualSpace) -> String {
+        let q = |s: QualSet| {
+            let r = space.render(s);
+            if r.is_empty() {
+                "∅".to_owned()
+            } else {
+                r
+            }
+        };
+        match self {
+            GTy::Int(l) => format!("{} int", q(*l)),
+            GTy::Unit(l) => format!("{} unit", q(*l)),
+            GTy::Fun(l, a, b) => {
+                format!("{} ({} -> {})", q(*l), a.render(space), b.render(space))
+            }
+            GTy::Ref(l, t) => format!("{} ref({})", q(*l), t.render(space)),
+            GTy::Pair(l, a, b) => {
+                format!("{} ({} * {})", q(*l), a.render(space), b.render(space))
+            }
+        }
+    }
+}
+
+/// Grounds an inferred type under the least solution.
+#[must_use]
+pub fn ground(quals: &QTyArena, id: QTyId, sol: &Solution) -> GTy {
+    let node = quals.get(id);
+    let q = sol.eval_least(node.qual);
+    match node.shape {
+        QShape::Int => GTy::Int(q),
+        QShape::Unit => GTy::Unit(q),
+        QShape::Fun(a, b) => GTy::Fun(
+            q,
+            Box::new(ground(quals, a, sol)),
+            Box::new(ground(quals, b, sol)),
+        ),
+        QShape::Ref(t) => GTy::Ref(q, Box::new(ground(quals, t, sol))),
+        QShape::Pair(a, b) => GTy::Pair(
+            q,
+            Box::new(ground(quals, a, sol)),
+            Box::new(ground(quals, b, sol)),
+        ),
+    }
+}
+
+/// The ground subtyping relation `⊢ ρ ≤ ρ′` of Figure 4a:
+/// covariant `int`/`unit`, contravariant/covariant functions, and
+/// *invariant* ref contents (rule (SubRef)).
+#[must_use]
+pub fn subtype(space: &QualSpace, a: &GTy, b: &GTy) -> bool {
+    match (a, b) {
+        (GTy::Int(q1), GTy::Int(q2)) | (GTy::Unit(q1), GTy::Unit(q2)) => space.le(*q1, *q2),
+        (GTy::Fun(q1, a1, r1), GTy::Fun(q2, a2, r2)) => {
+            space.le(*q1, *q2) && subtype(space, a2, a1) && subtype(space, r1, r2)
+        }
+        (GTy::Ref(q1, t1), GTy::Ref(q2, t2)) => space.le(*q1, *q2) && t1 == t2,
+        (GTy::Pair(q1, a1, b1), GTy::Pair(q2, a2, b2)) => {
+            space.le(*q1, *q2) && subtype(space, a1, a2) && subtype(space, b1, b2)
+        }
+        _ => false,
+    }
+}
+
+/// One failed side condition found by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckViolation {
+    /// The rule whose condition failed.
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Re-checks every syntax-directed rule of Figure 4 (plus the rule-set
+/// hooks) on the solved types. Returns all failed conditions; an empty
+/// vector means the inference result is self-consistent.
+///
+/// Returns a single synthetic violation if the outcome has no solution
+/// (nothing to verify against).
+#[must_use]
+pub fn verify(expr: &Expr, outcome: &Outcome, rules: &dyn QualifierRules) -> Vec<CheckViolation> {
+    let Some(sol) = outcome.solution() else {
+        return vec![CheckViolation {
+            rule: "(solve)",
+            detail: "constraints unsatisfiable; nothing to verify".to_owned(),
+        }];
+    };
+    let mut v = Verifier {
+        outcome,
+        sol,
+        rules,
+        space: outcome.space().clone(),
+        violations: Vec::new(),
+    };
+    v.walk(expr);
+    v.violations
+}
+
+struct Verifier<'a> {
+    outcome: &'a Outcome,
+    sol: &'a Solution,
+    rules: &'a dyn QualifierRules,
+    space: QualSpace,
+    violations: Vec<CheckViolation>,
+}
+
+impl Verifier<'_> {
+    fn gty(&self, e: &Expr) -> GTy {
+        let id = self.outcome.node_qty[&e.id];
+        ground(&self.outcome.quals, id, self.sol)
+    }
+
+    fn require_sub(&mut self, rule: &'static str, a: &GTy, b: &GTy) {
+        if !subtype(&self.space, a, b) {
+            self.violations.push(CheckViolation {
+                rule,
+                detail: format!(
+                    "{} ≰ {}",
+                    a.render(&self.space),
+                    b.render(&self.space)
+                ),
+            });
+        }
+    }
+
+    fn require_le(&mut self, rule: &'static str, a: QualSet, b: QualSet) {
+        if !self.space.le(a, b) {
+            self.violations.push(CheckViolation {
+                rule,
+                detail: format!(
+                    "{} ⋢ {}",
+                    self.space.render(a),
+                    self.space.render(b)
+                ),
+            });
+        }
+    }
+
+    /// Runs a rules hook on ground qualifiers and records any failure.
+    fn require_hook(
+        &mut self,
+        rule: &'static str,
+        run: impl FnOnce(&dyn QualifierRules, &QualSpace, &mut ConstraintSet),
+    ) {
+        let mut cs = ConstraintSet::new();
+        run(self.rules, &self.space, &mut cs);
+        if let Err(e) = cs.solve_with_count(&self.space, 0) {
+            self.violations.push(CheckViolation {
+                rule,
+                detail: e.to_string(),
+            });
+        }
+    }
+
+    fn walk(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Var(_)
+            | ExprKind::Int(_)
+            | ExprKind::Unit
+            | ExprKind::Loc(_) => {}
+            ExprKind::Lam(_, body) => {
+                self.walk(body);
+                let GTy::Fun(_, _, res) = self.gty(e) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(Lam)",
+                        detail: "lambda without function type".to_owned(),
+                    });
+                    return;
+                };
+                let b = self.gty(body);
+                self.require_sub("(Lam)", &b, &res);
+            }
+            ExprKind::App(f, a) => {
+                self.walk(f);
+                self.walk(a);
+                let GTy::Fun(fq, param, res) = self.gty(f) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(App)",
+                        detail: "operator without function type".to_owned(),
+                    });
+                    return;
+                };
+                let ta = self.gty(a);
+                self.require_sub("(App) argument", &ta, &param);
+                let out = self.gty(e);
+                self.require_sub("(App) result", &res, &out);
+                let oq = out.qual();
+                self.require_hook("(App) hook", |r, s, cs| {
+                    r.on_app(
+                        s,
+                        Qual::Const(fq),
+                        Qual::Const(oq),
+                        cs,
+                        Provenance::synthetic("check"),
+                    );
+                });
+            }
+            ExprKind::If(g, t, f) => {
+                self.walk(g);
+                self.walk(t);
+                self.walk(f);
+                let out = self.gty(e);
+                let tt = self.gty(t);
+                let tf = self.gty(f);
+                self.require_sub("(If) then", &tt, &out);
+                self.require_sub("(If) else", &tf, &out);
+                let gq = self.gty(g).qual();
+                let oq = out.qual();
+                self.require_hook("(If) hook", |r, s, cs| {
+                    r.on_if(
+                        s,
+                        Qual::Const(gq),
+                        Qual::Const(oq),
+                        cs,
+                        Provenance::synthetic("check"),
+                    );
+                });
+            }
+            ExprKind::Let(_, rhs, body) => {
+                self.walk(rhs);
+                self.walk(body);
+            }
+            ExprKind::Ref(inner) => {
+                self.walk(inner);
+                let GTy::Ref(_, contents) = self.gty(e) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(Ref)",
+                        detail: "ref without ref type".to_owned(),
+                    });
+                    return;
+                };
+                let ti = self.gty(inner);
+                self.require_sub("(Ref)", &ti, &contents);
+            }
+            ExprKind::Deref(inner) => {
+                self.walk(inner);
+                let GTy::Ref(rq, contents) = self.gty(inner) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(Deref)",
+                        detail: "deref of non-ref".to_owned(),
+                    });
+                    return;
+                };
+                let out = self.gty(e);
+                self.require_sub("(Deref)", &contents, &out);
+                self.require_hook("(Deref) hook", |r, s, cs| {
+                    r.on_deref(s, Qual::Const(rq), cs, Provenance::synthetic("check"));
+                });
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                self.walk(lhs);
+                self.walk(rhs);
+                let GTy::Ref(rq, contents) = self.gty(lhs) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(Assign)",
+                        detail: "assignment to non-ref".to_owned(),
+                    });
+                    return;
+                };
+                let tr = self.gty(rhs);
+                self.require_sub("(Assign)", &tr, &contents);
+                self.require_hook("(Assign) hook", |r, s, cs| {
+                    r.on_assign(s, Qual::Const(rq), cs, Provenance::synthetic("check"));
+                });
+            }
+            ExprKind::Binop(_, a, b) => {
+                self.walk(a);
+                self.walk(b);
+                let (qa, qb) = (self.gty(a).qual(), self.gty(b).qual());
+                let qo = self.gty(e).qual();
+                self.require_hook("(Arith) hook", |r, s, cs| {
+                    r.on_arith(
+                        s,
+                        Qual::Const(qa),
+                        Qual::Const(qb),
+                        Qual::Const(qo),
+                        cs,
+                        Provenance::synthetic("check"),
+                    );
+                });
+            }
+            ExprKind::Pair(a, b) => {
+                self.walk(a);
+                self.walk(b);
+                let GTy::Pair(_, ca, cb) = self.gty(e) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(Pair)",
+                        detail: "pair without pair type".to_owned(),
+                    });
+                    return;
+                };
+                let ta = self.gty(a);
+                let tb = self.gty(b);
+                self.require_sub("(Pair) fst", &ta, &ca);
+                self.require_sub("(Pair) snd", &tb, &cb);
+            }
+            ExprKind::Fst(inner) => {
+                self.walk(inner);
+                let GTy::Pair(_, ca, _) = self.gty(inner) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(Fst)",
+                        detail: "fst of non-pair".to_owned(),
+                    });
+                    return;
+                };
+                let out = self.gty(e);
+                self.require_sub("(Fst)", &ca, &out);
+            }
+            ExprKind::Snd(inner) => {
+                self.walk(inner);
+                let GTy::Pair(_, _, cb) = self.gty(inner) else {
+                    self.violations.push(CheckViolation {
+                        rule: "(Snd)",
+                        detail: "snd of non-pair".to_owned(),
+                    });
+                    return;
+                };
+                let out = self.gty(e);
+                self.require_sub("(Snd)", &cb, &out);
+            }
+            ExprKind::Annot(l, inner) => {
+                self.walk(inner);
+                let iq = self.gty(inner).qual();
+                self.require_le("(Annot)", iq, *l);
+                // The node's own qualifier is exactly l by construction.
+                let nq = self.gty(e).qual();
+                self.require_le("(Annot) result", nq, *l);
+                self.require_le("(Annot) result", *l, nq);
+            }
+            ExprKind::Assert(inner, l) => {
+                self.walk(inner);
+                let iq = self.gty(inner).qual();
+                self.require_le("(Assert)", iq, *l);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_program;
+    use crate::rules::{ConstRules, NoRules, NonzeroRules};
+
+    #[test]
+    fn ground_subtyping_basics() {
+        let s = QualSpace::const_only();
+        let c = s.parse_set("const").unwrap();
+        let n = s.none();
+        assert!(subtype(&s, &GTy::Int(n), &GTy::Int(c)));
+        assert!(!subtype(&s, &GTy::Int(c), &GTy::Int(n)));
+        // Functions: contravariant argument.
+        let f1 = GTy::Fun(n, Box::new(GTy::Int(c)), Box::new(GTy::Int(n)));
+        let f2 = GTy::Fun(n, Box::new(GTy::Int(n)), Box::new(GTy::Int(c)));
+        assert!(subtype(&s, &f1, &f2));
+        assert!(!subtype(&s, &f2, &f1));
+        // Refs: invariant contents.
+        let r1 = GTy::Ref(n, Box::new(GTy::Int(n)));
+        let r2 = GTy::Ref(c, Box::new(GTy::Int(n)));
+        let r3 = GTy::Ref(c, Box::new(GTy::Int(c)));
+        assert!(subtype(&s, &r1, &r2));
+        assert!(!subtype(&s, &r1, &r3));
+        // Mismatched shapes never relate.
+        assert!(!subtype(&s, &GTy::Int(n), &GTy::Unit(n)));
+    }
+
+    #[test]
+    fn verify_passes_on_well_qualified_programs() {
+        let space = QualSpace::figure2();
+        for src in [
+            "let x = ref 1 in let u = x := 2 in !x ni ni",
+            "let id = \\x. x in id (ref {nonzero} 1) ni",
+            "if 1 then {const} 2 else 3 fi",
+            "(\\f. f ()) (\\u. ref 9)",
+        ] {
+            let expr = crate::parser::parse(src, &space).unwrap();
+            let out = crate::infer::infer_expr(&expr, &space, &NoRules).unwrap();
+            assert!(out.is_well_qualified(), "{src}");
+            let vs = verify(&expr, &out, &NoRules);
+            assert!(vs.is_empty(), "{src} -> {vs:?}");
+        }
+    }
+
+    #[test]
+    fn verify_reports_unsolved() {
+        let space = ConstRules::space();
+        let src = "let x = {const} ref 1 in x := 2 ni";
+        let expr = crate::parser::parse(src, &space).unwrap();
+        let out = crate::infer::infer_expr(&expr, &space, &ConstRules).unwrap();
+        assert!(!out.is_well_qualified());
+        let vs = verify(&expr, &out, &ConstRules);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "(solve)");
+    }
+
+    #[test]
+    fn verify_agrees_with_rules_hooks() {
+        let space = NonzeroRules::space();
+        let src = "let x = ref 37 in (!x)|{nonzero} ni";
+        let out = infer_program(src, &space, &NonzeroRules).unwrap();
+        assert!(out.is_well_qualified());
+        let expr = crate::parser::parse(src, &space).unwrap();
+        assert!(verify(&expr, &out, &NonzeroRules).is_empty());
+    }
+
+    #[test]
+    fn gty_render() {
+        let s = QualSpace::const_only();
+        let t = GTy::Ref(
+            s.parse_set("const").unwrap(),
+            Box::new(GTy::Int(s.none())),
+        );
+        assert_eq!(t.render(&s), "const ref(∅ int)");
+    }
+}

@@ -1,0 +1,114 @@
+//! Errors produced by the core-language pipeline.
+
+use std::fmt;
+
+use crate::ast::Span;
+
+/// A syntax error with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    #[must_use]
+    pub fn new(span: Span, message: String) -> ParseError {
+        ParseError { span, message }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at bytes {}..{}: {}",
+            self.span.lo, self.span.hi, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A standard (unification) type error: the program is ill-typed before
+/// qualifiers are even considered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Where the mismatch was detected.
+    pub span: Span,
+    /// A description of the mismatch.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "type error at bytes {}..{}: {}",
+            self.span.lo, self.span.hi, self.message
+        )
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Any error from parsing or standard typing of a core-language program.
+///
+/// Qualifier *violations* are not a `LambdaError`: they are an analysis
+/// result, reported in [`Outcome`](crate::infer::Outcome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LambdaError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Standard type error.
+    Type(TypeError),
+}
+
+impl fmt::Display for LambdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LambdaError::Parse(e) => e.fmt(f),
+            LambdaError::Type(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LambdaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LambdaError::Parse(e) => Some(e),
+            LambdaError::Type(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for LambdaError {
+    fn from(e: ParseError) -> LambdaError {
+        LambdaError::Parse(e)
+    }
+}
+
+impl From<TypeError> for LambdaError {
+    fn from(e: TypeError) -> LambdaError {
+        LambdaError::Type(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        let e = ParseError::new(Span::new(2, 5), "expected `)`".into());
+        assert_eq!(e.to_string(), "parse error at bytes 2..5: expected `)`");
+        let t = TypeError {
+            span: Span::new(0, 1),
+            message: "int vs fun".into(),
+        };
+        assert!(LambdaError::from(t).to_string().contains("int vs fun"));
+    }
+}

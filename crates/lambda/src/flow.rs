@@ -1,0 +1,310 @@
+//! Flow-sensitive qualifiers — the extension sketched in §6 of the paper.
+//!
+//! > "One solution we are investigating is to assign each location a
+//! > distinct type at every program point and to add subtyping constraints
+//! > between the different types. For example, suppose that x has type τ₁
+//! > before a non-branching statement s and x has type τ₂ after s. Then if
+//! > s does not perform a strong update of x we add the constraint
+//! > τ₁ ≤ τ₂; if s does strongly update x then we do not add this
+//! > constraint."
+//!
+//! This module implements exactly that scheme over a straight-line
+//! statement language: each tracked location gets one qualifier variable
+//! *per program point*; weak updates and fall-through add `⊑` carry
+//! constraints, strong updates break them. This recovers lclint-style
+//! analyses where a location's annotation varies from point to point —
+//! something the flow-insensitive core system cannot express (§6 notes
+//! lclint is inexpressible in it).
+
+use std::collections::HashMap;
+
+use qual_lattice::{QualSet, QualSpace};
+use qual_solve::{ConstraintSet, Provenance, QVar, Qual, SolveError, VarSupply};
+
+/// A statement of the straight-line flow language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Store a value with qualifier `qual` into `target`. A *strong*
+    /// update replaces the old contents (the carry constraint is
+    /// dropped); a weak update may leave old contents behind (both the
+    /// old qualifier and `qual` flow onward).
+    Assign {
+        /// The updated location.
+        target: String,
+        /// The stored value's qualifier.
+        qual: QualSet,
+        /// Whether the update is strong.
+        strong: bool,
+    },
+    /// Copy `source`'s current contents into `target`.
+    Copy {
+        /// The updated location.
+        target: String,
+        /// The location read.
+        source: String,
+        /// Whether the update is strong.
+        strong: bool,
+    },
+    /// Require `var`'s qualifier at this point to be `⊑ bound` — a
+    /// flow-sensitive qualifier assertion.
+    Require {
+        /// The location checked.
+        var: String,
+        /// The asserted upper bound.
+        bound: QualSet,
+    },
+}
+
+/// A straight-line program over a set of tracked locations.
+#[derive(Debug, Clone, Default)]
+pub struct FlowProgram {
+    /// The tracked locations (all start with unconstrained qualifiers).
+    pub vars: Vec<String>,
+    /// The statements, executed in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl FlowProgram {
+    /// Creates an empty program tracking `vars`.
+    pub fn new<I, S>(vars: I) -> FlowProgram
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        FlowProgram {
+            vars: vars.into_iter().map(Into::into).collect(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Appends a statement.
+    pub fn push(&mut self, s: Stmt) -> &mut FlowProgram {
+        self.stmts.push(s);
+        self
+    }
+}
+
+/// The per-point analysis result.
+#[derive(Debug)]
+pub struct FlowResult {
+    /// `point_quals[(var, point)]` = least qualifier of `var` *after*
+    /// `point` statements have executed (point 0 is program entry).
+    point_quals: HashMap<(String, usize), QualSet>,
+    /// The violations, if the requirements cannot be met.
+    pub error: Option<SolveError>,
+}
+
+impl FlowResult {
+    /// Whether every `Require` is satisfied.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The least qualifier of `var` after `point` statements.
+    #[must_use]
+    pub fn qual_at(&self, var: &str, point: usize) -> Option<QualSet> {
+        self.point_quals.get(&(var.to_owned(), point)).copied()
+    }
+}
+
+/// Runs the §6 flow-sensitive analysis.
+#[must_use]
+pub fn analyze(space: &QualSpace, prog: &FlowProgram) -> FlowResult {
+    let mut supply = VarSupply::new();
+    let mut cs = ConstraintSet::new();
+    let points = prog.stmts.len() + 1;
+
+    // One variable per (location, point).
+    let mut var_at: HashMap<(usize, usize), QVar> = HashMap::new();
+    for (vi, _) in prog.vars.iter().enumerate() {
+        for p in 0..points {
+            var_at.insert((vi, p), supply.fresh());
+        }
+    }
+    let idx = |name: &str| prog.vars.iter().position(|v| v == name);
+
+    for (p, stmt) in prog.stmts.iter().enumerate() {
+        let strongly_updated: Option<usize> = match stmt {
+            Stmt::Assign { target, strong, .. } | Stmt::Copy { target, strong, .. } if *strong => {
+                idx(target)
+            }
+            _ => None,
+        };
+        // Carry constraints: τ(x, p) ⊑ τ(x, p+1) unless strongly updated.
+        for vi in 0..prog.vars.len() {
+            if strongly_updated != Some(vi) {
+                cs.add_with(
+                    var_at[&(vi, p)],
+                    var_at[&(vi, p + 1)],
+                    Provenance::synthetic("flow carry"),
+                );
+            }
+        }
+        match stmt {
+            Stmt::Assign { target, qual, .. } => {
+                if let Some(vi) = idx(target) {
+                    cs.add_with(
+                        Qual::Const(*qual),
+                        var_at[&(vi, p + 1)],
+                        Provenance::synthetic("flow assign"),
+                    );
+                }
+            }
+            Stmt::Copy { target, source, .. } => {
+                if let (Some(t), Some(s)) = (idx(target), idx(source)) {
+                    cs.add_with(
+                        var_at[&(s, p)],
+                        var_at[&(t, p + 1)],
+                        Provenance::synthetic("flow copy"),
+                    );
+                }
+            }
+            Stmt::Require { var, bound } => {
+                if let Some(vi) = idx(var) {
+                    cs.add_with(
+                        var_at[&(vi, p)],
+                        Qual::Const(*bound),
+                        Provenance::synthetic("flow requirement"),
+                    );
+                }
+            }
+        }
+    }
+
+    match cs.solve(space, &supply) {
+        Ok(sol) => {
+            let mut point_quals = HashMap::new();
+            for (vi, name) in prog.vars.iter().enumerate() {
+                for p in 0..points {
+                    point_quals.insert((name.clone(), p), sol.least(var_at[&(vi, p)]));
+                }
+            }
+            FlowResult {
+                point_quals,
+                error: None,
+            }
+        }
+        Err(e) => FlowResult {
+            point_quals: HashMap::new(),
+            error: Some(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taint_space() -> QualSpace {
+        QualSpace::taint()
+    }
+
+    #[test]
+    fn strong_update_clears_qualifier() {
+        let s = taint_space();
+        let tainted = s.parse_set("tainted").unwrap();
+        let clean = s.none();
+        let mut p = FlowProgram::new(["x"]);
+        p.push(Stmt::Assign {
+            target: "x".into(),
+            qual: tainted,
+            strong: true,
+        });
+        p.push(Stmt::Assign {
+            target: "x".into(),
+            qual: clean,
+            strong: true,
+        });
+        p.push(Stmt::Require {
+            var: "x".into(),
+            bound: clean,
+        });
+        let r = analyze(&s, &p);
+        assert!(r.ok(), "{:?}", r.error);
+        // After point 1 x is tainted; after point 2 it is clean again —
+        // the annotation varies per program point, as §6 wants.
+        let t = s.id("tainted").unwrap();
+        assert!(r.qual_at("x", 1).unwrap().has(&s, t));
+        assert!(!r.qual_at("x", 2).unwrap().has(&s, t));
+    }
+
+    #[test]
+    fn weak_update_keeps_old_qualifier() {
+        let s = taint_space();
+        let tainted = s.parse_set("tainted").unwrap();
+        let clean = s.none();
+        let mut p = FlowProgram::new(["x"]);
+        p.push(Stmt::Assign {
+            target: "x".into(),
+            qual: tainted,
+            strong: true,
+        });
+        p.push(Stmt::Assign {
+            target: "x".into(),
+            qual: clean,
+            strong: false, // may not overwrite: taint survives
+        });
+        p.push(Stmt::Require {
+            var: "x".into(),
+            bound: clean,
+        });
+        let r = analyze(&s, &p);
+        assert!(!r.ok(), "weak update must not clear taint");
+    }
+
+    #[test]
+    fn copies_propagate_qualifiers() {
+        let s = taint_space();
+        let tainted = s.parse_set("tainted").unwrap();
+        let mut p = FlowProgram::new(["x", "y"]);
+        p.push(Stmt::Assign {
+            target: "x".into(),
+            qual: tainted,
+            strong: true,
+        });
+        p.push(Stmt::Copy {
+            target: "y".into(),
+            source: "x".into(),
+            strong: true,
+        });
+        let r = analyze(&s, &p);
+        assert!(r.ok());
+        let t = s.id("tainted").unwrap();
+        assert!(r.qual_at("y", 2).unwrap().has(&s, t));
+        assert!(!r.qual_at("y", 1).unwrap().has(&s, t));
+    }
+
+    #[test]
+    fn requirements_see_pre_state() {
+        let s = taint_space();
+        let tainted = s.parse_set("tainted").unwrap();
+        let clean = s.none();
+        let mut p = FlowProgram::new(["x"]);
+        // Require runs *before* the taint lands.
+        p.push(Stmt::Require {
+            var: "x".into(),
+            bound: clean,
+        });
+        p.push(Stmt::Assign {
+            target: "x".into(),
+            qual: tainted,
+            strong: true,
+        });
+        let r = analyze(&s, &p);
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let s = taint_space();
+        let mut p = FlowProgram::new(["x"]);
+        p.push(Stmt::Copy {
+            target: "x".into(),
+            source: "nope".into(),
+            strong: false,
+        });
+        let r = analyze(&s, &p);
+        assert!(r.ok());
+    }
+}

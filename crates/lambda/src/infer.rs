@@ -1,0 +1,557 @@
+//! Qualified type inference (§2.3, §3.1, §3.2 of the paper).
+//!
+//! Inference runs in the two phases the paper's factorization result
+//! allows (§1): first standard unification ([`crate::unify`]), then a
+//! qualifier phase that decorates every node's standard type with fresh
+//! qualifier variables (the `sp` spread operator) and generates *atomic*
+//! subtype constraints at every flow point, folding the subsumption rule
+//! into the syntax-directed rules. Structural decomposition happens
+//! eagerly: because phase A already unified the shapes, every subtype
+//! constraint between qualified types decomposes completely into lattice
+//! constraints (`SubInt`/`SubFun`/`SubRef`/`SubUnit` of Figure 4a), which
+//! [`qual_solve`] solves in linear time.
+//!
+//! Let-polymorphism follows §3.2: bindings of *syntactic values* are
+//! generalized over the qualifier variables created while inferring the
+//! right-hand side (which are exactly those not free in the environment),
+//! with the captured constraints re-instantiated at each use (rules
+//! (Letv) and (Var′)).
+
+use std::collections::HashMap;
+
+use qual_lattice::{QualSet, QualSpace};
+use qual_solve::{
+    ConstraintSet, Provenance, QVar, Qual, Scheme, Solution, SolveError, VarSupply, Violation,
+};
+
+use crate::ast::{Expr, ExprKind, NodeId, Span};
+use crate::error::LambdaError;
+use crate::parser::parse;
+use crate::rules::QualifierRules;
+use crate::types::{QShape, QTyArena, QTyId};
+use crate::unify::{infer_standard, StandardTyping};
+
+/// Everything inference learned about a program.
+///
+/// Qualifier violations are an analysis *result*, not an error: a program
+/// that parses and has a standard type always produces an `Outcome`;
+/// check [`Outcome::is_well_qualified`].
+#[derive(Debug)]
+pub struct Outcome {
+    /// Arena of all qualified types built during inference.
+    pub quals: QTyArena,
+    /// The qualified type of the whole program.
+    pub root: QTyId,
+    /// The qualified type of every expression node.
+    pub node_qty: HashMap<NodeId, QTyId>,
+    /// The generated constraint set.
+    pub constraints: ConstraintSet,
+    /// The variable supply used (sizes the solution).
+    pub vars: VarSupply,
+    /// Least/greatest solutions, or the violations if unsatisfiable.
+    pub solution: Result<Solution, SolveError>,
+    /// How many unconstrained standard type variables were defaulted to
+    /// `int` during spreading.
+    pub defaulted: usize,
+    space: QualSpace,
+}
+
+impl Outcome {
+    /// Whether all qualifier constraints are satisfiable.
+    #[must_use]
+    pub fn is_well_qualified(&self) -> bool {
+        self.solution.is_ok()
+    }
+
+    /// The solution, if the program is well qualified.
+    #[must_use]
+    pub fn solution(&self) -> Option<&Solution> {
+        self.solution.as_ref().ok()
+    }
+
+    /// The violated constraints, if any.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        match &self.solution {
+            Ok(_) => &[],
+            Err(e) => &e.violations,
+        }
+    }
+
+    /// Renders the program's qualified type.
+    #[must_use]
+    pub fn render_root(&self) -> String {
+        self.quals.render(self.root, &self.space)
+    }
+
+    /// The least qualifier on node `id`'s type, under the least solution.
+    #[must_use]
+    pub fn least_qual_of(&self, id: NodeId) -> Option<QualSet> {
+        let qty = *self.node_qty.get(&id)?;
+        let sol = self.solution()?;
+        Some(sol.eval_least(self.quals.get(qty).qual))
+    }
+
+    /// The qualifier space this outcome was inferred against.
+    #[must_use]
+    pub fn space(&self) -> &QualSpace {
+        &self.space
+    }
+
+    /// Renders every qualifier violation as a compiler-style diagnostic
+    /// against the original source text (empty when well qualified).
+    #[must_use]
+    pub fn render_violations(&self, src: &str) -> String {
+        match &self.solution {
+            Ok(_) => String::new(),
+            Err(e) => qual_solve::diag::render_violations(src, e),
+        }
+    }
+}
+
+/// Parses and infers in one step.
+///
+/// # Errors
+///
+/// Returns [`LambdaError`] on syntax or standard type errors. Qualifier
+/// violations are reported in the returned [`Outcome`].
+pub fn infer_program(
+    src: &str,
+    space: &QualSpace,
+    rules: &dyn QualifierRules,
+) -> Result<Outcome, LambdaError> {
+    let expr = parse(src, space)?;
+    infer_expr(&expr, space, rules)
+}
+
+/// Runs both inference phases on an already-parsed program.
+///
+/// # Errors
+///
+/// Returns [`LambdaError::Type`] if the program has no standard type.
+pub fn infer_expr(
+    expr: &Expr,
+    space: &QualSpace,
+    rules: &dyn QualifierRules,
+) -> Result<Outcome, LambdaError> {
+    let std = infer_standard(expr)?;
+    Ok(infer_qualifiers(expr, &std, space, rules))
+}
+
+/// Phase B alone: qualifier inference over a completed standard typing.
+pub fn infer_qualifiers(
+    expr: &Expr,
+    std: &StandardTyping,
+    space: &QualSpace,
+    rules: &dyn QualifierRules,
+) -> Outcome {
+    let mut cx = Cx {
+        std,
+        quals: QTyArena::new(),
+        supply: VarSupply::new(),
+        cs: ConstraintSet::new(),
+        env: Vec::new(),
+        rules,
+        space: space.clone(),
+        node_qty: HashMap::new(),
+        defaulted: 0,
+    };
+    let root = cx.infer(expr);
+
+    // Well-formedness: one hook call per constructor edge of every
+    // qualified type built (including scheme instantiations).
+    let edges: Vec<(Qual, Qual)> = cx
+        .quals
+        .iter()
+        .flat_map(|(_, node)| {
+            let parent = node.qual;
+            let children: Vec<QTyId> = match node.shape {
+                QShape::Int | QShape::Unit => Vec::new(),
+                QShape::Fun(a, b) | QShape::Pair(a, b) => vec![a, b],
+                QShape::Ref(t) => vec![t],
+            };
+            children
+                .into_iter()
+                .map(move |c| (parent, c))
+                .collect::<Vec<_>>()
+        })
+        .map(|(p, c)| (p, cx.quals.get(c).qual))
+        .collect();
+    for (p, c) in edges {
+        rules.wf(space, p, c, &mut cx.cs);
+    }
+
+    let solution = cx.cs.solve(space, &cx.supply);
+    Outcome {
+        quals: cx.quals,
+        root,
+        node_qty: cx.node_qty,
+        constraints: cx.cs,
+        vars: cx.supply,
+        solution,
+        defaulted: cx.defaulted,
+        space: space.clone(),
+    }
+}
+
+struct Cx<'a> {
+    std: &'a StandardTyping,
+    quals: QTyArena,
+    supply: VarSupply,
+    cs: ConstraintSet,
+    env: Vec<(String, Scheme<QTyId>)>,
+    rules: &'a dyn QualifierRules,
+    space: QualSpace,
+    node_qty: HashMap<NodeId, QTyId>,
+    defaulted: usize,
+}
+
+impl Cx<'_> {
+    fn spread_of(&mut self, node: NodeId) -> QTyId {
+        let ty = self.std.ty_of(node);
+        self.quals
+            .spread(&self.std.tys, ty, &mut self.supply, &mut self.defaulted)
+    }
+
+    fn prov(span: Span, what: &'static str) -> Provenance {
+        Provenance::at(span.lo, span.hi, what)
+    }
+
+    /// Adds the decomposed subtype constraint `a ≤ b` (Figure 4a).
+    ///
+    /// Shapes agree by construction (phase A unified them), so
+    /// decomposition always bottoms out in lattice constraints:
+    /// covariant results, contravariant arguments, *invariant* ref
+    /// contents (rule (SubRef) uses equality to keep aliases consistent).
+    fn sub(&mut self, a: QTyId, b: QTyId, at: Provenance) {
+        let (na, nb) = (self.quals.get(a), self.quals.get(b));
+        self.cs.add_with(na.qual, nb.qual, at);
+        match (na.shape, nb.shape) {
+            (QShape::Int, QShape::Int) | (QShape::Unit, QShape::Unit) => {}
+            (QShape::Fun(a1, r1), QShape::Fun(a2, r2)) => {
+                self.sub(a2, a1, at); // contravariant
+                self.sub(r1, r2, at); // covariant
+            }
+            (QShape::Pair(a1, b1), QShape::Pair(a2, b2)) => {
+                self.sub(a1, a2, at); // both components covariant
+                self.sub(b1, b2, at);
+            }
+            (QShape::Ref(t1), QShape::Ref(t2)) => self.eq(t1, t2, at),
+            (x, y) => unreachable!(
+                "phase A guaranteed matching shapes, got {x:?} vs {y:?} — this is a bug"
+            ),
+        }
+    }
+
+    /// Adds the decomposed equality `a = b` (both subtype directions).
+    fn eq(&mut self, a: QTyId, b: QTyId, at: Provenance) {
+        let (na, nb) = (self.quals.get(a), self.quals.get(b));
+        self.cs.add_eq(na.qual, nb.qual, at);
+        match (na.shape, nb.shape) {
+            (QShape::Int, QShape::Int) | (QShape::Unit, QShape::Unit) => {}
+            (QShape::Fun(a1, r1), QShape::Fun(a2, r2))
+            | (QShape::Pair(a1, r1), QShape::Pair(a2, r2)) => {
+                self.eq(a1, a2, at);
+                self.eq(r1, r2, at);
+            }
+            (QShape::Ref(t1), QShape::Ref(t2)) => self.eq(t1, t2, at),
+            (x, y) => unreachable!(
+                "phase A guaranteed matching shapes, got {x:?} vs {y:?} — this is a bug"
+            ),
+        }
+    }
+
+    fn lookup(&self, x: &str) -> Option<&Scheme<QTyId>> {
+        self.env.iter().rev().find(|(n, _)| n == x).map(|(_, s)| s)
+    }
+
+    fn infer(&mut self, e: &Expr) -> QTyId {
+        let qty = match &e.kind {
+            ExprKind::Var(x) => {
+                let scheme = self
+                    .lookup(x)
+                    .unwrap_or_else(|| unreachable!("phase A checked variable scope"))
+                    .clone();
+                if scheme.is_polymorphic() {
+                    // (Var′): instantiate with fresh qualifier variables.
+                    let quals = &mut self.quals;
+                    scheme.instantiate(&mut self.supply, &mut self.cs, |body, f| {
+                        quals.copy_with(*body, f)
+                    })
+                } else {
+                    *scheme.body()
+                }
+            }
+            // (Int): the literal's intrinsic qualifier — the rules'
+            // choice point, ⊥ by default — is a lower bound on the fresh
+            // spread variable.
+            ExprKind::Int(n) => {
+                let out = self.spread_of(e.id);
+                let lit = self.rules.literal_qual(&self.space, *n);
+                if lit != self.space.bottom() {
+                    let q = self.quals.get(out).qual;
+                    self.cs.add_with(
+                        Qual::Const(lit),
+                        q,
+                        Self::prov(e.span, "integer literal"),
+                    );
+                }
+                out
+            }
+            ExprKind::Unit => self.spread_of(e.id),
+            ExprKind::Loc(_) => {
+                unreachable!("phase A rejected store locations in source programs")
+            }
+            ExprKind::Lam(x, body) => {
+                let fun = self.spread_of(e.id);
+                let QShape::Fun(arg, res) = self.quals.get(fun).shape else {
+                    unreachable!("lambda node has function type after phase A")
+                };
+                self.env.push((x.clone(), Scheme::monomorphic(arg)));
+                let b = self.infer(body);
+                self.env.pop();
+                self.sub(b, res, Self::prov(body.span, "function result"));
+                fun
+            }
+            ExprKind::App(f, a) => {
+                let tf = self.infer(f);
+                let ta = self.infer(a);
+                let QShape::Fun(param, res) = self.quals.get(tf).shape else {
+                    unreachable!("operator has function type after phase A")
+                };
+                self.sub(ta, param, Self::prov(a.span, "argument"));
+                let out = self.spread_of(e.id);
+                self.sub(res, out, Self::prov(e.span, "application result"));
+                let (fq, oq) = (self.quals.get(tf).qual, self.quals.get(out).qual);
+                self.rules
+                    .on_app(&self.space, fq, oq, &mut self.cs, Self::prov(e.span, "application"));
+                out
+            }
+            ExprKind::If(g, t, f) => {
+                let tg = self.infer(g);
+                let tt = self.infer(t);
+                let tf = self.infer(f);
+                let out = self.spread_of(e.id);
+                self.sub(tt, out, Self::prov(t.span, "then branch"));
+                self.sub(tf, out, Self::prov(f.span, "else branch"));
+                let (gq, oq) = (self.quals.get(tg).qual, self.quals.get(out).qual);
+                self.rules
+                    .on_if(&self.space, gq, oq, &mut self.cs, Self::prov(e.span, "conditional"));
+                out
+            }
+            ExprKind::Let(x, rhs, body) => {
+                let mark = self.supply.count();
+                let tr = self.infer(rhs);
+                let scheme = if rhs.is_value() {
+                    // (Letv): generalize over the variables created while
+                    // inferring the right-hand side — none of them can be
+                    // free in the (older) environment.
+                    let bound: Vec<QVar> = (mark..self.supply.count())
+                        .map(QVar::from_index)
+                        .collect();
+                    Scheme::generalize(tr, bound, &self.cs)
+                } else {
+                    Scheme::monomorphic(tr)
+                };
+                self.env.push((x.clone(), scheme));
+                let tb = self.infer(body);
+                self.env.pop();
+                tb
+            }
+            ExprKind::Ref(inner) => {
+                let ti = self.infer(inner);
+                let out = self.spread_of(e.id);
+                let QShape::Ref(contents) = self.quals.get(out).shape else {
+                    unreachable!("ref node has ref type after phase A")
+                };
+                self.sub(ti, contents, Self::prov(inner.span, "ref contents"));
+                out
+            }
+            ExprKind::Deref(inner) => {
+                let ti = self.infer(inner);
+                let QShape::Ref(contents) = self.quals.get(ti).shape else {
+                    unreachable!("deref operand has ref type after phase A")
+                };
+                self.rules.on_deref(
+                    &self.space,
+                    self.quals.get(ti).qual,
+                    &mut self.cs,
+                    Self::prov(e.span, "dereference"),
+                );
+                let out = self.spread_of(e.id);
+                self.sub(contents, out, Self::prov(e.span, "dereference"));
+                out
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                let tl = self.infer(lhs);
+                let tr = self.infer(rhs);
+                let QShape::Ref(contents) = self.quals.get(tl).shape else {
+                    unreachable!("assignment target has ref type after phase A")
+                };
+                self.sub(tr, contents, Self::prov(rhs.span, "assigned value"));
+                self.rules.on_assign(
+                    &self.space,
+                    self.quals.get(tl).qual,
+                    &mut self.cs,
+                    Self::prov(e.span, "assignment"),
+                );
+                self.spread_of(e.id) // fresh `κ unit`
+            }
+            ExprKind::Binop(_, a, b) => {
+                let ta = self.infer(a);
+                let tb = self.infer(b);
+                let out = self.spread_of(e.id);
+                let (qa, qb, qo) = (
+                    self.quals.get(ta).qual,
+                    self.quals.get(tb).qual,
+                    self.quals.get(out).qual,
+                );
+                self.rules.on_arith(
+                    &self.space,
+                    qa,
+                    qb,
+                    qo,
+                    &mut self.cs,
+                    Self::prov(e.span, "arithmetic"),
+                );
+                out
+            }
+            ExprKind::Pair(a, b) => {
+                let ta = self.infer(a);
+                let tb = self.infer(b);
+                let out = self.spread_of(e.id);
+                let QShape::Pair(ca, cb) = self.quals.get(out).shape else {
+                    unreachable!("pair node has pair type after phase A")
+                };
+                self.sub(ta, ca, Self::prov(a.span, "pair component"));
+                self.sub(tb, cb, Self::prov(b.span, "pair component"));
+                out
+            }
+            ExprKind::Fst(inner) => {
+                let ti = self.infer(inner);
+                let QShape::Pair(ca, _) = self.quals.get(ti).shape else {
+                    unreachable!("fst operand has pair type after phase A")
+                };
+                let out = self.spread_of(e.id);
+                self.sub(ca, out, Self::prov(e.span, "first projection"));
+                out
+            }
+            ExprKind::Snd(inner) => {
+                let ti = self.infer(inner);
+                let QShape::Pair(_, cb) = self.quals.get(ti).shape else {
+                    unreachable!("snd operand has pair type after phase A")
+                };
+                let out = self.spread_of(e.id);
+                self.sub(cb, out, Self::prov(e.span, "second projection"));
+                out
+            }
+            ExprKind::Annot(l, inner) => {
+                // (Annot): requires Q ⊑ l and produces `l τ`.
+                let ti = self.infer(inner);
+                let node = self.quals.get(ti);
+                self.cs.add_with(
+                    node.qual,
+                    Qual::Const(*l),
+                    Self::prov(e.span, "qualifier annotation"),
+                );
+                self.quals.mk(Qual::Const(*l), node.shape)
+            }
+            ExprKind::Assert(inner, l) => {
+                // (Assert): requires Q ⊑ l; the type is unchanged.
+                let ti = self.infer(inner);
+                let q = self.quals.get(ti).qual;
+                self.cs.add_with(
+                    q,
+                    Qual::Const(*l),
+                    Self::prov(e.span, "qualifier assertion"),
+                );
+                ti
+            }
+        };
+        self.node_qty.insert(e.id, qty);
+        qty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{ConstRules, NoRules, NonzeroRules};
+
+    #[test]
+    fn outcome_accessors() {
+        let space = QualSpace::figure2();
+        let out = infer_program("ref {nonzero} 1", &space, &NoRules).unwrap();
+        assert!(out.is_well_qualified());
+        assert!(out.solution().is_some());
+        assert!(out.violations().is_empty());
+        assert_eq!(out.space(), &space);
+        assert_eq!(out.defaulted, 0);
+        let rendered = out.render_root();
+        assert!(rendered.contains("ref"), "{rendered}");
+    }
+
+    #[test]
+    fn violations_surface_with_provenance() {
+        let space = QualSpace::figure2();
+        let out =
+            infer_program("({nonzero} 0)|{top}", &space, &NonzeroRules).unwrap();
+        // Annotating 0 with nonzero fails under NonzeroRules: 0's
+        // intrinsic qualifier has nonzero absent, and the annotation
+        // needs Q ⊑ l with l's nonzero coordinate at ⊥.
+        assert!(!out.is_well_qualified());
+        let v = &out.violations()[0];
+        assert!(
+            v.constraint.origin.what.contains("literal")
+                || v.constraint.origin.what.contains("annotation"),
+            "{:?}",
+            v.constraint.origin
+        );
+    }
+
+    #[test]
+    fn least_qual_of_reports_node_quals() {
+        let space = QualSpace::figure2();
+        let expr = parse("{const} 5", &space).unwrap();
+        let out = infer_expr(&expr, &space, &NoRules).unwrap();
+        let q = out.least_qual_of(expr.id).unwrap();
+        assert!(q.has(&space, space.id("const").unwrap()));
+    }
+
+    #[test]
+    fn every_node_gets_a_qualified_type() {
+        let space = ConstRules::space();
+        let expr = parse("let f = \\x. !x in f (ref 1) ni", &space).unwrap();
+        let out = infer_expr(&expr, &space, &ConstRules).unwrap();
+        fn count(e: &crate::ast::Expr) -> usize {
+            use crate::ast::ExprKind as K;
+            1 + match &e.kind {
+                K::Lam(_, b) | K::Ref(b) | K::Deref(b) | K::Annot(_, b) | K::Assert(b, _) => {
+                    count(b)
+                }
+                K::App(a, b) | K::Assign(a, b) | K::Let(_, a, b) => count(a) + count(b),
+                K::If(a, b, c) => count(a) + count(b) + count(c),
+                _ => 0,
+            }
+        }
+        assert_eq!(out.node_qty.len(), count(&expr));
+    }
+
+    #[test]
+    fn defaulted_counts_unconstrained_type_vars() {
+        // `\x. 0` never constrains x's type: spreading defaults it.
+        let space = QualSpace::figure2();
+        let out = infer_program("\\x. 0", &space, &NoRules).unwrap();
+        assert!(out.defaulted > 0);
+        assert!(out.is_well_qualified());
+    }
+
+    #[test]
+    fn phase_b_runs_on_precomputed_standard_typing() {
+        let space = ConstRules::space();
+        let expr = parse("ref 1", &space).unwrap();
+        let std = crate::unify::infer_standard(&expr).unwrap();
+        let out = infer_qualifiers(&expr, &std, &space, &ConstRules);
+        assert!(out.is_well_qualified());
+    }
+}

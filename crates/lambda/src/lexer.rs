@@ -1,0 +1,348 @@
+//! Lexer for the core-language concrete syntax.
+//!
+//! The token set follows §2.5 of the paper: qualifier sets appear in a
+//! reserved bracket form (`{ ... }`) so the lexer can tokenize them
+//! unambiguously, and assertions use the special postfix form `e|{...}`.
+
+use std::fmt;
+
+use crate::ast::Span;
+use crate::error::ParseError;
+
+/// The tokens of the core language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `\` introducing an abstraction.
+    Backslash,
+    /// `.` separating a binder from a body.
+    Dot,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{` opening a qualifier set.
+    LBrace,
+    /// `}` closing a qualifier set.
+    RBrace,
+    /// `:=` assignment.
+    Assign,
+    /// `=` in let bindings.
+    Eq,
+    /// `!` dereference.
+    Bang,
+    /// `|` introducing an assertion.
+    Pipe,
+    /// `~` marking qualifier absence inside a set.
+    Tilde,
+    /// Keyword `if`.
+    If,
+    /// Keyword `then`.
+    Then,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `fi`.
+    Fi,
+    /// Keyword `let`.
+    Let,
+    /// Keyword `in`.
+    In,
+    /// Keyword `ni`.
+    Ni,
+    /// Keyword `ref`.
+    Ref,
+    /// Keyword `fst`.
+    Fst,
+    /// Keyword `snd`.
+    Snd,
+    /// `,` separating pair components.
+    Comma,
+    /// `+` addition.
+    Plus,
+    /// `*` multiplication.
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::Backslash => f.write_str("`\\`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::Assign => f.write_str("`:=`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Pipe => f.write_str("`|`"),
+            Tok::Tilde => f.write_str("`~`"),
+            Tok::If => f.write_str("`if`"),
+            Tok::Then => f.write_str("`then`"),
+            Tok::Else => f.write_str("`else`"),
+            Tok::Fi => f.write_str("`fi`"),
+            Tok::Let => f.write_str("`let`"),
+            Tok::In => f.write_str("`in`"),
+            Tok::Ni => f.write_str("`ni`"),
+            Tok::Ref => f.write_str("`ref`"),
+            Tok::Fst => f.write_str("`fst`"),
+            Tok::Snd => f.write_str("`snd`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Its location.
+    pub span: Span,
+}
+
+/// Tokenizes `src`.
+///
+/// Comments run from `#` to end of line. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown characters or malformed integers.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let lo = i as u32;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\\' => {
+                toks.push(tok1(Tok::Backslash, lo));
+                i += 1;
+            }
+            b'.' => {
+                toks.push(tok1(Tok::Dot, lo));
+                i += 1;
+            }
+            b'(' => {
+                toks.push(tok1(Tok::LParen, lo));
+                i += 1;
+            }
+            b')' => {
+                toks.push(tok1(Tok::RParen, lo));
+                i += 1;
+            }
+            b'{' => {
+                toks.push(tok1(Tok::LBrace, lo));
+                i += 1;
+            }
+            b'}' => {
+                toks.push(tok1(Tok::RBrace, lo));
+                i += 1;
+            }
+            b'!' => {
+                toks.push(tok1(Tok::Bang, lo));
+                i += 1;
+            }
+            b'|' => {
+                toks.push(tok1(Tok::Pipe, lo));
+                i += 1;
+            }
+            b'~' => {
+                toks.push(tok1(Tok::Tilde, lo));
+                i += 1;
+            }
+            b',' => {
+                toks.push(tok1(Tok::Comma, lo));
+                i += 1;
+            }
+            b'+' => {
+                toks.push(tok1(Tok::Plus, lo));
+                i += 1;
+            }
+            b'*' => {
+                toks.push(tok1(Tok::Star, lo));
+                i += 1;
+            }
+            b'=' => {
+                toks.push(tok1(Tok::Eq, lo));
+                i += 1;
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Assign,
+                        span: Span::new(lo, lo + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(
+                        Span::new(lo, lo + 1),
+                        "expected `:=`".to_owned(),
+                    ));
+                }
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                if b == b'-' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        return Err(ParseError::new(
+                            Span::new(lo, lo + 1),
+                            "expected digits after `-`".to_owned(),
+                        ));
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| {
+                    ParseError::new(
+                        Span::new(lo, i as u32),
+                        format!("integer literal `{text}` out of range"),
+                    )
+                })?;
+                toks.push(SpannedTok {
+                    tok: Tok::Int(n),
+                    span: Span::new(lo, i as u32),
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "else" => Tok::Else,
+                    "fi" => Tok::Fi,
+                    "let" => Tok::Let,
+                    "in" => Tok::In,
+                    "ni" => Tok::Ni,
+                    "ref" => Tok::Ref,
+                    "fst" => Tok::Fst,
+                    "snd" => Tok::Snd,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                toks.push(SpannedTok {
+                    tok,
+                    span: Span::new(lo, i as u32),
+                });
+            }
+            _ => {
+                return Err(ParseError::new(
+                    Span::new(lo, lo + 1),
+                    format!("unexpected character `{}`", &src[i..].chars().next().unwrap()),
+                ));
+            }
+        }
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        span: Span::new(bytes.len() as u32, bytes.len() as u32),
+    });
+    Ok(toks)
+}
+
+fn tok1(tok: Tok, lo: u32) -> SpannedTok {
+    SpannedTok {
+        tok,
+        span: Span::new(lo, lo + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("let x = ref 1 in x ni"),
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Ref,
+                Tok::Int(1),
+                Tok::In,
+                Tok::Ident("x".into()),
+                Tok::Ni,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("x := !y | { ~const }"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Bang,
+                Tok::Ident("y".into()),
+                Tok::Pipe,
+                Tok::LBrace,
+                Tok::Tilde,
+                Tok::Ident("const".into()),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_negative_ints_and_comments() {
+        assert_eq!(
+            kinds("-42 # comment\n7"),
+            vec![Tok::Int(-42), Tok::Int(7), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let ts = lex("ab 12").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 2));
+        assert_eq!(ts[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(lex("x $ y").is_err());
+        assert!(lex("x : y").is_err());
+        assert!(lex("-").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_int() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

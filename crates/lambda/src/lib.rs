@@ -1,0 +1,59 @@
+//! The core language of *A Theory of Type Qualifiers* (Foster,
+//! Fähndrich, Aiken; PLDI 1999): a call-by-value lambda calculus with
+//! updateable references, qualifier annotations `l e`, and qualifier
+//! assertions `e|l`.
+//!
+//! The crate implements the paper end to end:
+//!
+//! * [`ast`], [`parser`] — the source language of Figures 1 and 3 plus
+//!   §2.2's annotation/assertion forms and §2.4's references;
+//! * [`unify`] — standard (unqualified) type inference, phase A of the
+//!   paper's factorization;
+//! * [`infer`] — the constructed qualified inference system of §3.1 with
+//!   the let-polymorphism of §3.2;
+//! * [`rules`] — user-supplied qualifier rule sets (§2.4): `const`,
+//!   binding time, taint, `sorted`;
+//! * [`check`] — the declarative checking rules of Figure 4 run over
+//!   ground (solved) types, used to cross-validate inference;
+//! * [`eval`] — the small-step operational semantics of Figure 5 on
+//!   qualified values, used for empirical soundness testing (§3.3);
+//! * [`flow`] — the flow-sensitivity extension sketched in §6;
+//! * [`specialize`] — a partial evaluator driven by the binding-time
+//!   analysis (the §1 application).
+//!
+//! # Example: the paper's §2.4 soundness example
+//!
+//! Subtyping under a `ref` is unsound; the system catches the paper's
+//! counterexample via the invariant rule (SubRef):
+//!
+//! ```
+//! use qual_lambda::{infer_program, rules::NonzeroRules};
+//! use qual_lattice::QualSpace;
+//!
+//! let src = "let x = ref {nonzero} 37 in
+//!            let y = x in
+//!            let z = y := 0 in
+//!            (!x)|{nonzero}
+//!            ni ni ni";
+//! let outcome = infer_program(src, &QualSpace::figure2(), &NonzeroRules)?;
+//! assert!(!outcome.is_well_qualified(), "storing 0 must poison x");
+//! # Ok::<(), qual_lambda::LambdaError>(())
+//! ```
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod eval;
+pub mod flow;
+pub mod infer;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+pub mod specialize;
+pub mod types;
+pub mod unify;
+
+pub use ast::{Expr, ExprKind, NodeId, Span};
+pub use error::{LambdaError, ParseError, TypeError};
+pub use infer::{infer_expr, infer_program, infer_qualifiers, Outcome};
+pub use parser::parse;

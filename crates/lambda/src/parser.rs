@@ -1,0 +1,530 @@
+//! Recursive-descent parser for the core language.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr    ::= assign
+//! assign  ::= assert (':=' assign)?             (right associative)
+//! assert  ::= add ('|' qualset)*
+//! add     ::= mul ('+' mul)*
+//! mul     ::= app ('*' app)*
+//! app     ::= unary unary*
+//! unary   ::= 'ref' unary | '!' unary | 'fst' unary | 'snd' unary
+//!           | qualset unary | keyword | atom
+//! keyword ::= '\' IDENT '.' expr               (extends right)
+//!           | 'let' IDENT '=' expr 'in' expr 'ni'
+//!           | 'if' expr 'then' expr 'else' expr 'fi'
+//! atom    ::= IDENT | INT | '(' ')' | '(' expr ')' | '(' expr ',' expr ')'
+//! qualset ::= '{' item* '}'
+//! item    ::= IDENT | '~' IDENT | 'top' | 'bot'
+//! ```
+//!
+//! The keyword forms are self-delimiting, so they may appear directly in
+//! operand position (`f \x. x`, `(let r = ref 1 in r ni) := 2`).
+//!
+//! A qualifier set is evaluated left to right starting from the space's
+//! *no-qualifier* element: a bare name makes that qualifier present, `~name`
+//! makes it absent, and `top`/`bot` reset to the lattice extremes. The
+//! paper's `¬const` upper bound is written `{top ~const}`.
+
+use qual_lattice::{QualSet, QualSpace};
+
+use crate::ast::{Expr, ExprKind, Span};
+use crate::error::ParseError;
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parses a complete program against the given qualifier space.
+///
+/// Node ids are assigned densely; the returned tree is ready for
+/// inference.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any syntax error, including unknown
+/// qualifier names.
+pub fn parse(src: &str, space: &QualSpace) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        space,
+        depth: 0,
+    };
+    let mut e = p.expr()?;
+    p.expect(&Tok::Eof)?;
+    e.renumber();
+    Ok(e)
+}
+
+struct Parser<'a> {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    space: &'a QualSpace,
+    /// Expression-nesting depth guard (pathological inputs must error,
+    /// not overflow the stack).
+    depth: u32,
+}
+
+/// Maximum expression nesting depth. Each level of nesting costs ~8
+/// parser frames (several KiB each in debug builds); 128 keeps the
+/// parser safe on a 2 MiB test-thread stack. Note that `let`-chains
+/// nest, so programs are limited to ~120 sequential bindings — scale
+/// wide (operator chains parse iteratively), not deep.
+const MAX_DEPTH: u32 = 128;
+
+impl Parser<'_> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> SpannedTok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<Span, ParseError> {
+        if self.peek() == want {
+            Ok(self.bump().span)
+        } else {
+            Err(ParseError::new(
+                self.peek_span(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let sp = self.bump().span;
+                Ok((s, sp))
+            }
+            other => Err(ParseError::new(
+                self.peek_span(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn node(kind: ExprKind, span: Span) -> Expr {
+        Expr {
+            kind,
+            span,
+            id: crate::ast::NodeId(0),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assign()
+    }
+
+    /// The self-delimiting keyword forms, usable at any operand position:
+    /// `\\x.e` (extends right), `let … in … ni`, `if … then … else … fi`.
+    fn keyword_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Backslash => {
+                let lo = self.bump().span;
+                let (x, _) = self.ident()?;
+                self.expect(&Tok::Dot)?;
+                let body = self.expr()?;
+                let span = lo.to(body.span);
+                Ok(Self::node(ExprKind::Lam(x, Box::new(body)), span))
+            }
+            Tok::Let => {
+                let lo = self.bump().span;
+                let (x, _) = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let rhs = self.expr()?;
+                self.expect(&Tok::In)?;
+                let body = self.expr()?;
+                let hi = self.expect(&Tok::Ni)?;
+                Ok(Self::node(
+                    ExprKind::Let(x, Box::new(rhs), Box::new(body)),
+                    lo.to(hi),
+                ))
+            }
+            Tok::If => {
+                let lo = self.bump().span;
+                let guard = self.expr()?;
+                self.expect(&Tok::Then)?;
+                let thn = self.expr()?;
+                self.expect(&Tok::Else)?;
+                let els = self.expr()?;
+                let hi = self.expect(&Tok::Fi)?;
+                Ok(Self::node(
+                    ExprKind::If(Box::new(guard), Box::new(thn), Box::new(els)),
+                    lo.to(hi),
+                ))
+            }
+            other => Err(ParseError::new(
+                self.peek_span(),
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+
+    fn assign(&mut self) -> Result<Expr, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(ParseError::new(
+                self.peek_span(),
+                "expression nesting too deep".to_owned(),
+            ));
+        }
+        self.depth += 1;
+        let r = self.assign_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn assign_inner(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.assert()?;
+        if self.peek() == &Tok::Assign {
+            self.bump();
+            let rhs = self.assign()?;
+            let span = lhs.span.to(rhs.span);
+            Ok(Self::node(
+                ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+                span,
+            ))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn assert(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        while self.peek() == &Tok::Pipe {
+            self.bump();
+            let (set, hi) = self.qualset()?;
+            let span = e.span.to(hi);
+            e = Self::node(ExprKind::Assert(Box::new(e), set), span);
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        while self.peek() == &Tok::Plus {
+            self.bump();
+            let rhs = self.multiplicative()?;
+            let span = e.span.to(rhs.span);
+            e = Self::node(
+                ExprKind::Binop(crate::ast::ArithOp::Add, Box::new(e), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.app()?;
+        while self.peek() == &Tok::Star {
+            self.bump();
+            let rhs = self.app()?;
+            let span = e.span.to(rhs.span);
+            e = Self::node(
+                ExprKind::Binop(crate::ast::ArithOp::Mul, Box::new(e), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(e)
+    }
+
+    fn app(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        while self.starts_unary() {
+            let arg = self.unary()?;
+            let span = e.span.to(arg.span);
+            e = Self::node(ExprKind::App(Box::new(e), Box::new(arg)), span);
+        }
+        Ok(e)
+    }
+
+    fn starts_unary(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Ident(_)
+                | Tok::Int(_)
+                | Tok::LParen
+                | Tok::Ref
+                | Tok::Bang
+                | Tok::LBrace
+                | Tok::Backslash
+                | Tok::Let
+                | Tok::If
+                | Tok::Fst
+                | Tok::Snd
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Ref => {
+                let lo = self.bump().span;
+                let e = self.unary()?;
+                let span = lo.to(e.span);
+                Ok(Self::node(ExprKind::Ref(Box::new(e)), span))
+            }
+            Tok::Bang => {
+                let lo = self.bump().span;
+                let e = self.unary()?;
+                let span = lo.to(e.span);
+                Ok(Self::node(ExprKind::Deref(Box::new(e)), span))
+            }
+            Tok::Fst => {
+                let lo = self.bump().span;
+                let e = self.unary()?;
+                let span = lo.to(e.span);
+                Ok(Self::node(ExprKind::Fst(Box::new(e)), span))
+            }
+            Tok::Snd => {
+                let lo = self.bump().span;
+                let e = self.unary()?;
+                let span = lo.to(e.span);
+                Ok(Self::node(ExprKind::Snd(Box::new(e)), span))
+            }
+            Tok::LBrace => {
+                let (set, lo) = self.qualset()?;
+                let e = self.unary()?;
+                let span = lo.to(e.span);
+                Ok(Self::node(ExprKind::Annot(set, Box::new(e)), span))
+            }
+            // `\x.e`, `let … ni` and `if … fi` are self-delimiting, so
+            // they can appear directly in operand position.
+            Tok::Backslash | Tok::Let | Tok::If => self.keyword_expr(),
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(x) => {
+                let sp = self.bump().span;
+                Ok(Self::node(ExprKind::Var(x), sp))
+            }
+            Tok::Int(n) => {
+                let sp = self.bump().span;
+                Ok(Self::node(ExprKind::Int(n), sp))
+            }
+            Tok::LParen => {
+                let lo = self.bump().span;
+                if self.peek() == &Tok::RParen {
+                    let hi = self.bump().span;
+                    return Ok(Self::node(ExprKind::Unit, lo.to(hi)));
+                }
+                let mut e = self.expr()?;
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                    let snd = self.expr()?;
+                    let hi = self.expect(&Tok::RParen)?;
+                    return Ok(Self::node(
+                        ExprKind::Pair(Box::new(e), Box::new(snd)),
+                        lo.to(hi),
+                    ));
+                }
+                let hi = self.expect(&Tok::RParen)?;
+                e.span = lo.to(hi);
+                Ok(e)
+            }
+            other => Err(ParseError::new(
+                self.peek_span(),
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+
+    /// Parses `{ item* }`, returning the element and the closing span.
+    fn qualset(&mut self) -> Result<(QualSet, Span), ParseError> {
+        let lo = self.expect(&Tok::LBrace)?;
+        let mut set = self.space.none();
+        loop {
+            match self.peek().clone() {
+                Tok::RBrace => {
+                    let hi = self.bump().span;
+                    return Ok((set, lo.to(hi)));
+                }
+                Tok::Tilde => {
+                    self.bump();
+                    let (name, sp) = self.ident()?;
+                    let id = self.space.id(&name).ok_or_else(|| {
+                        ParseError::new(sp, format!("unknown qualifier `{name}`"))
+                    })?;
+                    set = self.space.with_absent(set, id);
+                }
+                Tok::Ident(name) => {
+                    let sp = self.bump().span;
+                    match name.as_str() {
+                        "top" => set = self.space.top(),
+                        "bot" => set = self.space.bottom(),
+                        _ => {
+                            let id = self.space.id(&name).ok_or_else(|| {
+                                ParseError::new(sp, format!("unknown qualifier `{name}`"))
+                            })?;
+                            set = self.space.with_present(set, id);
+                        }
+                    }
+                }
+                other => {
+                    return Err(ParseError::new(
+                        self.peek_span(),
+                        format!("expected qualifier name or `}}`, found {other}"),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ExprKind as K;
+
+    fn p(src: &str) -> Expr {
+        parse(src, &QualSpace::figure2()).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_nonzero_example() {
+        // Lines 1-5 of the §2.4 unsoundness example.
+        let e = p("let x = ref {nonzero} 37 in \
+                   let y = x in \
+                   y := 0 ni ni");
+        match &e.kind {
+            K::Let(x, rhs, _) => {
+                assert_eq!(x, "x");
+                assert!(matches!(rhs.kind, K::Ref(_)));
+            }
+            _ => panic!("expected let"),
+        }
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let e = p("f x y");
+        match &e.kind {
+            K::App(fx, y) => {
+                assert!(matches!(y.kind, K::Var(_)));
+                assert!(matches!(fx.kind, K::App(..)));
+            }
+            _ => panic!("expected app"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative_and_loose() {
+        let e = p("x := !y");
+        match &e.kind {
+            K::Assign(l, r) => {
+                assert!(matches!(l.kind, K::Var(_)));
+                assert!(matches!(r.kind, K::Deref(_)));
+            }
+            _ => panic!("expected assign"),
+        }
+    }
+
+    #[test]
+    fn assertion_binds_tighter_than_assign() {
+        let e = p("x|{top ~const} := 0");
+        match &e.kind {
+            K::Assign(l, _) => assert!(matches!(l.kind, K::Assert(..))),
+            _ => panic!("expected assign"),
+        }
+    }
+
+    #[test]
+    fn qualset_semantics() {
+        let space = QualSpace::figure2();
+        let e = parse("{top ~const} 1", &space).unwrap();
+        match e.kind {
+            K::Annot(set, _) => {
+                assert_eq!(set, space.not_q(space.id("const").unwrap()));
+            }
+            _ => panic!("expected annot"),
+        }
+        let e = parse("{nonzero} 1", &space).unwrap();
+        match e.kind {
+            K::Annot(set, _) => {
+                assert!(set.has(&space, space.id("nonzero").unwrap()));
+                assert!(!set.has(&space, space.id("const").unwrap()));
+            }
+            _ => panic!("expected annot"),
+        }
+    }
+
+    #[test]
+    fn unit_and_parens() {
+        assert!(matches!(p("()").kind, K::Unit));
+        assert!(matches!(p("(1)").kind, K::Int(1)));
+    }
+
+    #[test]
+    fn lambda_in_argument_position() {
+        let e = p("f \\x. x");
+        assert!(matches!(e.kind, K::App(..)));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse("let x = ", &QualSpace::figure2()).unwrap_err();
+        assert!(err.message.contains("expected expression"));
+        let err = parse("{bogus} 1", &QualSpace::figure2()).unwrap_err();
+        assert!(err.message.contains("unknown qualifier `bogus`"));
+        let err = parse("(1", &QualSpace::figure2()).unwrap_err();
+        assert!(err.message.contains("expected `)`"));
+        let err = parse("1 2 )", &QualSpace::figure2()).unwrap_err();
+        assert!(err.message.contains("expected end of input"));
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let e = p("let id = \\x. x in id 1 ni");
+        let mut ids = Vec::new();
+        fn collect(e: &Expr, out: &mut Vec<u32>) {
+            out.push(e.id.0);
+            match &e.kind {
+                K::Lam(_, b) | K::Ref(b) | K::Deref(b) | K::Annot(_, b) | K::Assert(b, _) => {
+                    collect(b, out)
+                }
+                K::App(a, b) | K::Assign(a, b) | K::Let(_, a, b) => {
+                    collect(a, out);
+                    collect(b, out);
+                }
+                K::If(a, b, c) => {
+                    collect(a, out);
+                    collect(b, out);
+                    collect(c, out);
+                }
+                _ => {}
+            }
+        }
+        collect(&e, &mut ids);
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let space = QualSpace::figure2();
+        for src in [
+            "let x = ref {nonzero} 37 in (!x)|{nonzero} ni",
+            "(\\x. x) 1",
+            "if 1 then () else () fi",
+            "x := 2",
+        ] {
+            let e = parse(src, &space).unwrap();
+            let rendered = e.render(&space);
+            let e2 = parse(&rendered, &space).unwrap();
+            assert_eq!(e.strip().render(&space), e2.strip().render(&space));
+        }
+    }
+}

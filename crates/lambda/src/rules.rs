@@ -1,0 +1,571 @@
+//! User-supplied qualifier rules (§2.4 of the paper).
+//!
+//! "Each qualifier comes with a set of rules describing how the qualifier
+//! interacts with the operations in the language." The framework's
+//! constructed type rules contain *choice points* — the arbitrary `Q`s
+//! matched in rules like (App) and (Assign) — and the qualifier designer
+//! may restrict them. A designer may also impose *well-formedness*
+//! conditions relating a constructor's qualifier to its children's (the
+//! binding-time condition that nothing `dynamic` appears inside a
+//! `static` value).
+//!
+//! Every hook receives the relevant qualifier terms and emits constraints;
+//! the default implementation of each hook emits nothing, so the plain
+//! framework of Figure 4 is `struct NoRules`.
+
+use qual_lattice::{QualId, QualSpace};
+use qual_solve::{ConstraintSet, Provenance, Qual};
+
+/// Hooks restricting the choice points of the constructed type rules.
+///
+/// Implementations must be consistent with the declared [`QualSpace`];
+/// the shipped rule sets each provide a `space()` constructor for the
+/// space they expect, but the hooks work with any space that declares the
+/// qualifiers they look up (hooks that find their qualifier undeclared do
+/// nothing).
+pub trait QualifierRules {
+    /// Restricts the `ref` qualifier on the left-hand side of an
+    /// assignment — the choice point of rule (Assign).
+    fn on_assign(
+        &self,
+        space: &QualSpace,
+        lhs_ref: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        let _ = (space, lhs_ref, cs, at);
+    }
+
+    /// Relates the function's qualifier to the application result's —
+    /// the choice point of rule (App).
+    fn on_app(
+        &self,
+        space: &QualSpace,
+        fun: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        let _ = (space, fun, result, cs, at);
+    }
+
+    /// Relates the guard's qualifier to the conditional's result — the
+    /// choice point of rule (If).
+    fn on_if(
+        &self,
+        space: &QualSpace,
+        guard: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        let _ = (space, guard, result, cs, at);
+    }
+
+    /// Restricts the `ref` qualifier at a dereference.
+    fn on_deref(&self, space: &QualSpace, refq: Qual, cs: &mut ConstraintSet, at: Provenance) {
+        let _ = (space, refq, cs, at);
+    }
+
+    /// Well-formedness between a constructor's qualifier and one of its
+    /// immediate children's qualifiers; called once per edge of every
+    /// qualified type built during inference.
+    fn wf(&self, space: &QualSpace, parent: Qual, child: Qual, cs: &mut ConstraintSet) {
+        let _ = (space, parent, child, cs);
+    }
+
+    /// Relates the operand qualifiers of integer arithmetic to the
+    /// result's — a choice point introduced with the arithmetic
+    /// extension. The default emits nothing: whether a qualifier
+    /// survives arithmetic is qualifier-specific (taint does, `nonzero`
+    /// does not).
+    fn on_arith(
+        &self,
+        space: &QualSpace,
+        lhs: Qual,
+        rhs: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        let _ = (space, lhs, rhs, result, cs, at);
+    }
+
+    /// The intrinsic qualifier of an integer literal — the choice point of
+    /// rule (Int). The default is the paper's `⊥`; a rule set like
+    /// [`NonzeroRules`] refines it (`0` is *not* `nonzero`).
+    ///
+    /// Inference uses the result as a lower bound on the literal's
+    /// qualifier; the Figure-5 interpreter uses it as the literal's
+    /// runtime annotation.
+    fn literal_qual(&self, space: &QualSpace, n: i64) -> qual_lattice::QualSet {
+        let _ = n;
+        space.bottom()
+    }
+}
+
+/// The bare framework: no extra rules beyond Figure 4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRules;
+
+impl QualifierRules for NoRules {}
+
+/// The `const` discipline of §2.4: the left-hand side of an assignment
+/// must be non-const — rule (Assign′) replaces the choice-point `Q` with
+/// `¬const`.
+///
+/// The restriction is masked to the `const` coordinate, so `ConstRules`
+/// composes with other qualifiers sharing the space.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstRules;
+
+impl ConstRules {
+    /// The canonical one-qualifier space for this rule set.
+    #[must_use]
+    pub fn space() -> QualSpace {
+        QualSpace::const_only()
+    }
+}
+
+impl QualifierRules for ConstRules {
+    fn on_assign(
+        &self,
+        space: &QualSpace,
+        lhs_ref: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(c) = space.id("const") {
+            // lhs_ref ⊑ ¬const, restricted to the const coordinate.
+            cs.add_masked(lhs_ref, space.not_q(c), &[c], at);
+        }
+    }
+}
+
+/// Binding-time analysis (§1, §2): positive qualifier `dynamic`
+/// (`static` is its absence). Rules:
+///
+/// * well-formedness — nothing dynamic may appear within a static value:
+///   every child's `dynamic` coordinate is bounded by its parent's;
+/// * (If) — a branch on a dynamic guard produces a dynamic result;
+/// * (App) — applying a dynamic function produces a dynamic result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BindingTimeRules;
+
+impl BindingTimeRules {
+    /// The canonical space: positive `dynamic`.
+    #[must_use]
+    pub fn space() -> QualSpace {
+        QualSpace::binding_time()
+    }
+
+    fn dynamic(space: &QualSpace) -> Option<QualId> {
+        space.id("dynamic")
+    }
+}
+
+impl QualifierRules for BindingTimeRules {
+    fn on_arith(
+        &self,
+        space: &QualSpace,
+        lhs: Qual,
+        rhs: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(d) = Self::dynamic(space) {
+            cs.add_masked(lhs, result, &[d], at);
+            cs.add_masked(rhs, result, &[d], at);
+        }
+    }
+
+    fn on_app(
+        &self,
+        space: &QualSpace,
+        fun: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(d) = Self::dynamic(space) {
+            cs.add_masked(fun, result, &[d], at);
+        }
+    }
+
+    fn on_if(
+        &self,
+        space: &QualSpace,
+        guard: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(d) = Self::dynamic(space) {
+            cs.add_masked(guard, result, &[d], at);
+        }
+    }
+
+    fn wf(&self, space: &QualSpace, parent: Qual, child: Qual, cs: &mut ConstraintSet) {
+        if let Some(d) = Self::dynamic(space) {
+            // If the parent is static, the child must be static; i.e. the
+            // child's dynamic coordinate flows up into the parent's.
+            cs.add_masked(
+                child,
+                parent,
+                &[d],
+                Provenance::synthetic("binding-time well-formedness"),
+            );
+        }
+    }
+}
+
+/// A security-style taint discipline: positive qualifier `tainted`.
+/// Data flow is handled by ordinary subtyping; the extra rule propagates
+/// *implicit* flows — branching on tainted data taints the result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaintRules;
+
+impl TaintRules {
+    /// The canonical space: positive `tainted`.
+    #[must_use]
+    pub fn space() -> QualSpace {
+        QualSpace::taint()
+    }
+}
+
+impl QualifierRules for TaintRules {
+    fn on_arith(
+        &self,
+        space: &QualSpace,
+        lhs: Qual,
+        rhs: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(t) = space.id("tainted") {
+            cs.add_masked(lhs, result, &[t], at);
+            cs.add_masked(rhs, result, &[t], at);
+        }
+    }
+
+    fn on_if(
+        &self,
+        space: &QualSpace,
+        guard: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(t) = space.id("tainted") {
+            cs.add_masked(guard, result, &[t], at);
+        }
+    }
+}
+
+/// The paper's `nonzero` discipline (Figure 2, §2.4): negative qualifier
+/// `nonzero`. Lattice `⊥` carries `nonzero`, so non-zero literals are
+/// `nonzero` by default; the one extra rule is that the literal `0` is
+/// *not* (`0` in a guard is C's false, §2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonzeroRules;
+
+impl NonzeroRules {
+    /// The canonical space: negative `nonzero`.
+    #[must_use]
+    pub fn space() -> QualSpace {
+        qual_lattice::QualSpaceBuilder::new()
+            .negative("nonzero")
+            .build()
+            .expect("static space is valid")
+    }
+}
+
+impl QualifierRules for NonzeroRules {
+    fn on_arith(
+        &self,
+        space: &QualSpace,
+        _lhs: Qual,
+        _rhs: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(nz) = space.id("nonzero") {
+            // 1 + -1 = 0: arithmetic never preserves nonzero. Force the
+            // coordinate absent (a lower bound at the coordinate's top).
+            cs.add_masked(
+                Qual::Const(space.with_absent(space.bottom(), nz)),
+                result,
+                &[nz],
+                at,
+            );
+        }
+    }
+
+    fn literal_qual(&self, space: &QualSpace, n: i64) -> qual_lattice::QualSet {
+        match space.id("nonzero") {
+            Some(nz) if n == 0 => space.with_absent(space.bottom(), nz),
+            _ => space.bottom(),
+        }
+    }
+}
+
+/// lclint's `nonnull` discipline (Evans 1996, cited in §1): negative
+/// qualifier `nonnull` on references. Fresh `ref`s are non-null (the
+/// lattice `⊥` carries the negative qualifier); a value that *may* be
+/// null is marked by annotating up past `¬nonnull` (e.g. the result of a
+/// lookup that can fail), and the one extra rule is that dereferencing
+/// requires `nonnull` — compile-time detection of null-pointer
+/// dereferences, which Evans found "greatly increased" error detection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonnullRules;
+
+impl NonnullRules {
+    /// The canonical space: negative `nonnull`.
+    #[must_use]
+    pub fn space() -> QualSpace {
+        qual_lattice::QualSpaceBuilder::new()
+            .negative("nonnull")
+            .build()
+            .expect("static space is valid")
+    }
+}
+
+impl QualifierRules for NonnullRules {
+    fn on_deref(&self, space: &QualSpace, refq: Qual, cs: &mut ConstraintSet, at: Provenance) {
+        if let Some(nn) = space.id("nonnull") {
+            // The dereferenced reference must carry nonnull: its
+            // qualifier stays below the greatest element *with* nonnull.
+            cs.add_masked(refq, space.not_q(nn), &[nn], at);
+        }
+    }
+
+    fn on_assign(
+        &self,
+        space: &QualSpace,
+        lhs_ref: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        if let Some(nn) = space.id("nonnull") {
+            // Writing through a reference dereferences it too.
+            cs.add_masked(lhs_ref, space.not_q(nn), &[nn], at);
+        }
+    }
+}
+
+/// The §2.3 data-structure example: negative qualifier `sorted` with no
+/// extra rules — `sorted` is introduced by (trusted) annotations and
+/// consumed by assertions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortedRules;
+
+impl SortedRules {
+    /// The canonical space: negative `sorted`.
+    #[must_use]
+    pub fn space() -> QualSpace {
+        QualSpace::sorted()
+    }
+}
+
+impl QualifierRules for SortedRules {}
+
+/// Combines several rule sets over one shared space; every hook fans out
+/// to each component.
+#[derive(Default)]
+pub struct ComposedRules {
+    parts: Vec<Box<dyn QualifierRules>>,
+}
+
+impl std::fmt::Debug for ComposedRules {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ComposedRules({} parts)", self.parts.len())
+    }
+}
+
+impl ComposedRules {
+    /// Creates an empty composition (equivalent to [`NoRules`]).
+    #[must_use]
+    pub fn new() -> ComposedRules {
+        ComposedRules::default()
+    }
+
+    /// Adds a component rule set.
+    #[must_use]
+    pub fn with(mut self, rules: impl QualifierRules + 'static) -> ComposedRules {
+        self.parts.push(Box::new(rules));
+        self
+    }
+}
+
+impl QualifierRules for ComposedRules {
+    fn on_assign(
+        &self,
+        space: &QualSpace,
+        lhs_ref: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        for p in &self.parts {
+            p.on_assign(space, lhs_ref, cs, at);
+        }
+    }
+
+    fn on_app(
+        &self,
+        space: &QualSpace,
+        fun: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        for p in &self.parts {
+            p.on_app(space, fun, result, cs, at);
+        }
+    }
+
+    fn on_if(
+        &self,
+        space: &QualSpace,
+        guard: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        for p in &self.parts {
+            p.on_if(space, guard, result, cs, at);
+        }
+    }
+
+    fn on_deref(&self, space: &QualSpace, refq: Qual, cs: &mut ConstraintSet, at: Provenance) {
+        for p in &self.parts {
+            p.on_deref(space, refq, cs, at);
+        }
+    }
+
+    fn wf(&self, space: &QualSpace, parent: Qual, child: Qual, cs: &mut ConstraintSet) {
+        for p in &self.parts {
+            p.wf(space, parent, child, cs);
+        }
+    }
+
+    fn on_arith(
+        &self,
+        space: &QualSpace,
+        lhs: Qual,
+        rhs: Qual,
+        result: Qual,
+        cs: &mut ConstraintSet,
+        at: Provenance,
+    ) {
+        for p in &self.parts {
+            p.on_arith(space, lhs, rhs, result, cs, at);
+        }
+    }
+
+    fn literal_qual(&self, space: &QualSpace, n: i64) -> qual_lattice::QualSet {
+        self.parts
+            .iter()
+            .fold(space.bottom(), |acc, p| {
+                space.join(acc, p.literal_qual(space, n))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qual_solve::VarSupply;
+
+    #[test]
+    fn const_rules_constrain_assignment_lhs() {
+        let space = ConstRules::space();
+        let c = space.id("const").unwrap();
+        let mut vs = VarSupply::new();
+        let lhs = vs.fresh();
+        let mut cs = ConstraintSet::new();
+        ConstRules.on_assign(&space, Qual::Var(lhs), &mut cs, Provenance::synthetic("t"));
+        assert_eq!(cs.len(), 1);
+        // Forcing const onto the lhs now makes the system unsatisfiable.
+        cs.add(space.just(c), lhs);
+        assert!(cs.solve(&space, &vs).is_err());
+    }
+
+    #[test]
+    fn const_rules_noop_without_const_declared() {
+        let space = QualSpace::binding_time();
+        let mut cs = ConstraintSet::new();
+        let mut vs = VarSupply::new();
+        let lhs = vs.fresh();
+        ConstRules.on_assign(&space, Qual::Var(lhs), &mut cs, Provenance::synthetic("t"));
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn binding_time_wf_pushes_dynamic_up() {
+        let space = BindingTimeRules::space();
+        let d = space.id("dynamic").unwrap();
+        let mut vs = VarSupply::new();
+        let (parent, child) = (vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        BindingTimeRules.wf(&space, Qual::Var(parent), Qual::Var(child), &mut cs);
+        cs.add(space.just(d), child);
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert!(sol.least(parent).has(&space, d));
+    }
+
+    #[test]
+    fn taint_rules_propagate_implicit_flow() {
+        let space = TaintRules::space();
+        let t = space.id("tainted").unwrap();
+        let mut vs = VarSupply::new();
+        let (guard, result) = (vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        TaintRules.on_if(
+            &space,
+            Qual::Var(guard),
+            Qual::Var(result),
+            &mut cs,
+            Provenance::synthetic("if"),
+        );
+        cs.add(space.just(t), guard);
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert!(sol.least(result).has(&space, t));
+    }
+
+    #[test]
+    fn nonnull_deref_requires_presence() {
+        let space = NonnullRules::space();
+        let nn = space.id("nonnull").unwrap();
+        let mut vs = VarSupply::new();
+        let r = vs.fresh();
+        let mut cs = ConstraintSet::new();
+        NonnullRules.on_deref(&space, Qual::Var(r), &mut cs, Provenance::synthetic("!"));
+        // A maybe-null value (nonnull absent) flowing into r violates.
+        cs.add(space.with_absent(space.bottom(), nn), r);
+        assert!(cs.solve(&space, &vs).is_err());
+        // A fresh (⊥ = nonnull) value is fine.
+        let mut cs = ConstraintSet::new();
+        NonnullRules.on_deref(&space, Qual::Var(r), &mut cs, Provenance::synthetic("!"));
+        cs.add(space.bottom(), r);
+        assert!(cs.solve(&space, &vs).is_ok());
+    }
+
+    #[test]
+    fn composed_rules_fan_out() {
+        let space = qual_lattice::QualSpaceBuilder::new()
+            .positive("const")
+            .positive("tainted")
+            .build()
+            .unwrap();
+        let rules = ComposedRules::new().with(ConstRules).with(TaintRules);
+        let mut vs = VarSupply::new();
+        let (g, r, lhs) = (vs.fresh(), vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        rules.on_if(&space, Qual::Var(g), Qual::Var(r), &mut cs, Provenance::synthetic("if"));
+        rules.on_assign(&space, Qual::Var(lhs), &mut cs, Provenance::synthetic(":="));
+        assert_eq!(cs.len(), 2);
+    }
+}

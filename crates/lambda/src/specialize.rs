@@ -1,0 +1,477 @@
+//! A partial evaluator driven by binding-time analysis — the application
+//! that motivates the `static`/`dynamic` qualifiers in §1 of the paper
+//! ("binding-time analysis ... is used in partial evaluation systems
+//! [Hen91, DHM95]").
+//!
+//! Given a program inferred against [`BindingTimeRules`], the specializer
+//! runs the static parts at specialization time and *residualizes* the
+//! dynamic parts: static conditionals are folded, applications of static
+//! functions are unfolded, static lets disappear, and only code that
+//! genuinely depends on `{dynamic}` inputs survives. The binding-time
+//! analysis guarantees the specializer never needs the value of a
+//! dynamic expression to make progress (that is precisely the
+//! well-formedness condition: nothing dynamic inside static).
+//!
+//! Scope: the pure fragment (no `ref`/`!`/`:=`) — classic BTA; partially
+//! evaluating an effectful store is its own research problem.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use qual_lattice::QualSpace;
+
+use crate::ast::{Expr, ExprKind, Span};
+use crate::error::LambdaError;
+use crate::infer::{infer_expr, Outcome};
+use crate::rules::BindingTimeRules;
+
+/// Why specialization failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecializeError {
+    /// The program uses references (out of the supported pure fragment).
+    UsesStore(Span),
+    /// Unfolding exceeded the step budget (the static part may diverge).
+    FuelExhausted,
+    /// The program is not well qualified under the binding-time rules, or
+    /// has no standard type.
+    BadInput(String),
+    /// A static computation went wrong (e.g. a free variable) — cannot
+    /// happen for closed, well-typed input; reported rather than panicked.
+    Stuck(String),
+}
+
+impl fmt::Display for SpecializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecializeError::UsesStore(s) => {
+                write!(f, "program uses the store at bytes {}..{}", s.lo, s.hi)
+            }
+            SpecializeError::FuelExhausted => f.write_str("specialization fuel exhausted"),
+            SpecializeError::BadInput(m) => write!(f, "bad input: {m}"),
+            SpecializeError::Stuck(m) => write!(f, "static evaluation stuck: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecializeError {}
+
+/// A specialization-time value.
+#[derive(Debug, Clone)]
+enum SVal {
+    Int(i64),
+    Unit,
+    Pair(Rc<SVal>, Rc<SVal>),
+    /// An environment-capturing closure: unfolding specializes the body.
+    Closure {
+        param: String,
+        body: Expr,
+        env: Env,
+    },
+}
+
+/// The result of specializing one expression.
+#[derive(Debug, Clone)]
+enum Spec {
+    /// Known now.
+    Static(SVal),
+    /// Residual code for run time.
+    Dyn(Expr),
+    /// A *partially static* pair: components specialize independently,
+    /// so `fst`/`snd` can still extract a static half.
+    PairPS(Box<Spec>, Box<Spec>),
+}
+
+type Env = HashMap<String, Spec>;
+
+/// The outcome of a successful specialization.
+#[derive(Debug)]
+pub struct Specialized {
+    /// The residual program.
+    pub residual: Expr,
+    /// How many conditionals were folded away.
+    pub ifs_folded: usize,
+    /// How many applications were unfolded.
+    pub apps_unfolded: usize,
+}
+
+/// Runs binding-time analysis and specializes `src`.
+///
+/// # Errors
+///
+/// See [`SpecializeError`].
+pub fn specialize_program(src: &str) -> Result<Specialized, SpecializeError> {
+    let space = BindingTimeRules::space();
+    let expr = crate::parser::parse(src, &space)
+        .map_err(|e| SpecializeError::BadInput(e.to_string()))?;
+    let outcome = infer_expr(&expr, &space, &BindingTimeRules)
+        .map_err(|e: LambdaError| SpecializeError::BadInput(e.to_string()))?;
+    specialize(&expr, &outcome)
+}
+
+/// Specializes an already-inferred program (the outcome must come from
+/// [`BindingTimeRules`] over [`QualSpace::binding_time`]).
+///
+/// # Errors
+///
+/// See [`SpecializeError`].
+pub fn specialize(expr: &Expr, outcome: &Outcome) -> Result<Specialized, SpecializeError> {
+    if !outcome.is_well_qualified() {
+        return Err(SpecializeError::BadInput(
+            "program is not well qualified under binding-time rules".to_owned(),
+        ));
+    }
+    let mut cx = SpecCx {
+        space: outcome.space().clone(),
+        fuel: 100_000,
+        ifs_folded: 0,
+        apps_unfolded: 0,
+    };
+    let mut env = Env::new();
+    let result = cx.spec(expr, &mut env)?;
+    let residual = cx.reify(result);
+    Ok(Specialized {
+        residual,
+        ifs_folded: cx.ifs_folded,
+        apps_unfolded: cx.apps_unfolded,
+    })
+}
+
+struct SpecCx {
+    space: QualSpace,
+    fuel: u64,
+    ifs_folded: usize,
+    apps_unfolded: usize,
+}
+
+impl SpecCx {
+    fn tick(&mut self) -> Result<(), SpecializeError> {
+        if self.fuel == 0 {
+            return Err(SpecializeError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Turns a specialization result into residual syntax.
+    fn reify(&mut self, s: Spec) -> Expr {
+        match s {
+            Spec::Dyn(e) => e,
+            Spec::Static(v) => self.lift(&v),
+            Spec::PairPS(a, b) => {
+                let (ra, rb) = (self.reify(*a), self.reify(*b));
+                Expr::synthetic(ExprKind::Pair(Box::new(ra), Box::new(rb)))
+            }
+        }
+    }
+
+    /// Embeds a static value as residual code.
+    fn lift(&mut self, v: &SVal) -> Expr {
+        match v {
+            SVal::Int(n) => Expr::synthetic(ExprKind::Int(*n)),
+            SVal::Unit => Expr::synthetic(ExprKind::Unit),
+            SVal::Pair(a, b) => Expr::synthetic(ExprKind::Pair(
+                Box::new(self.lift(a)),
+                Box::new(self.lift(b)),
+            )),
+            SVal::Closure { param, body, env } => {
+                // Residualize the function: specialize its body with the
+                // parameter dynamic.
+                let mut env = env.clone();
+                env.insert(
+                    param.clone(),
+                    Spec::Dyn(Expr::synthetic(ExprKind::Var(param.clone()))),
+                );
+                let body_spec = self
+                    .spec(&body.clone(), &mut env)
+                    .unwrap_or_else(|_| Spec::Dyn(body.clone()));
+                let rbody = self.reify(body_spec);
+                Expr::synthetic(ExprKind::Lam(param.clone(), Box::new(rbody)))
+            }
+        }
+    }
+
+    fn spec(&mut self, e: &Expr, env: &mut Env) -> Result<Spec, SpecializeError> {
+        self.tick()?;
+        Ok(match &e.kind {
+            ExprKind::Int(n) => Spec::Static(SVal::Int(*n)),
+            ExprKind::Unit => Spec::Static(SVal::Unit),
+            ExprKind::Var(x) => env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| SpecializeError::Stuck(format!("free variable `{x}`")))?,
+            ExprKind::Loc(_) | ExprKind::Ref(_) | ExprKind::Deref(_) | ExprKind::Assign(..) => {
+                return Err(SpecializeError::UsesStore(e.span))
+            }
+            ExprKind::Lam(x, body) => Spec::Static(SVal::Closure {
+                param: x.clone(),
+                body: (**body).clone(),
+                env: env.clone(),
+            }),
+            ExprKind::App(f, a) => {
+                let sf = self.spec(f, env)?;
+                let sa = self.spec(a, env)?;
+                match sf {
+                    Spec::Static(SVal::Closure {
+                        param,
+                        body,
+                        env: closure_env,
+                    }) => {
+                        // Unfold: specialize the body with the (possibly
+                        // dynamic) argument bound.
+                        self.apps_unfolded += 1;
+                        let mut inner = closure_env.clone();
+                        inner.insert(param, sa);
+                        self.spec(&body, &mut inner)?
+                    }
+                    Spec::Static(_) | Spec::PairPS(..) => {
+                        return Err(SpecializeError::Stuck(
+                            "application of a non-function".to_owned(),
+                        ))
+                    }
+                    Spec::Dyn(rf) => {
+                        let ra = self.reify(sa);
+                        Spec::Dyn(Expr::synthetic(ExprKind::App(
+                            Box::new(rf),
+                            Box::new(ra),
+                        )))
+                    }
+                }
+            }
+            ExprKind::If(g, t, f) => {
+                match self.spec(g, env)? {
+                    Spec::Static(SVal::Int(n)) => {
+                        // The classic payoff: fold the conditional.
+                        self.ifs_folded += 1;
+                        if n != 0 {
+                            self.spec(t, env)?
+                        } else {
+                            self.spec(f, env)?
+                        }
+                    }
+                    Spec::Static(_) | Spec::PairPS(..) => {
+                        return Err(SpecializeError::Stuck(
+                            "non-integer conditional guard".to_owned(),
+                        ))
+                    }
+                    Spec::Dyn(rg) => {
+                        let rt = self.spec(t, env)?;
+                        let rf = self.spec(f, env)?;
+                        let (rt, rf) = (self.reify(rt), self.reify(rf));
+                        Spec::Dyn(Expr::synthetic(ExprKind::If(
+                            Box::new(rg),
+                            Box::new(rt),
+                            Box::new(rf),
+                        )))
+                    }
+                }
+            }
+            ExprKind::Let(x, rhs, body) => {
+                let sr = self.spec(rhs, env)?;
+                // Fully dynamic bindings are kept as residual lets, and
+                // uses refer to the bound variable (no code duplication).
+                // Static and partially-static bindings substitute away.
+                let (binding, keep_let) = match &sr {
+                    Spec::Dyn(_) => (
+                        Spec::Dyn(Expr::synthetic(ExprKind::Var(x.clone()))),
+                        true,
+                    ),
+                    other => (other.clone(), false),
+                };
+                let shadowed = env.insert(x.clone(), binding);
+                let sb = self.spec(body, env)?;
+                match shadowed {
+                    Some(old) => {
+                        env.insert(x.clone(), old);
+                    }
+                    None => {
+                        env.remove(x);
+                    }
+                }
+                if keep_let {
+                    let rr = self.reify(sr);
+                    let rb = self.reify(sb);
+                    Spec::Dyn(Expr::synthetic(ExprKind::Let(
+                        x.clone(),
+                        Box::new(rr),
+                        Box::new(rb),
+                    )))
+                } else {
+                    sb
+                }
+            }
+            ExprKind::Binop(op, a, b) => {
+                let sa = self.spec(a, env)?;
+                let sb = self.spec(b, env)?;
+                match (&sa, &sb) {
+                    (Spec::Static(SVal::Int(x)), Spec::Static(SVal::Int(y))) => {
+                        Spec::Static(SVal::Int(op.apply(*x, *y)))
+                    }
+                    _ => {
+                        let (ra, rb) = (self.reify(sa), self.reify(sb));
+                        Spec::Dyn(Expr::synthetic(ExprKind::Binop(
+                            *op,
+                            Box::new(ra),
+                            Box::new(rb),
+                        )))
+                    }
+                }
+            }
+            ExprKind::Pair(a, b) => {
+                let sa = self.spec(a, env)?;
+                let sb = self.spec(b, env)?;
+                match (sa, sb) {
+                    (Spec::Static(va), Spec::Static(vb)) => {
+                        Spec::Static(SVal::Pair(Rc::new(va), Rc::new(vb)))
+                    }
+                    (sa, sb) => Spec::PairPS(Box::new(sa), Box::new(sb)),
+                }
+            }
+            ExprKind::Fst(inner) => match self.spec(inner, env)? {
+                Spec::Static(SVal::Pair(a, _)) => Spec::Static((*a).clone()),
+                Spec::PairPS(a, _) => *a,
+                Spec::Static(_) => {
+                    return Err(SpecializeError::Stuck("fst of non-pair".to_owned()))
+                }
+                Spec::Dyn(r) => Spec::Dyn(Expr::synthetic(ExprKind::Fst(Box::new(r)))),
+            },
+            ExprKind::Snd(inner) => match self.spec(inner, env)? {
+                Spec::Static(SVal::Pair(_, b)) => Spec::Static((*b).clone()),
+                Spec::PairPS(_, b) => *b,
+                Spec::Static(_) => {
+                    return Err(SpecializeError::Stuck("snd of non-pair".to_owned()))
+                }
+                Spec::Dyn(r) => Spec::Dyn(Expr::synthetic(ExprKind::Snd(Box::new(r)))),
+            },
+            ExprKind::Annot(l, inner) => {
+                let dynamic = self
+                    .space
+                    .id("dynamic")
+                    .is_some_and(|d| l.has(&self.space, d));
+                let si = self.spec(inner, env)?;
+                if dynamic {
+                    // A {dynamic} annotation is the residualization point:
+                    // whatever it wraps becomes run-time code.
+                    let r = self.reify(si);
+                    Spec::Dyn(r)
+                } else {
+                    si
+                }
+            }
+            ExprKind::Assert(inner, _) => {
+                // Checked statically by inference; erased from residual.
+                self.spec(inner, env)?
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Specialized {
+        specialize_program(src).unwrap_or_else(|e| panic!("specialize failed: {e}\n{src}"))
+    }
+
+    fn residual_text(src: &str) -> String {
+        run(src).residual.render(&BindingTimeRules::space())
+    }
+
+    #[test]
+    fn fully_static_program_becomes_a_constant() {
+        assert_eq!(residual_text("2 * 3 + 4"), "10");
+        assert_eq!(residual_text("if 1 then 42 else 0 fi"), "42");
+        assert_eq!(residual_text("let x = 5 in x + x ni"), "10");
+    }
+
+    #[test]
+    fn dynamic_input_survives() {
+        // `{dynamic} 0` stands for an unknown run-time input.
+        let t = residual_text("let d = {dynamic} 0 in d + 2 * 3 ni");
+        assert!(t.contains('+'), "{t}");
+        assert!(t.contains('6'), "static part folded: {t}");
+    }
+
+    #[test]
+    fn static_conditionals_fold_around_dynamic_data() {
+        let s = run("let d = {dynamic} 0 in
+                     if 1 then d + 1 else d + 2 fi ni");
+        assert_eq!(s.ifs_folded, 1);
+        let t = s.residual.render(&BindingTimeRules::space());
+        assert!(t.contains("+ 1") || t.contains("1)"), "{t}");
+        assert!(!t.contains("else") || !t.contains("2"), "dead branch gone: {t}");
+    }
+
+    #[test]
+    fn applications_unfold() {
+        // select is applied to a static flag: the function disappears.
+        let s = run("let select = \\flag. \\a. \\b. if flag then a else b fi in
+                     let d = {dynamic} 0 in
+                     select 1 d 99
+                     ni ni");
+        assert!(s.apps_unfolded >= 3);
+        assert_eq!(s.ifs_folded, 1);
+        let t = s.residual.render(&BindingTimeRules::space());
+        assert!(!t.contains("99"), "the not-taken branch is gone: {t}");
+        assert!(!t.contains("select"), "the combinator is gone: {t}");
+    }
+
+    #[test]
+    fn dynamic_conditionals_residualize_both_branches() {
+        let s = run("let d = {dynamic} 0 in if d then 1 + 1 else 2 + 2 fi ni");
+        assert_eq!(s.ifs_folded, 0);
+        let t = s.residual.render(&BindingTimeRules::space());
+        assert!(t.contains("if"), "{t}");
+        assert!(t.contains('2') && t.contains('4'), "branches folded inside: {t}");
+    }
+
+    #[test]
+    fn residual_agrees_with_direct_evaluation() {
+        // Specializing then running (with the dynamic input supplied)
+        // equals running the original with that input.
+        use crate::eval::{eval, VShape};
+        let space = BindingTimeRules::space();
+        // Original program parameterized over its dynamic input:
+        let make = |d: i64| {
+            format!(
+                "let d = {{dynamic}} {d} in
+                 let twice = \\f. \\x. f (f x) in
+                 twice (\\y. y + 3) (d * 2)
+                 ni ni"
+            )
+        };
+        for d in [-2i64, 0, 5] {
+            let original = crate::parser::parse(&make(d), &space).unwrap();
+            let (vo, _) = eval(&original, &space, 100_000).unwrap();
+            let spec = run(&make(d));
+            let (vs, _) = eval(&spec.residual, &space, 100_000).unwrap();
+            match (vo.shape, vs.shape) {
+                (VShape::Int(a), VShape::Int(b)) => assert_eq!(a, b, "d={d}"),
+                other => panic!("unexpected shapes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_is_out_of_scope() {
+        let err = specialize_program("!(ref 1)").unwrap_err();
+        assert!(matches!(err, SpecializeError::UsesStore(_)));
+    }
+
+    #[test]
+    fn ill_qualified_input_is_rejected() {
+        // Asserting static on a dynamic value fails BTA; the specializer
+        // refuses to run.
+        let err = specialize_program("({dynamic} 1)|{~dynamic}").unwrap_err();
+        assert!(matches!(err, SpecializeError::BadInput(_)));
+    }
+
+    #[test]
+    fn pairs_specialize_componentwise() {
+        let t = residual_text("let p = (2 + 3, {dynamic} 0) in fst p ni");
+        assert_eq!(t, "5");
+        let t = residual_text("let p = (2 + 3, {dynamic} 0) in snd p ni");
+        assert!(t.contains('0'), "{t}");
+    }
+}

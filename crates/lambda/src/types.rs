@@ -1,0 +1,424 @@
+//! Type representations.
+//!
+//! Two layers, mirroring the paper's factorization (§1, §3.1):
+//!
+//! * **Standard types** `τ ::= α | int | unit | τ → τ | ref(τ)` live in a
+//!   [`TyArena`] and are solved by unification ([`crate::unify`]).
+//! * **Qualified types** `ρ ::= Q τ` ([`QTy`], Figure 3 extended with
+//!   `ref`/`unit`) decorate every constructor with a qualifier term
+//!   (`Q ::= κ | l`) and live in a [`QTyArena`]. They are produced by the
+//!   `sp` spread operator after standard typing succeeds.
+
+use qual_lattice::QualSpace;
+use qual_solve::{Qual, QVar, VarSupply};
+
+/// Index of a standard type in its [`TyArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TyId(u32);
+
+impl TyId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A standard type constructor application or variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// A unification variable; `Var(v)` may be bound in the arena.
+    Var(u32),
+    /// The integer type.
+    Int,
+    /// The unit type.
+    Unit,
+    /// Function type `τ₁ → τ₂`.
+    Fun(TyId, TyId),
+    /// Updateable reference `ref(τ)`.
+    Ref(TyId),
+    /// Pair `τ₁ × τ₂` (a second constructor demonstrating §2.1's generic
+    /// construction).
+    Pair(TyId, TyId),
+}
+
+/// Arena of standard types plus the unification substitution.
+#[derive(Debug, Default)]
+pub struct TyArena {
+    nodes: Vec<Ty>,
+    /// `bindings[v]` is the type bound to unification variable `v`.
+    bindings: Vec<Option<TyId>>,
+}
+
+impl TyArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> TyArena {
+        TyArena::default()
+    }
+
+    /// Interns a type node.
+    pub fn mk(&mut self, ty: Ty) -> TyId {
+        let id = TyId(u32::try_from(self.nodes.len()).expect("type arena overflow"));
+        self.nodes.push(ty);
+        id
+    }
+
+    /// Allocates a fresh unification variable.
+    pub fn fresh_var(&mut self) -> TyId {
+        let v = u32::try_from(self.bindings.len()).expect("type variable overflow");
+        self.bindings.push(None);
+        self.mk(Ty::Var(v))
+    }
+
+    /// The node stored at `id` (without resolving variables).
+    #[must_use]
+    pub fn get(&self, id: TyId) -> Ty {
+        self.nodes[id.index()]
+    }
+
+    /// Follows variable bindings until reaching an unbound variable or a
+    /// constructor (path-compression-free resolve; trees are small).
+    #[must_use]
+    pub fn resolve(&self, mut id: TyId) -> TyId {
+        loop {
+            match self.get(id) {
+                Ty::Var(v) => match self.bindings[v as usize] {
+                    Some(next) => id = next,
+                    None => return id,
+                },
+                _ => return id,
+            }
+        }
+    }
+
+    pub(crate) fn bind(&mut self, var: u32, to: TyId) {
+        debug_assert!(self.bindings[var as usize].is_none(), "rebinding variable");
+        self.bindings[var as usize] = Some(to);
+    }
+
+    /// Whether (resolved) `var` occurs anywhere inside (resolved) `ty` —
+    /// the occurs check.
+    #[must_use]
+    pub fn occurs(&self, var: u32, ty: TyId) -> bool {
+        let r = self.resolve(ty);
+        match self.get(r) {
+            Ty::Var(v) => v == var,
+            Ty::Int | Ty::Unit => false,
+            Ty::Fun(a, b) | Ty::Pair(a, b) => self.occurs(var, a) || self.occurs(var, b),
+            Ty::Ref(t) => self.occurs(var, t),
+        }
+    }
+
+    /// Renders the (resolved) type for error messages.
+    #[must_use]
+    pub fn render(&self, id: TyId) -> String {
+        let r = self.resolve(id);
+        match self.get(r) {
+            Ty::Var(v) => format!("α{v}"),
+            Ty::Int => "int".to_owned(),
+            Ty::Unit => "unit".to_owned(),
+            Ty::Fun(a, b) => format!("({} -> {})", self.render(a), self.render(b)),
+            Ty::Pair(a, b) => format!("({} * {})", self.render(a), self.render(b)),
+            Ty::Ref(t) => format!("ref({})", self.render(t)),
+        }
+    }
+}
+
+/// Index of a qualified type in its [`QTyArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QTyId(u32);
+
+impl QTyId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The shape (standard-type skeleton) of a qualified type node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QShape {
+    /// `Q int`.
+    Int,
+    /// `Q unit`.
+    Unit,
+    /// `Q (ρ₁ → ρ₂)`.
+    Fun(QTyId, QTyId),
+    /// `Q ref(ρ)`.
+    Ref(QTyId),
+    /// `Q (ρ₁ × ρ₂)`.
+    Pair(QTyId, QTyId),
+}
+
+/// A qualified type node `Q shape`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QTy {
+    /// The top-level qualifier term.
+    pub qual: Qual,
+    /// The constructor and children.
+    pub shape: QShape,
+}
+
+/// Arena of qualified types.
+#[derive(Debug, Default)]
+pub struct QTyArena {
+    nodes: Vec<QTy>,
+}
+
+impl QTyArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> QTyArena {
+        QTyArena::default()
+    }
+
+    /// Interns a qualified type node.
+    pub fn mk(&mut self, qual: Qual, shape: QShape) -> QTyId {
+        let id = QTyId(u32::try_from(self.nodes.len()).expect("qualified type arena overflow"));
+        self.nodes.push(QTy { qual, shape });
+        id
+    }
+
+    /// The node at `id`.
+    #[must_use]
+    pub fn get(&self, id: QTyId) -> QTy {
+        self.nodes[id.index()]
+    }
+
+    /// Number of nodes interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all interned nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (QTyId, QTy)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (QTyId(i as u32), *n))
+    }
+
+    /// The paper's `sp` operator: rewrites a standard type into a
+    /// qualified type with a fresh qualifier variable on every
+    /// constructor. Unbound standard type variables are defaulted to
+    /// `int` (the program never constrained them, so any shape works);
+    /// the count of such defaults is added to `defaulted`.
+    pub fn spread(
+        &mut self,
+        tys: &TyArena,
+        ty: TyId,
+        supply: &mut VarSupply,
+        defaulted: &mut usize,
+    ) -> QTyId {
+        let r = tys.resolve(ty);
+        let shape = match tys.get(r) {
+            Ty::Var(_) => {
+                *defaulted += 1;
+                QShape::Int
+            }
+            Ty::Int => QShape::Int,
+            Ty::Unit => QShape::Unit,
+            Ty::Fun(a, b) => {
+                let qa = self.spread(tys, a, supply, defaulted);
+                let qb = self.spread(tys, b, supply, defaulted);
+                QShape::Fun(qa, qb)
+            }
+            Ty::Ref(t) => {
+                let qt = self.spread(tys, t, supply, defaulted);
+                QShape::Ref(qt)
+            }
+            Ty::Pair(a, b) => {
+                let qa = self.spread(tys, a, supply, defaulted);
+                let qb = self.spread(tys, b, supply, defaulted);
+                QShape::Pair(qa, qb)
+            }
+        };
+        self.mk(Qual::Var(supply.fresh()), shape)
+    }
+
+    /// Deep-copies `id`, applying `subst` to every qualifier variable —
+    /// used by scheme instantiation (rule (Var′)).
+    pub fn copy_with(&mut self, id: QTyId, subst: &dyn Fn(QVar) -> QVar) -> QTyId {
+        let node = self.get(id);
+        let shape = match node.shape {
+            QShape::Int => QShape::Int,
+            QShape::Unit => QShape::Unit,
+            QShape::Fun(a, b) => {
+                let ca = self.copy_with(a, subst);
+                let cb = self.copy_with(b, subst);
+                QShape::Fun(ca, cb)
+            }
+            QShape::Ref(t) => {
+                let ct = self.copy_with(t, subst);
+                QShape::Ref(ct)
+            }
+            QShape::Pair(a, b) => {
+                let ca = self.copy_with(a, subst);
+                let cb = self.copy_with(b, subst);
+                QShape::Pair(ca, cb)
+            }
+        };
+        let qual = match node.qual {
+            Qual::Var(v) => Qual::Var(subst(v)),
+            Qual::Const(c) => Qual::Const(c),
+        };
+        self.mk(qual, shape)
+    }
+
+    /// Collects every qualifier variable inside `id` (preorder, may
+    /// contain duplicates if the type shares nodes).
+    pub fn vars_of(&self, id: QTyId, out: &mut Vec<QVar>) {
+        let node = self.get(id);
+        if let Qual::Var(v) = node.qual {
+            out.push(v);
+        }
+        match node.shape {
+            QShape::Int | QShape::Unit => {}
+            QShape::Fun(a, b) | QShape::Pair(a, b) => {
+                self.vars_of(a, out);
+                self.vars_of(b, out);
+            }
+            QShape::Ref(t) => self.vars_of(t, out),
+        }
+    }
+
+    /// The `strip` direction of Observation 1: rebuilds the standard type
+    /// underlying `id` into `tys`.
+    pub fn strip(&self, id: QTyId, tys: &mut TyArena) -> TyId {
+        let node = self.get(id);
+        match node.shape {
+            QShape::Int => tys.mk(Ty::Int),
+            QShape::Unit => tys.mk(Ty::Unit),
+            QShape::Fun(a, b) => {
+                let ta = self.strip(a, tys);
+                let tb = self.strip(b, tys);
+                tys.mk(Ty::Fun(ta, tb))
+            }
+            QShape::Ref(t) => {
+                let tt = self.strip(t, tys);
+                tys.mk(Ty::Ref(tt))
+            }
+            QShape::Pair(a, b) => {
+                let ta = self.strip(a, tys);
+                let tb = self.strip(b, tys);
+                tys.mk(Ty::Pair(ta, tb))
+            }
+        }
+    }
+
+    /// Renders the qualified type, naming constants via `space`.
+    #[must_use]
+    pub fn render(&self, id: QTyId, space: &QualSpace) -> String {
+        let node = self.get(id);
+        let q = node.qual.render(space);
+        match node.shape {
+            QShape::Int => format!("{q} int"),
+            QShape::Unit => format!("{q} unit"),
+            QShape::Fun(a, b) => {
+                format!("{q} ({} -> {})", self.render(a, space), self.render(b, space))
+            }
+            QShape::Ref(t) => format!("{q} ref({})", self.render(t, space)),
+            QShape::Pair(a, b) => format!(
+                "{q} ({} * {})",
+                self.render(a, space),
+                self.render(b, space)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unification_arena_basics() {
+        let mut tys = TyArena::new();
+        let a = tys.fresh_var();
+        let int = tys.mk(Ty::Int);
+        assert_eq!(tys.resolve(a), a);
+        if let Ty::Var(v) = tys.get(a) {
+            tys.bind(v, int);
+        }
+        assert_eq!(tys.resolve(a), int);
+        assert_eq!(tys.render(a), "int");
+    }
+
+    #[test]
+    fn occurs_check_detects_cycles() {
+        let mut tys = TyArena::new();
+        let a = tys.fresh_var();
+        let f = tys.mk(Ty::Fun(a, a));
+        if let Ty::Var(v) = tys.get(a) {
+            assert!(tys.occurs(v, f));
+            let other = tys.fresh_var();
+            assert!(!tys.occurs(v, other));
+        }
+    }
+
+    #[test]
+    fn spread_decorates_every_level() {
+        let mut tys = TyArena::new();
+        let int = tys.mk(Ty::Int);
+        let r = tys.mk(Ty::Ref(int));
+        let f = tys.mk(Ty::Fun(r, int));
+        let mut quals = QTyArena::new();
+        let mut supply = VarSupply::new();
+        let mut defaulted = 0;
+        let q = quals.spread(&tys, f, &mut supply, &mut defaulted);
+        assert_eq!(defaulted, 0);
+        // int, ref(int), int, fun = 4 fresh qualifier variables.
+        assert_eq!(supply.count(), 4);
+        let mut vars = Vec::new();
+        quals.vars_of(q, &mut vars);
+        assert_eq!(vars.len(), 4);
+        let space = QualSpace::const_only();
+        assert!(quals.render(q, &space).contains("ref"));
+    }
+
+    #[test]
+    fn spread_defaults_unbound_vars() {
+        let mut tys = TyArena::new();
+        let a = tys.fresh_var();
+        let mut quals = QTyArena::new();
+        let mut supply = VarSupply::new();
+        let mut defaulted = 0;
+        let q = quals.spread(&tys, a, &mut supply, &mut defaulted);
+        assert_eq!(defaulted, 1);
+        assert!(matches!(quals.get(q).shape, QShape::Int));
+    }
+
+    #[test]
+    fn strip_spread_inverts_shape() {
+        // strip(sp(τ)) has the same structure as τ (Observation 1).
+        let mut tys = TyArena::new();
+        let int = tys.mk(Ty::Int);
+        let r = tys.mk(Ty::Ref(int));
+        let f = tys.mk(Ty::Fun(r, int));
+        let mut quals = QTyArena::new();
+        let mut supply = VarSupply::new();
+        let mut defaulted = 0;
+        let q = quals.spread(&tys, f, &mut supply, &mut defaulted);
+        let back = quals.strip(q, &mut tys);
+        assert_eq!(tys.render(back), tys.render(f));
+    }
+
+    #[test]
+    fn copy_with_renames_vars() {
+        let mut quals = QTyArena::new();
+        let mut supply = VarSupply::new();
+        let v = supply.fresh();
+        let inner = quals.mk(Qual::Var(v), QShape::Int);
+        let outer = quals.mk(Qual::Var(v), QShape::Ref(inner));
+        let w = supply.fresh();
+        let copy = quals.copy_with(outer, &|x| if x == v { w } else { x });
+        let mut vars = Vec::new();
+        quals.vars_of(copy, &mut vars);
+        assert_eq!(vars, vec![w, w]);
+    }
+}

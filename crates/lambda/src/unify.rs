@@ -1,0 +1,295 @@
+//! Standard (unqualified) type inference for the core language: the
+//! simply-typed lambda calculus with references, solved by unification.
+//!
+//! This is "phase A" of the paper's factorization: qualifiers are
+//! computed in a separate phase after standard typechecking has been
+//! performed (§1, §3.1). The result maps every expression node to its
+//! standard type.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, ExprKind, NodeId, Span};
+use crate::error::TypeError;
+use crate::types::{Ty, TyArena, TyId};
+
+/// The result of standard type inference.
+#[derive(Debug)]
+pub struct StandardTyping {
+    /// The arena holding all types (with the final substitution).
+    pub tys: TyArena,
+    /// The standard type of every expression node.
+    pub node_ty: HashMap<NodeId, TyId>,
+}
+
+impl StandardTyping {
+    /// The type assigned to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of the inferred program.
+    #[must_use]
+    pub fn ty_of(&self, id: NodeId) -> TyId {
+        self.node_ty[&id]
+    }
+}
+
+/// Infers standard types for a closed program.
+///
+/// # Errors
+///
+/// Returns [`TypeError`] if the program has no simple type (constructor
+/// mismatch, occurs-check failure, or unbound variable).
+pub fn infer_standard(expr: &Expr) -> Result<StandardTyping, TypeError> {
+    let mut cx = Cx {
+        tys: TyArena::new(),
+        node_ty: HashMap::new(),
+    };
+    let mut env = Vec::new();
+    cx.infer(expr, &mut env)?;
+    Ok(StandardTyping {
+        tys: cx.tys,
+        node_ty: cx.node_ty,
+    })
+}
+
+struct Cx {
+    tys: TyArena,
+    node_ty: HashMap<NodeId, TyId>,
+}
+
+impl Cx {
+    fn infer(&mut self, e: &Expr, env: &mut Vec<(String, TyId)>) -> Result<TyId, TypeError> {
+        let ty = match &e.kind {
+            ExprKind::Var(x) => env
+                .iter()
+                .rev()
+                .find(|(n, _)| n == x)
+                .map(|(_, t)| *t)
+                .ok_or_else(|| TypeError {
+                    span: e.span,
+                    message: format!("unbound variable `{x}`"),
+                })?,
+            ExprKind::Int(_) => self.tys.mk(Ty::Int),
+            ExprKind::Unit => self.tys.mk(Ty::Unit),
+            ExprKind::Loc(_) => {
+                return Err(TypeError {
+                    span: e.span,
+                    message: "store locations cannot appear in source programs".to_owned(),
+                })
+            }
+            ExprKind::Lam(x, body) => {
+                let arg = self.tys.fresh_var();
+                env.push((x.clone(), arg));
+                let res = self.infer(body, env)?;
+                env.pop();
+                self.tys.mk(Ty::Fun(arg, res))
+            }
+            ExprKind::App(f, a) => {
+                let tf = self.infer(f, env)?;
+                let ta = self.infer(a, env)?;
+                let res = self.tys.fresh_var();
+                let want = self.tys.mk(Ty::Fun(ta, res));
+                self.unify(tf, want, f.span)?;
+                res
+            }
+            ExprKind::If(g, t, f) => {
+                let tg = self.infer(g, env)?;
+                let int = self.tys.mk(Ty::Int);
+                self.unify(tg, int, g.span)?;
+                let tt = self.infer(t, env)?;
+                let tf = self.infer(f, env)?;
+                self.unify(tt, tf, e.span)?;
+                tt
+            }
+            ExprKind::Let(x, rhs, body) => {
+                // Standard types stay monomorphic — only *qualifiers* are
+                // polymorphic in this system (§3.2: "polymorphism only
+                // applies to the qualifiers and not the underlying types").
+                let tr = self.infer(rhs, env)?;
+                env.push((x.clone(), tr));
+                let tb = self.infer(body, env)?;
+                env.pop();
+                tb
+            }
+            ExprKind::Ref(inner) => {
+                let ti = self.infer(inner, env)?;
+                self.tys.mk(Ty::Ref(ti))
+            }
+            ExprKind::Deref(inner) => {
+                let ti = self.infer(inner, env)?;
+                let contents = self.tys.fresh_var();
+                let want = self.tys.mk(Ty::Ref(contents));
+                self.unify(ti, want, inner.span)?;
+                contents
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                let tl = self.infer(lhs, env)?;
+                let tr = self.infer(rhs, env)?;
+                let want = self.tys.mk(Ty::Ref(tr));
+                self.unify(tl, want, e.span)?;
+                self.tys.mk(Ty::Unit)
+            }
+            ExprKind::Binop(_, a, b) => {
+                let ta = self.infer(a, env)?;
+                let tb = self.infer(b, env)?;
+                let int = self.tys.mk(Ty::Int);
+                self.unify(ta, int, a.span)?;
+                self.unify(tb, int, b.span)?;
+                int
+            }
+            ExprKind::Pair(a, b) => {
+                let ta = self.infer(a, env)?;
+                let tb = self.infer(b, env)?;
+                self.tys.mk(Ty::Pair(ta, tb))
+            }
+            ExprKind::Fst(inner) => {
+                let ti = self.infer(inner, env)?;
+                let a = self.tys.fresh_var();
+                let b = self.tys.fresh_var();
+                let want = self.tys.mk(Ty::Pair(a, b));
+                self.unify(ti, want, inner.span)?;
+                a
+            }
+            ExprKind::Snd(inner) => {
+                let ti = self.infer(inner, env)?;
+                let a = self.tys.fresh_var();
+                let b = self.tys.fresh_var();
+                let want = self.tys.mk(Ty::Pair(a, b));
+                self.unify(ti, want, inner.span)?;
+                b
+            }
+            ExprKind::Annot(_, inner) | ExprKind::Assert(inner, _) => {
+                // Qualifier syntax is invisible to standard typing
+                // (Observation 1).
+                self.infer(inner, env)?
+            }
+        };
+        self.node_ty.insert(e.id, ty);
+        Ok(ty)
+    }
+
+    fn unify(&mut self, a: TyId, b: TyId, span: Span) -> Result<(), TypeError> {
+        let ra = self.tys.resolve(a);
+        let rb = self.tys.resolve(b);
+        if ra == rb {
+            return Ok(());
+        }
+        match (self.tys.get(ra), self.tys.get(rb)) {
+            (Ty::Var(v), _) => {
+                if self.tys.occurs(v, rb) {
+                    return Err(TypeError {
+                        span,
+                        message: "infinite type (occurs check)".to_owned(),
+                    });
+                }
+                self.tys.bind(v, rb);
+                Ok(())
+            }
+            (_, Ty::Var(_)) => self.unify(rb, ra, span),
+            (Ty::Int, Ty::Int) | (Ty::Unit, Ty::Unit) => Ok(()),
+            (Ty::Fun(a1, r1), Ty::Fun(a2, r2)) | (Ty::Pair(a1, r1), Ty::Pair(a2, r2)) => {
+                self.unify(a1, a2, span)?;
+                self.unify(r1, r2, span)
+            }
+            (Ty::Ref(t1), Ty::Ref(t2)) => self.unify(t1, t2, span),
+            (_, _) => Err(TypeError {
+                span,
+                message: format!(
+                    "type mismatch: {} vs {}",
+                    self.tys.render(ra),
+                    self.tys.render(rb)
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use qual_lattice::QualSpace;
+
+    fn typed(src: &str) -> (Expr, StandardTyping) {
+        let e = parse(src, &QualSpace::figure2()).unwrap();
+        let t = infer_standard(&e).unwrap();
+        (e, t)
+    }
+
+    fn root_ty(src: &str) -> String {
+        let (e, t) = typed(src);
+        t.tys.render(t.ty_of(e.id))
+    }
+
+    #[test]
+    fn literals_and_refs() {
+        assert_eq!(root_ty("1"), "int");
+        assert_eq!(root_ty("()"), "unit");
+        assert_eq!(root_ty("ref 1"), "ref(int)");
+        assert_eq!(root_ty("!(ref 1)"), "int");
+        assert_eq!(root_ty("(ref 1) := 2"), "unit");
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(root_ty("\\x. x 1"), "((int -> α1) -> α1)");
+        assert_eq!(root_ty("(\\x. x) 1"), "int");
+        assert_eq!(root_ty("let f = \\x. !x in f (ref ()) ni"), "unit");
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(root_ty("if 1 then 2 else 3 fi"), "int");
+        assert!(matches!(
+            parse("if () then 2 else 3 fi", &QualSpace::figure2())
+                .map(|e| infer_standard(&e)),
+            Ok(Err(_))
+        ));
+    }
+
+    #[test]
+    fn annotations_are_transparent() {
+        assert_eq!(root_ty("{const} 1"), "int");
+        assert_eq!(root_ty("({nonzero} 37)|{nonzero}"), "int");
+    }
+
+    #[test]
+    fn errors() {
+        let e = parse("x", &QualSpace::figure2()).unwrap();
+        let err = infer_standard(&e).unwrap_err();
+        assert!(err.message.contains("unbound variable"));
+
+        let e = parse("1 2", &QualSpace::figure2()).unwrap();
+        let err = infer_standard(&e).unwrap_err();
+        assert!(err.message.contains("mismatch"), "{}", err.message);
+
+        let e = parse("\\x. x x", &QualSpace::figure2()).unwrap();
+        let err = infer_standard(&e).unwrap_err();
+        assert!(err.message.contains("occurs"), "{}", err.message);
+    }
+
+    #[test]
+    fn shadowing_resolves_innermost() {
+        assert_eq!(root_ty("\\x. let x = 1 in x ni"), "(α0 -> int)");
+    }
+
+    #[test]
+    fn every_node_gets_a_type() {
+        let (e, t) = typed("let x = ref 1 in x := !x ni");
+        fn count(e: &Expr) -> usize {
+            1 + match &e.kind {
+                ExprKind::Lam(_, b)
+                | ExprKind::Ref(b)
+                | ExprKind::Deref(b)
+                | ExprKind::Annot(_, b)
+                | ExprKind::Assert(b, _) => count(b),
+                ExprKind::App(a, b) | ExprKind::Assign(a, b) | ExprKind::Let(_, a, b) => {
+                    count(a) + count(b)
+                }
+                ExprKind::If(a, b, c) => count(a) + count(b) + count(c),
+                _ => 0,
+            }
+        }
+        assert_eq!(t.node_ty.len(), count(&e));
+    }
+}

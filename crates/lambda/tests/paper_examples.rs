@@ -1,0 +1,319 @@
+//! The paper's worked examples, end to end.
+
+use qual_lambda::rules::{
+    BindingTimeRules, ConstRules, NoRules, NonnullRules, NonzeroRules, SortedRules, TaintRules,
+};
+use qual_lambda::{infer_program, parse};
+use qual_lattice::QualSpace;
+
+/// §2.4: subtyping under a `ref` must be invariant. The paper's
+/// counterexample (lines 1–5) typechecks under the unsound covariant rule
+/// but must be rejected by (SubRef).
+#[test]
+fn section_2_4_invariant_refs_reject_aliased_update() {
+    let src = "let x = ref {nonzero} 37 in
+               let y = x in
+               let u = y := 0 in
+               (!x)|{nonzero}
+               ni ni ni";
+    let out = infer_program(src, &QualSpace::figure2(), &NonzeroRules).unwrap();
+    assert!(!out.is_well_qualified());
+    // Dropping the offending write makes it well-qualified.
+    let src_ok = "let x = ref {nonzero} 37 in
+                  let y = x in
+                  (!x)|{nonzero}
+                  ni ni";
+    let out = infer_program(src_ok, &QualSpace::figure2(), &NonzeroRules).unwrap();
+    assert!(out.is_well_qualified(), "{:?}", out.violations());
+}
+
+/// §2.4 (Assign′): the left-hand side of an assignment must be non-const.
+#[test]
+fn assign_through_const_ref_rejected() {
+    let space = ConstRules::space();
+    let bad = "let x = {const} ref 1 in x := 2 ni";
+    let out = infer_program(bad, &space, &ConstRules).unwrap();
+    assert!(!out.is_well_qualified());
+
+    let good = "let x = ref 1 in x := 2 ni";
+    let out = infer_program(good, &space, &ConstRules).unwrap();
+    assert!(out.is_well_qualified());
+}
+
+/// §1/§3.2: the identity function used at both const and non-const
+/// references — impossible monomorphically, fine with qualifier
+/// polymorphism.
+#[test]
+fn polymorphic_id_spans_const_and_nonconst() {
+    let space = ConstRules::space();
+    let src = "let id = \\x. x in
+               let y = id (ref 1) in
+               let z = id ({const} ref 1) in
+               let u = y := 2 in
+               ()
+               ni ni ni ni";
+    let out = infer_program(src, &space, &ConstRules).unwrap();
+    assert!(
+        out.is_well_qualified(),
+        "polymorphic id must allow both uses: {:?}",
+        out.violations()
+    );
+}
+
+/// The same program with `id` bound monomorphically (as a lambda
+/// parameter, which (Letv) does not generalize) must be rejected: one
+/// `id` cannot be both const and non-const.
+#[test]
+fn monomorphic_id_fails_across_const_and_nonconst() {
+    let space = ConstRules::space();
+    // `apply` receives id as a *parameter*: no generalization.
+    let src = "let apply = \\id.
+                 let y = id (ref 1) in
+                 let z = id ({const} ref 1) in
+                 y := 2
+               ni ni in
+               apply (\\x. x) ni";
+    let out = infer_program(src, &space, &ConstRules).unwrap();
+    assert!(
+        !out.is_well_qualified(),
+        "monomorphic id cannot span const and non-const uses"
+    );
+}
+
+/// §2.2/§2.3: the sorted-list example. `sorted` is negative, so `⊥`
+/// carries it: values are optimistically sorted until an operation
+/// *loses* the property (annotating up past `¬sorted`). Assertions then
+/// check the flow — the paper: "We do not attempt to verify that sorted
+/// is placed correctly — we simply assume it is."
+#[test]
+fn sorted_annotation_and_assertion() {
+    let space = SortedRules::space();
+    // A sort result flows into a consumer requiring sorted: fine.
+    let src = "let sort = \\l. {sorted} l in
+               (sort 5)|{sorted} ni";
+    let out = infer_program(src, &space, &SortedRules).unwrap();
+    assert!(out.is_well_qualified(), "{:?}", out.violations());
+
+    // An operation that explicitly produces *unsorted* data (annotated
+    // above ¬sorted, e.g. an arbitrary append) cannot reach the consumer.
+    let src = "let append = \\l. {~sorted} l in
+               (append 5)|{sorted} ni";
+    let out = infer_program(src, &space, &SortedRules).unwrap();
+    assert!(!out.is_well_qualified());
+}
+
+/// Binding-time analysis: a `dynamic` guard infects the conditional's
+/// result; asserting the result static must fail.
+#[test]
+fn binding_time_if_propagates_dynamic() {
+    let space = BindingTimeRules::space();
+    let src = "(if {dynamic} 1 then 2 else 3 fi)|{~dynamic}";
+    let out = infer_program(src, &space, &BindingTimeRules).unwrap();
+    assert!(!out.is_well_qualified());
+
+    let src = "(if 1 then 2 else 3 fi)|{~dynamic}";
+    let out = infer_program(src, &space, &BindingTimeRules).unwrap();
+    assert!(out.is_well_qualified(), "{:?}", out.violations());
+}
+
+/// Binding-time well-formedness: nothing dynamic may appear within a
+/// static value. A function whose result is dynamic cannot itself be
+/// asserted static... unless nothing forces the inner qualifier up.
+#[test]
+fn binding_time_well_formedness() {
+    let space = BindingTimeRules::space();
+    // The lambda returns a dynamic int; the function value itself then
+    // cannot be static: wf forces the dynamic coordinate upward.
+    let src = "(\\x. {dynamic} 1)|{~dynamic}";
+    let out = infer_program(src, &space, &BindingTimeRules).unwrap();
+    assert!(
+        !out.is_well_qualified(),
+        "a static closure may not contain dynamic parts"
+    );
+}
+
+/// Taint tracking with implicit flows through conditionals.
+#[test]
+fn taint_implicit_flow() {
+    let space = TaintRules::space();
+    let src = "(if {tainted} 1 then 1 else 0 fi)|{~tainted}";
+    let out = infer_program(src, &space, &TaintRules).unwrap();
+    assert!(!out.is_well_qualified(), "implicit flow must be caught");
+
+    // Direct flow is caught by plain subtyping.
+    let src = "({tainted} 5)|{~tainted}";
+    let out = infer_program(src, &space, &TaintRules).unwrap();
+    assert!(!out.is_well_qualified());
+}
+
+/// Observation 1: stripping qualifiers yields a simply-typable program,
+/// and inference on the stripped program succeeds with no constraints on
+/// constants.
+#[test]
+fn observation_1_strip_preserves_typability() {
+    let space = QualSpace::figure2();
+    let src = "let x = ref {nonzero} 37 in ((!x)|{nonzero}) ni";
+    let e = parse(src, &space).unwrap();
+    let stripped = e.strip();
+    let out = qual_lambda::infer_expr(&stripped, &space, &NoRules).unwrap();
+    assert!(out.is_well_qualified());
+    // And the stripped program's rendering contains no braces.
+    assert!(!stripped.render(&space).contains('{'));
+}
+
+/// Qualifier variables let unannotated programs stay maximally free: the
+/// inferred top qualifier of a fresh ref is unconstrained (could be const
+/// or not) — the heart of const *inference* (§4).
+#[test]
+fn unconstrained_positions_span_lattice() {
+    let space = ConstRules::space();
+    let src = "ref 1";
+    let out = infer_program(src, &space, &ConstRules).unwrap();
+    let sol = out.solution().unwrap();
+    let root = out.quals.get(out.root);
+    let v = root.qual.as_var().expect("fresh spread is a variable");
+    assert!(sol.is_unconstrained(&space, v));
+}
+
+/// Deep annotation example from Figure 3's type grammar: qualifiers can
+/// appear on every level of a type.
+#[test]
+fn qualifiers_on_every_level() {
+    let space = QualSpace::figure2();
+    let src = "{const} ref ({nonzero} 1)";
+    let out = infer_program(src, &space, &NoRules).unwrap();
+    assert!(out.is_well_qualified());
+    let rendered = out.render_root();
+    assert!(rendered.contains("const"), "{rendered}");
+    assert!(rendered.contains("ref"), "{rendered}");
+}
+
+/// (Letv)'s existential binding: purely local qualifier variables in a
+/// polymorphic binding don't leak constraints that poison other uses.
+#[test]
+fn letv_existential_locality() {
+    let space = ConstRules::space();
+    // f's internal ref is local; using f twice at different
+    // qualifier instantiations is fine.
+    let src = "let f = \\x. ref x in
+               let a = f 1 in
+               let b = f 2 in
+               let u = a := 3 in
+               ()
+               ni ni ni ni";
+    let out = infer_program(src, &space, &ConstRules).unwrap();
+    assert!(out.is_well_qualified(), "{:?}", out.violations());
+}
+
+/// The value restriction (§3.2, [Wri95]): a `ref` right-hand side is not
+/// a syntactic value, so it must NOT be generalized — otherwise each use
+/// would get its own cell type and the classic unsoundness appears.
+#[test]
+fn value_restriction_blocks_ref_generalization() {
+    let space = QualSpace::figure2();
+    // r is a ref; if it were generalized, the write of 0 would not
+    // poison the nonzero assertion.
+    let src = "let r = ref {nonzero} 1 in
+               let u = r := 0 in
+               (!r)|{nonzero}
+               ni ni";
+    let out = infer_program(src, &space, &NonzeroRules).unwrap();
+    assert!(!out.is_well_qualified());
+}
+
+/// Nested lets, shadowing, and higher-order functions all at once.
+#[test]
+fn compound_program_is_well_qualified() {
+    let space = QualSpace::figure2();
+    let src = "let compose = \\f. \\g. \\x. f (g x) in
+               let inc = \\x. x in
+               let twice = compose inc inc in
+               twice ({nonzero} 5)
+               ni ni ni";
+    let out = infer_program(src, &space, &NoRules).unwrap();
+    assert!(out.is_well_qualified(), "{:?}", out.violations());
+}
+
+/// lclint's nonnull (§1): dereferencing a maybe-null reference is
+/// rejected; fresh refs are non-null; a null check cannot be expressed
+/// flow-insensitively, so the maybe-null value stays unusable — exactly
+/// the limitation §6 attributes to the core system.
+#[test]
+fn nonnull_discipline() {
+    let space = NonnullRules::space();
+    // Fresh refs are non-null: dereference freely.
+    let out = infer_program("!(ref 1)", &space, &NonnullRules).unwrap();
+    assert!(out.is_well_qualified(), "{:?}", out.violations());
+
+    // A lookup that may fail returns a maybe-null reference.
+    let src = "let lookup = \\k. {~nonnull} ref k in !(lookup 5) ni";
+    let out = infer_program(src, &space, &NonnullRules).unwrap();
+    assert!(!out.is_well_qualified(), "maybe-null deref must be caught");
+
+    // Writing through maybe-null is caught too.
+    let src = "let lookup = \\k. {~nonnull} ref k in (lookup 5) := 1 ni";
+    let out = infer_program(src, &space, &NonnullRules).unwrap();
+    assert!(!out.is_well_qualified());
+
+    // Asserting nonnull (a trusted check) restores usability.
+    let src = "let lookup = \\k. {~nonnull} ref k in !((lookup 5)|{nonnull}) ni";
+    let out = infer_program(src, &space, &NonnullRules).unwrap();
+    assert!(!out.is_well_qualified(),
+        "an assertion CHECKS, it does not coerce: the value is still maybe-null");
+}
+
+/// §2.1: the generic construction works "for any c ∈ Σ" — pairs get the
+/// covariant product rule, and qualifiers flow through projections.
+#[test]
+fn pairs_are_just_another_constructor() {
+    let space = QualSpace::figure2();
+    // Qualifiers on components survive projection.
+    let src = "(fst ({nonzero} 1, 2))|{nonzero}";
+    let out = infer_program(src, &space, &NonzeroRules).unwrap();
+    assert!(out.is_well_qualified(), "{:?}", out.violations());
+
+    // And the other component is independent.
+    let src = "(snd ({nonzero} 1, 0))|{nonzero}";
+    let out = infer_program(src, &space, &NonzeroRules).unwrap();
+    assert!(!out.is_well_qualified(), "0 is not nonzero");
+
+    // Pairs of refs respect invariance through the component.
+    let src = "let p = (ref {nonzero} 1, 2) in
+               let u = (fst p) := 0 in
+               (!(fst p))|{nonzero}
+               ni ni";
+    let out = infer_program(src, &space, &NonzeroRules).unwrap();
+    assert!(!out.is_well_qualified(), "write through fst poisons the cell");
+}
+
+/// Pairs evaluate per Figure-5 style rules and agree with the checker.
+#[test]
+fn pairs_evaluate_and_verify() {
+    use qual_lambda::check::verify;
+    use qual_lambda::eval::{eval_with, VShape};
+    let space = QualSpace::figure2();
+    let src = "let swap = \\p. (snd p, fst p) in fst (swap (1, 2)) ni";
+    let expr = parse(src, &space).unwrap();
+    let out = qual_lambda::infer_expr(&expr, &space, &NonzeroRules).unwrap();
+    assert!(out.is_well_qualified());
+    assert!(verify(&expr, &out, &NonzeroRules).is_empty());
+    let (v, _) = eval_with(&expr, &space, &NonzeroRules, 10_000).unwrap();
+    assert_eq!(v.shape, VShape::Int(2));
+}
+
+/// Pair values are syntactic values: let-polymorphism generalizes them.
+#[test]
+fn pair_values_generalize() {
+    let space = ConstRules::space();
+    let src = "let fns = (\\x. x, \\y. y) in
+               let a = (fst fns) (ref 1) in
+               let b = (fst fns) ({const} ref 1) in
+               a := 2
+               ni ni ni";
+    let out = infer_program(src, &space, &ConstRules).unwrap();
+    assert!(
+        out.is_well_qualified(),
+        "pair of functions generalizes: {:?}",
+        out.violations()
+    );
+}

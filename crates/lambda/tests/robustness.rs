@@ -1,0 +1,67 @@
+//! Robustness: the core-language pipeline never panics on arbitrary
+//! input; parsed programs survive inference regardless of content.
+
+use proptest::prelude::*;
+use qual_lambda::rules::NonzeroRules;
+use qual_lattice::QualSpace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_never_panics(src in "\\PC*") {
+        let _ = qual_lambda::parse(&src, &QualSpace::figure2());
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_token_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "let", "in", "ni", "if", "then", "else", "fi", "ref", "!",
+                "\\", ".", "x", "y", "f", "(", ")", "{", "}", "|", ":=",
+                "1", "0", "()", "const", "nonzero", "~", "fst", "snd",
+                ",", "+", "*", "top", "bot",
+            ]),
+            0..30,
+        )
+    ) {
+        let space = QualSpace::figure2();
+        let src = words.join(" ");
+        if let Ok(expr) = qual_lambda::parse(&src, &space) {
+            // Unbound variables yield type errors, not panics; whatever
+            // infers must also evaluate without panicking.
+            if let Ok(out) = qual_lambda::infer_expr(&expr, &space, &NonzeroRules) {
+                let _ = out.is_well_qualified();
+                let _ = qual_lambda::eval::eval_with(&expr, &space, &NonzeroRules, 10_000);
+            }
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs() {
+    let space = QualSpace::figure2();
+    for src in ["let", "(", "{", "x|", "\\x", "if 1 then 2", "ref", "{bogus} 1", ":"] {
+        assert!(qual_lambda::parse(src, &space).is_err(), "{src:?} should error");
+    }
+    // Deep nesting is rejected with an error rather than a stack
+    // overflow.
+    let deep = format!("{}1{}", "(".repeat(1000), ")".repeat(1000));
+    let err = qual_lambda::parse(&deep, &space).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+    // Sane depths still parse.
+    let ok = format!("{}1{}", "(".repeat(80), ")".repeat(80));
+    assert!(qual_lambda::parse(&ok, &space).is_ok());
+    // A long but valid chain infers fine.
+    let mut long = String::new();
+    for i in 0..100 {
+        long.push_str(&format!("let v{i} = {i} in "));
+    }
+    long.push('0');
+    for _ in 0..100 {
+        long.push_str(" ni");
+    }
+    let e = qual_lambda::parse(&long, &space).unwrap();
+    let out = qual_lambda::infer_expr(&e, &space, &NonzeroRules).unwrap();
+    assert!(out.is_well_qualified());
+}

@@ -1,0 +1,404 @@
+//! Empirical soundness (§3.3, Corollary 1): well-qualified programs do
+//! not get stuck.
+//!
+//! A generator builds random *well-typed-by-construction* programs (with
+//! random qualifier annotations and assertions sprinkled in). For each:
+//!
+//! 1. standard inference must succeed (generator correctness);
+//! 2. if qualifier inference succeeds, evaluation must not get stuck
+//!    (soundness — the headline theorem);
+//! 3. the ground Figure-4 checker must accept the solved types
+//!    (inference/checking agreement).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qual_lambda::ast::{Expr, ExprKind};
+use qual_lambda::check::verify;
+use qual_lambda::eval::{eval_with, EvalError};
+use qual_lambda::rules::NonzeroRules;
+use qual_lambda::{infer_expr, parse};
+use qual_lattice::{QualSet, QualSpace};
+
+/// The target types the generator can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GTy {
+    Int,
+    Unit,
+    RefInt,
+    FunIntInt,
+    PairIntInt,
+}
+
+struct Gen<'a> {
+    rng: StdRng,
+    space: &'a QualSpace,
+    /// in-scope variables with their types
+    env: Vec<(String, GTy)>,
+    next_var: usize,
+    /// Restrict to the pure (store-free) fragment.
+    pure: bool,
+}
+
+impl Gen<'_> {
+    fn fresh_name(&mut self) -> String {
+        self.next_var += 1;
+        format!("v{}", self.next_var)
+    }
+
+    fn random_qualset(&mut self) -> QualSet {
+        // A random element of the lattice.
+        let n = self.space.len();
+        let bits = self.rng.gen_range(0..(1u64 << n));
+        QualSet::from_bits(bits)
+    }
+
+    fn expr(&mut self, k: ExprKind) -> Expr {
+        Expr::synthetic(k)
+    }
+
+    fn gen(&mut self, ty: GTy, depth: u32) -> Expr {
+        // Candidate productions for the target type; leaves when depth
+        // runs out.
+        if depth == 0 {
+            return self.leaf(ty);
+        }
+        let choice = self.rng.gen_range(0..10u32);
+        match choice {
+            // if-expression at any type
+            0 => {
+                let g = self.gen(GTy::Int, depth - 1);
+                let t = self.gen(ty, depth - 1);
+                let f = self.gen(ty, depth - 1);
+                self.expr(ExprKind::If(Box::new(g), Box::new(t), Box::new(f)))
+            }
+            // let at any type
+            1 | 2 => {
+                let bty = self.pick_type();
+                let rhs = self.gen(bty, depth - 1);
+                let name = self.fresh_name();
+                self.env.push((name.clone(), bty));
+                let body = self.gen(ty, depth - 1);
+                self.env.pop();
+                self.expr(ExprKind::Let(name, Box::new(rhs), Box::new(body)))
+            }
+            // annotation: raise to a random l above what we expect —
+            // since we can't know the inner qualifier statically, only
+            // use ⊤ (always safe for annotation... if inner ⊑ ⊤, always).
+            3 => {
+                let inner = self.gen(ty, depth - 1);
+                self.expr(ExprKind::Annot(self.space.top(), Box::new(inner)))
+            }
+            // assertion at ⊤ (always succeeds; tighter ones come from
+            // dedicated leaves below)
+            4 => {
+                let inner = self.gen(ty, depth - 1);
+                self.expr(ExprKind::Assert(Box::new(inner), self.space.top()))
+            }
+            // application of a synthesized function
+            5 if ty == GTy::Int => {
+                let f = self.gen(GTy::FunIntInt, depth - 1);
+                let a = self.gen(GTy::Int, depth - 1);
+                self.expr(ExprKind::App(Box::new(f), Box::new(a)))
+            }
+            // arithmetic
+            8 if ty == GTy::Int => {
+                let a = self.gen(GTy::Int, depth - 1);
+                let b = self.gen(GTy::Int, depth - 1);
+                let op = if self.rng.gen_bool(0.5) {
+                    qual_lambda::ast::ArithOp::Add
+                } else {
+                    qual_lambda::ast::ArithOp::Mul
+                };
+                self.expr(ExprKind::Binop(op, Box::new(a), Box::new(b)))
+            }
+            // deref of a ref
+            6 if ty == GTy::Int && !self.pure => {
+                let r = self.gen(GTy::RefInt, depth - 1);
+                self.expr(ExprKind::Deref(Box::new(r)))
+            }
+            // projection out of a pair
+            9 if ty == GTy::Int => {
+                let p = self.gen(GTy::PairIntInt, depth - 1);
+                if self.rng.gen_bool(0.5) {
+                    self.expr(ExprKind::Fst(Box::new(p)))
+                } else {
+                    self.expr(ExprKind::Snd(Box::new(p)))
+                }
+            }
+            // assignment produces unit
+            7 if ty == GTy::Unit && !self.pure => {
+                let r = self.gen(GTy::RefInt, depth - 1);
+                let v = self.gen(GTy::Int, depth - 1);
+                self.expr(ExprKind::Assign(Box::new(r), Box::new(v)))
+            }
+            _ => match ty {
+                GTy::RefInt => {
+                    let v = self.gen(GTy::Int, depth - 1);
+                    self.expr(ExprKind::Ref(Box::new(v)))
+                }
+                GTy::PairIntInt => {
+                    let a = self.gen(GTy::Int, depth - 1);
+                    let b = self.gen(GTy::Int, depth - 1);
+                    self.expr(ExprKind::Pair(Box::new(a), Box::new(b)))
+                }
+                GTy::FunIntInt => {
+                    let name = self.fresh_name();
+                    self.env.push((name.clone(), GTy::Int));
+                    let body = self.gen(GTy::Int, depth - 1);
+                    self.env.pop();
+                    self.expr(ExprKind::Lam(name, Box::new(body)))
+                }
+                _ => self.leaf(ty),
+            },
+        }
+    }
+
+    fn pick_type(&mut self) -> GTy {
+        match self.rng.gen_range(0..5u32) {
+            0 => GTy::Int,
+            1 => GTy::Unit,
+            2 if !self.pure => GTy::RefInt,
+            2 => GTy::Int,
+            3 => GTy::PairIntInt,
+            _ => GTy::FunIntInt,
+        }
+    }
+
+    fn leaf(&mut self, ty: GTy) -> Expr {
+        // Prefer an in-scope variable of the right type.
+        let candidates: Vec<String> = self
+            .env
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(n, _)| n.clone())
+            .collect();
+        if !candidates.is_empty() && self.rng.gen_bool(0.5) {
+            let i = self.rng.gen_range(0..candidates.len());
+            return self.expr(ExprKind::Var(candidates[i].clone()));
+        }
+        match ty {
+            GTy::Int => {
+                let n = self.rng.gen_range(-3i64..10);
+                let lit = self.expr(ExprKind::Int(n));
+                if self.rng.gen_bool(0.3) {
+                    // Random annotation above the literal's qualifier:
+                    // join with a random element keeps it above ⊥ but may
+                    // be *below* the literal's intrinsic qualifier — that
+                    // is fine; such programs are simply not well
+                    // qualified and get skipped by the property.
+                    let l = self.random_qualset();
+                    self.expr(ExprKind::Annot(l, Box::new(lit)))
+                } else {
+                    lit
+                }
+            }
+            GTy::Unit => self.expr(ExprKind::Unit),
+            GTy::RefInt => {
+                // In pure mode this type is never picked, but leaves may
+                // still be requested defensively: fall back to a pair.
+                if self.pure {
+                    let a = self.leaf(GTy::Int);
+                    let b = self.leaf(GTy::Int);
+                    return self.expr(ExprKind::Pair(Box::new(a), Box::new(b)));
+                }
+                let v = self.leaf(GTy::Int);
+                self.expr(ExprKind::Ref(Box::new(v)))
+            }
+            GTy::PairIntInt => {
+                let a = self.leaf(GTy::Int);
+                let b = self.leaf(GTy::Int);
+                self.expr(ExprKind::Pair(Box::new(a), Box::new(b)))
+            }
+            GTy::FunIntInt => {
+                let name = self.fresh_name();
+                self.env.push((name.clone(), GTy::Int));
+                let body = self.leaf(GTy::Int);
+                self.env.pop();
+                self.expr(ExprKind::Lam(name, Box::new(body)))
+            }
+        }
+    }
+}
+
+fn generate(seed: u64, space: &QualSpace, depth: u32) -> Expr {
+    generate_with(seed, space, depth, false)
+}
+
+fn generate_with(seed: u64, space: &QualSpace, depth: u32, pure: bool) -> Expr {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        space,
+        env: Vec::new(),
+        next_var: 0,
+        pure,
+    };
+    let root_ty = g.pick_type();
+    let mut e = g.gen(root_ty, depth);
+    e.renumber();
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Corollary 1, empirically: a well-qualified program evaluates to a
+    /// value (these generated programs are simply typed, hence
+    /// terminating — fuel exhaustion would be a generator bug).
+    #[test]
+    fn well_qualified_programs_do_not_get_stuck(seed in any::<u64>(), depth in 1u32..6) {
+        let space = QualSpace::figure2();
+        let rules = NonzeroRules;
+        let e = generate(seed, &space, depth);
+        let out = infer_expr(&e, &space, &rules)
+            .expect("generated programs are well typed");
+        if out.is_well_qualified() {
+            match eval_with(&e, &space, &rules, 1_000_000) {
+                Ok(_) => {}
+                Err(EvalError::Stuck { reason, .. }) => {
+                    prop_assert!(false,
+                        "SOUNDNESS VIOLATION: stuck ({reason}) on {}",
+                        e.render(&space));
+                }
+                Err(EvalError::FuelExhausted) => {
+                    prop_assert!(false, "simply-typed program did not terminate");
+                }
+            }
+        }
+    }
+
+    /// Inference/checking agreement: the ground Figure-4 checker accepts
+    /// every solved typing.
+    #[test]
+    fn checker_accepts_inference_results(seed in any::<u64>(), depth in 1u32..6) {
+        let space = QualSpace::figure2();
+        let rules = NonzeroRules;
+        let e = generate(seed, &space, depth);
+        let out = infer_expr(&e, &space, &rules)
+            .expect("generated programs are well typed");
+        if out.is_well_qualified() {
+            let violations = verify(&e, &out, &rules);
+            prop_assert!(violations.is_empty(),
+                "checker disagreed on {}: {violations:?}",
+                e.render(&space));
+        }
+    }
+
+    /// Observation 1: stripping all qualifier syntax preserves standard
+    /// typability, and the stripped program is always well qualified
+    /// (no annotations ⇒ no constraint can fail under NoRules).
+    #[test]
+    fn stripped_programs_are_well_qualified(seed in any::<u64>(), depth in 1u32..6) {
+        let space = QualSpace::figure2();
+        let e = generate(seed, &space, depth).strip();
+        let out = infer_expr(&e, &space, &qual_lambda::rules::NoRules)
+            .expect("stripped programs stay well typed");
+        prop_assert!(out.is_well_qualified());
+    }
+
+    /// Render/parse round trip through the concrete syntax preserves the
+    /// inference outcome.
+    #[test]
+    fn concrete_syntax_round_trip(seed in any::<u64>(), depth in 1u32..5) {
+        let space = QualSpace::figure2();
+        let rules = NonzeroRules;
+        let e = generate(seed, &space, depth);
+        let text = e.render(&space);
+        let e2 = parse(&text, &space).expect("rendered program parses");
+        let out1 = infer_expr(&e, &space, &rules).unwrap();
+        let out2 = infer_expr(&e2, &space, &rules).unwrap();
+        prop_assert_eq!(out1.is_well_qualified(), out2.is_well_qualified());
+    }
+
+    /// The dynamic semantics is *more* permissive than the static one
+    /// only in one direction: if evaluation gets stuck on a qualifier
+    /// check, inference must have rejected the program.
+    #[test]
+    fn stuck_implies_ill_qualified(seed in any::<u64>(), depth in 1u32..6) {
+        let space = QualSpace::figure2();
+        let rules = NonzeroRules;
+        let e = generate(seed, &space, depth);
+        if let Err(EvalError::Stuck { .. }) = eval_with(&e, &space, &rules, 1_000_000)
+            .map(|_| ()) {
+            let out = infer_expr(&e, &space, &rules).unwrap();
+            prop_assert!(!out.is_well_qualified(),
+                "dynamically stuck but statically accepted: {}",
+                e.render(&space));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The partial evaluator is a semantics-preserving transformation:
+    /// for closed pure programs, specialize-then-run equals run. (The
+    /// generator's binding-time space uses the dedicated rules; random
+    /// annotations make some programs ill-qualified under BTA — skipped.)
+    #[test]
+    fn specializer_preserves_semantics(seed in any::<u64>(), depth in 1u32..6) {
+        use qual_lambda::rules::BindingTimeRules;
+        use qual_lambda::specialize::specialize;
+        let space = BindingTimeRules::space();
+        let e = generate_with(seed, &space, depth, true);
+        let Ok(out) = infer_expr(&e, &space, &BindingTimeRules) else {
+            return Ok(()); // generator bug would show in other properties
+        };
+        if !out.is_well_qualified() {
+            return Ok(());
+        }
+        let Ok(spec) = specialize(&e, &out) else {
+            return Ok(()); // fuel exhaustion is possible in principle
+        };
+        let before = qual_lambda::eval::eval(&e, &space, 1_000_000);
+        let after = qual_lambda::eval::eval(&spec.residual, &space, 1_000_000);
+        match (before, after) {
+            (Ok((v1, _)), Ok((v2, _))) => {
+                prop_assert_eq!(
+                    shape_fingerprint(&v1.shape),
+                    shape_fingerprint(&v2.shape),
+                    "specialization changed the result of {}",
+                    e.render(&space)
+                );
+            }
+            (b, a) => prop_assert!(false, "eval outcomes diverged: {b:?} vs {a:?}"),
+        }
+    }
+}
+
+/// Structural fingerprint ignoring qualifiers and closure bodies (the
+/// specializer is allowed to simplify under lambdas).
+fn shape_fingerprint(s: &qual_lambda::eval::VShape) -> String {
+    use qual_lambda::eval::VShape;
+    match s {
+        VShape::Int(n) => format!("i{n}"),
+        VShape::Unit => "u".to_owned(),
+        VShape::Loc(a) => format!("l{a}"),
+        VShape::Closure(..) => "f".to_owned(),
+        VShape::Pair(a, b) => format!(
+            "({},{})",
+            shape_fingerprint(&a.shape),
+            shape_fingerprint(&b.shape)
+        ),
+    }
+}
+
+/// A couple of fixed seeds as plain tests so failures are easy to rerun.
+#[test]
+fn fixed_seed_smoke() {
+    let space = QualSpace::figure2();
+    let rules = NonzeroRules;
+    for seed in 0..200u64 {
+        let e = generate(seed, &space, 4);
+        let out = infer_expr(&e, &space, &rules).expect("well typed");
+        if out.is_well_qualified() {
+            let r = eval_with(&e, &space, &rules, 1_000_000);
+            assert!(
+                !matches!(r, Err(EvalError::Stuck { .. })),
+                "seed {seed} stuck: {}",
+                e.render(&space)
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! [`QualSet`]: one element of the product qualifier lattice.
+
+use crate::qualifier::{Polarity, QualId};
+use crate::space::QualSpace;
+
+/// An element of the qualifier lattice `L = L_{q1} × ⋯ × L_{qn}`.
+///
+/// Internally a `QualSet` is a canonical bitvector: bit `i` is 1 iff
+/// qualifier `i`'s coordinate sits at the *top* of its two-point lattice
+/// (i.e. a positive qualifier is present, or a negative qualifier is
+/// absent). Under this canonicalization the product order is plain subset
+/// order, join is bitwise OR and meet is bitwise AND, which is what makes
+/// the inference engine fast.
+///
+/// Presence/absence of a named qualifier is interpreted through the
+/// [`QualSpace`] (which knows each qualifier's polarity); see
+/// [`QualSet::has`].
+///
+/// ```
+/// use qual_lattice::QualSpace;
+/// let s = QualSpace::figure2();
+/// let a = s.parse_set("const").unwrap();
+/// let b = s.parse_set("dynamic").unwrap();
+/// let j = s.join(a, b);
+/// assert_eq!(s.render(j), "const dynamic");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QualSet {
+    bits: u64,
+}
+
+impl QualSet {
+    /// Builds a `QualSet` directly from canonical bits.
+    ///
+    /// Callers outside this crate normally use [`QualSpace`] constructors
+    /// ([`QualSpace::bottom`], [`QualSpace::parse_set`], …) instead.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> QualSet {
+        QualSet { bits }
+    }
+
+    /// The canonical bit representation.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Whether qualifier `id` is *present* in this element, under the
+    /// polarity recorded in `space`.
+    #[must_use]
+    pub fn has(self, space: &QualSpace, id: QualId) -> bool {
+        let bit = self.bits >> id.index() & 1 == 1;
+        match space.decl(id).polarity() {
+            Polarity::Positive => bit,
+            Polarity::Negative => !bit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::QualSpace;
+
+    #[test]
+    fn has_respects_polarity() {
+        let s = QualSpace::figure2();
+        let c = s.id("const").unwrap();
+        let nz = s.id("nonzero").unwrap();
+        // bits = 0 (⊥): const absent (positive), nonzero present (negative).
+        let bottom = QualSet::from_bits(0);
+        assert!(!bottom.has(&s, c));
+        assert!(bottom.has(&s, nz));
+    }
+
+    #[test]
+    fn default_is_bottom_bits() {
+        assert_eq!(QualSet::default().bits(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Qualifier lattices for the type-qualifier framework of
+//! *A Theory of Type Qualifiers* (Foster, Fähndrich, Aiken; PLDI 1999).
+//!
+//! A *type qualifier* `q` introduces a simple form of subtyping: for every
+//! standard type `τ`, either `τ ≤ q τ` (`q` is **positive**, like C's
+//! `const`) or `q τ ≤ τ` (`q` is **negative**, like lclint's `nonnull` or
+//! the paper's `nonzero`). Each qualifier induces a two-point lattice, and
+//! a set of `n` qualifiers induces the product lattice
+//! `L = L_{q1} × ⋯ × L_{qn}` (Definition 2 of the paper).
+//!
+//! This crate provides:
+//!
+//! * [`Polarity`], [`QualDecl`], [`QualId`] — qualifier declarations;
+//! * [`QualSpace`] — an immutable table of declared qualifiers defining
+//!   the product lattice;
+//! * [`QualSet`] — one element of the product lattice, with `⊑`, `⊔`, `⊓`,
+//!   `⊥`, `⊤`, and the paper's `¬qᵢ` operation;
+//! * ready-made spaces used throughout the paper's examples
+//!   ([`QualSpace::figure2`], [`QualSpace::const_only`],
+//!   [`QualSpace::binding_time`], [`QualSpace::taint`]).
+//!
+//! # Example
+//!
+//! The lattice of Figure 2 (positive `const` and `dynamic`, negative
+//! `nonzero`):
+//!
+//! ```
+//! use qual_lattice::QualSpace;
+//!
+//! let space = QualSpace::figure2();
+//! let konst = space.id("const").unwrap();
+//! let nonzero = space.id("nonzero").unwrap();
+//!
+//! let bottom = space.bottom();          // nonzero (negative present at ⊥)
+//! assert!(bottom.has(&space, nonzero));
+//! assert!(!bottom.has(&space, konst));
+//!
+//! let top = space.top();                // const dynamic, not nonzero
+//! assert!(space.le(bottom, top));
+//! assert_eq!(space.elem_count(), 8);    // 2³ points, as drawn in Figure 2
+//! ```
+
+mod elem;
+mod qualifier;
+mod space;
+
+pub use elem::QualSet;
+pub use qualifier::{Polarity, QualDecl, QualId};
+pub use space::{ParseQualSetError, QualSpace, QualSpaceBuilder, SpaceError, MAX_QUALIFIERS};

@@ -1,0 +1,145 @@
+//! Qualifier declarations: names, polarities, and identifiers.
+
+use std::fmt;
+
+/// The subtyping direction a qualifier induces (Definition 1 of the paper).
+///
+/// A qualifier `q` is *positive* if `τ ≤ q τ` for every standard type `τ`
+/// (values can always be promoted *into* the qualifier — C's `const`), and
+/// *negative* if `q τ ≤ τ` (values can always be promoted *out of* the
+/// qualifier — `nonzero`, `nonnull`).
+///
+/// ```
+/// use qual_lattice::Polarity;
+/// assert_ne!(Polarity::Positive, Polarity::Negative);
+/// assert_eq!(Polarity::Positive.flip(), Polarity::Negative);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Polarity {
+    /// `τ ≤ q τ`: moving *up* the two-point lattice adds the qualifier.
+    Positive,
+    /// `q τ ≤ τ`: moving *up* the two-point lattice removes the qualifier.
+    Negative,
+}
+
+impl Polarity {
+    /// Returns the opposite polarity.
+    ///
+    /// The paper notes positive and negative qualifiers are dual: a
+    /// negative `q` can always be recast as a positive `¬q`.
+    #[must_use]
+    pub fn flip(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::Positive => f.write_str("positive"),
+            Polarity::Negative => f.write_str("negative"),
+        }
+    }
+}
+
+/// A compact index identifying a declared qualifier within its
+/// [`QualSpace`](crate::QualSpace).
+///
+/// `QualId`s are only meaningful relative to the space that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QualId(pub(crate) u8);
+
+impl QualId {
+    /// The position of this qualifier in its space's declaration order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for QualId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A single user-declared qualifier: a name plus its [`Polarity`].
+///
+/// ```
+/// use qual_lattice::{Polarity, QualDecl};
+/// let q = QualDecl::new("const", Polarity::Positive);
+/// assert_eq!(q.name(), "const");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QualDecl {
+    name: String,
+    polarity: Polarity,
+}
+
+impl QualDecl {
+    /// Creates a declaration for qualifier `name` with the given polarity.
+    pub fn new(name: impl Into<String>, polarity: Polarity) -> QualDecl {
+        QualDecl {
+            name: name.into(),
+            polarity,
+        }
+    }
+
+    /// Shorthand for a positive qualifier (`τ ≤ q τ`).
+    pub fn positive(name: impl Into<String>) -> QualDecl {
+        QualDecl::new(name, Polarity::Positive)
+    }
+
+    /// Shorthand for a negative qualifier (`q τ ≤ τ`).
+    pub fn negative(name: impl Into<String>) -> QualDecl {
+        QualDecl::new(name, Polarity::Negative)
+    }
+
+    /// The qualifier's source-level name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The qualifier's polarity.
+    #[must_use]
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+}
+
+impl fmt::Display for QualDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.polarity, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_flip_is_involutive() {
+        assert_eq!(Polarity::Positive.flip().flip(), Polarity::Positive);
+        assert_eq!(Polarity::Negative.flip().flip(), Polarity::Negative);
+    }
+
+    #[test]
+    fn decl_accessors() {
+        let d = QualDecl::positive("const");
+        assert_eq!(d.name(), "const");
+        assert_eq!(d.polarity(), Polarity::Positive);
+        let d = QualDecl::negative("nonzero");
+        assert_eq!(d.polarity(), Polarity::Negative);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(QualDecl::positive("const").to_string(), "positive const");
+        assert_eq!(QualId(3).to_string(), "q3");
+        assert_eq!(Polarity::Negative.to_string(), "negative");
+    }
+}

@@ -1,0 +1,579 @@
+//! [`QualSpace`]: the table of declared qualifiers that fixes the product
+//! lattice `L = L_{q1} × ⋯ × L_{qn}` of Definition 2.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::elem::QualSet;
+use crate::qualifier::{Polarity, QualDecl, QualId};
+
+/// Maximum number of qualifiers in one space (one bit each in [`QualSet`]).
+pub const MAX_QUALIFIERS: usize = 64;
+
+/// Errors from building a [`QualSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The same qualifier name was declared twice.
+    DuplicateName(String),
+    /// More than [`MAX_QUALIFIERS`] qualifiers were declared.
+    TooManyQualifiers(usize),
+    /// A qualifier name was empty or contained whitespace.
+    InvalidName(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DuplicateName(n) => write!(f, "duplicate qualifier name `{n}`"),
+            SpaceError::TooManyQualifiers(n) => {
+                write!(f, "{n} qualifiers declared, maximum is {MAX_QUALIFIERS}")
+            }
+            SpaceError::InvalidName(n) => write!(f, "invalid qualifier name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// Error from [`QualSpace::parse_set`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQualSetError {
+    name: String,
+}
+
+impl fmt::Display for ParseQualSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown qualifier `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseQualSetError {}
+
+/// Incrementally builds a [`QualSpace`].
+///
+/// ```
+/// use qual_lattice::{Polarity, QualSpaceBuilder};
+/// let space = QualSpaceBuilder::new()
+///     .positive("const")
+///     .negative("nonzero")
+///     .build()
+///     .unwrap();
+/// assert_eq!(space.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct QualSpaceBuilder {
+    decls: Vec<QualDecl>,
+}
+
+impl QualSpaceBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> QualSpaceBuilder {
+        QualSpaceBuilder::default()
+    }
+
+    /// Declares a qualifier.
+    #[must_use]
+    pub fn declare(mut self, decl: QualDecl) -> QualSpaceBuilder {
+        self.decls.push(decl);
+        self
+    }
+
+    /// Declares a positive qualifier named `name`.
+    #[must_use]
+    pub fn positive(self, name: impl Into<String>) -> QualSpaceBuilder {
+        self.declare(QualDecl::positive(name))
+    }
+
+    /// Declares a negative qualifier named `name`.
+    #[must_use]
+    pub fn negative(self, name: impl Into<String>) -> QualSpaceBuilder {
+        self.declare(QualDecl::negative(name))
+    }
+
+    /// Finalizes the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] on duplicate names, invalid names, or more
+    /// than [`MAX_QUALIFIERS`] declarations.
+    pub fn build(self) -> Result<QualSpace, SpaceError> {
+        if self.decls.len() > MAX_QUALIFIERS {
+            return Err(SpaceError::TooManyQualifiers(self.decls.len()));
+        }
+        let mut by_name = HashMap::with_capacity(self.decls.len());
+        for (i, d) in self.decls.iter().enumerate() {
+            if d.name().is_empty() || d.name().chars().any(char::is_whitespace) {
+                return Err(SpaceError::InvalidName(d.name().to_owned()));
+            }
+            if by_name.insert(d.name().to_owned(), QualId(i as u8)).is_some() {
+                return Err(SpaceError::DuplicateName(d.name().to_owned()));
+            }
+        }
+        Ok(QualSpace {
+            inner: Arc::new(SpaceInner {
+                decls: self.decls,
+                by_name,
+            }),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct SpaceInner {
+    decls: Vec<QualDecl>,
+    by_name: HashMap<String, QualId>,
+}
+
+/// An immutable set of qualifier declarations defining a product lattice.
+///
+/// Cloning a `QualSpace` is cheap (it is reference-counted); every
+/// analysis phase shares one space.
+#[derive(Debug, Clone)]
+pub struct QualSpace {
+    inner: Arc<SpaceInner>,
+}
+
+impl PartialEq for QualSpace {
+    fn eq(&self, other: &QualSpace) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.decls == other.inner.decls
+    }
+}
+
+impl Eq for QualSpace {}
+
+impl QualSpace {
+    /// The number of declared qualifiers `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.decls.len()
+    }
+
+    /// Whether no qualifiers are declared (the lattice is trivial).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.decls.is_empty()
+    }
+
+    /// The total number of lattice elements, `2^n`.
+    #[must_use]
+    pub fn elem_count(&self) -> u128 {
+        1u128 << self.len()
+    }
+
+    /// Looks a qualifier up by name.
+    #[must_use]
+    pub fn id(&self, name: &str) -> Option<QualId> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// The declaration for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this space.
+    #[must_use]
+    pub fn decl(&self, id: QualId) -> &QualDecl {
+        &self.inner.decls[id.index()]
+    }
+
+    /// Iterates over `(QualId, &QualDecl)` in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (QualId, &QualDecl)> {
+        self.inner
+            .decls
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (QualId(i as u8), d))
+    }
+
+    /// The bottom element `⊥` of the product lattice: every positive
+    /// qualifier absent, every negative qualifier present.
+    #[must_use]
+    pub fn bottom(&self) -> QualSet {
+        QualSet::from_bits(0)
+    }
+
+    /// The top element `⊤`: every positive qualifier present, every
+    /// negative qualifier absent.
+    #[must_use]
+    pub fn top(&self) -> QualSet {
+        if self.is_empty() {
+            QualSet::from_bits(0)
+        } else {
+            QualSet::from_bits(u64::MAX >> (64 - self.len()))
+        }
+    }
+
+    /// The paper's `¬qᵢ`: the largest lattice element in which qualifier
+    /// `id`'s coordinate is at the *bottom* of its two-point lattice.
+    ///
+    /// For positive `q`, `¬q` is the greatest element *without* `q`; for
+    /// negative `q`, it is the greatest element *with* `q`. Asserting
+    /// `Q ⊑ ¬const` is how the `const` discipline forbids assignment
+    /// through a const reference (§2.4).
+    #[must_use]
+    pub fn not_q(&self, id: QualId) -> QualSet {
+        QualSet::from_bits(self.top().bits() & !(1u64 << id.index()))
+    }
+
+    /// The least element *containing* qualifier `id` (positive: `q`
+    /// present and everything else at ⊥; negative: ⊥ itself, since ⊥
+    /// already contains every negative qualifier).
+    #[must_use]
+    pub fn just(&self, id: QualId) -> QualSet {
+        match self.decl(id).polarity() {
+            Polarity::Positive => QualSet::from_bits(1u64 << id.index()),
+            Polarity::Negative => self.bottom(),
+        }
+    }
+
+    /// Builds the element whose *present* qualifiers are exactly `names`.
+    ///
+    /// Unmentioned positive qualifiers are absent and unmentioned negative
+    /// qualifiers are absent (i.e. their coordinate sits at ⊤ — matching
+    /// the paper's convention of writing only the qualifiers present).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any name is not declared in this space.
+    pub fn set_of<'a, I>(&self, names: I) -> Result<QualSet, ParseQualSetError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut bits = self.none().bits();
+        for name in names {
+            let id = self.id(name).ok_or_else(|| ParseQualSetError {
+                name: name.to_owned(),
+            })?;
+            bits = self.with_present(QualSet::from_bits(bits), id).bits();
+        }
+        Ok(QualSet::from_bits(bits))
+    }
+
+    /// Parses a whitespace-separated qualifier list, e.g. `"const nonzero"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unknown qualifier.
+    pub fn parse_set(&self, text: &str) -> Result<QualSet, ParseQualSetError> {
+        self.set_of(text.split_whitespace())
+    }
+
+    /// The element with *no* qualifier present: positives absent (bit 0),
+    /// negatives absent (bit 1 — their top coordinate).
+    ///
+    /// This is the qualifier set of an unannotated type in source syntax.
+    /// Note it is *not* `⊥`: `⊥` has every negative qualifier present.
+    #[must_use]
+    pub fn none(&self) -> QualSet {
+        let mut bits = 0u64;
+        for (id, d) in self.iter() {
+            if d.polarity() == Polarity::Negative {
+                bits |= 1 << id.index();
+            }
+        }
+        QualSet::from_bits(bits)
+    }
+
+    /// Returns `set` with qualifier `id` made present.
+    #[must_use]
+    pub fn with_present(&self, set: QualSet, id: QualId) -> QualSet {
+        let bit = 1u64 << id.index();
+        match self.decl(id).polarity() {
+            Polarity::Positive => QualSet::from_bits(set.bits() | bit),
+            Polarity::Negative => QualSet::from_bits(set.bits() & !bit),
+        }
+    }
+
+    /// Returns `set` with qualifier `id` made absent.
+    #[must_use]
+    pub fn with_absent(&self, set: QualSet, id: QualId) -> QualSet {
+        let bit = 1u64 << id.index();
+        match self.decl(id).polarity() {
+            Polarity::Positive => QualSet::from_bits(set.bits() & !bit),
+            Polarity::Negative => QualSet::from_bits(set.bits() | bit),
+        }
+    }
+
+    /// Lattice order `a ⊑ b` (product of the per-qualifier orders).
+    #[must_use]
+    pub fn le(&self, a: QualSet, b: QualSet) -> bool {
+        a.bits() & !b.bits() == 0
+    }
+
+    /// Lattice join `a ⊔ b`.
+    #[must_use]
+    pub fn join(&self, a: QualSet, b: QualSet) -> QualSet {
+        QualSet::from_bits(a.bits() | b.bits())
+    }
+
+    /// Lattice meet `a ⊓ b`.
+    #[must_use]
+    pub fn meet(&self, a: QualSet, b: QualSet) -> QualSet {
+        QualSet::from_bits(a.bits() & b.bits())
+    }
+
+    /// Renders `set` as the space-separated names of its *present*
+    /// qualifiers, in declaration order (empty string for no qualifiers).
+    #[must_use]
+    pub fn render(&self, set: QualSet) -> String {
+        let mut out = String::new();
+        for (id, d) in self.iter() {
+            if set.has(self, id) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(d.name());
+            }
+        }
+        out
+    }
+
+    /// Enumerates every element of the lattice (use only for small spaces;
+    /// there are `2^n` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics for spaces with 32 or more qualifiers — enumerating 2³²⁺
+    /// elements is never what you want, and the shift would overflow at
+    /// 64.
+    pub fn elements(&self) -> impl Iterator<Item = QualSet> {
+        let n = self.len();
+        assert!(
+            n < 32,
+            "QualSpace::elements() enumerates 2^n lattice points;              refusing for n = {n}"
+        );
+        (0u64..(1u64 << n)).map(QualSet::from_bits)
+    }
+
+    /// The standard one-qualifier space for C's `const`.
+    #[must_use]
+    pub fn const_only() -> QualSpace {
+        QualSpaceBuilder::new()
+            .positive("const")
+            .build()
+            .expect("static space is valid")
+    }
+
+    /// The three-qualifier space of the paper's Figure 2:
+    /// positive `const` and `dynamic`, negative `nonzero`.
+    #[must_use]
+    pub fn figure2() -> QualSpace {
+        QualSpaceBuilder::new()
+            .positive("const")
+            .positive("dynamic")
+            .negative("nonzero")
+            .build()
+            .expect("static space is valid")
+    }
+
+    /// Binding-time analysis: positive `dynamic` (with `static` as its
+    /// absence, per the paper's duality remark).
+    #[must_use]
+    pub fn binding_time() -> QualSpace {
+        QualSpaceBuilder::new()
+            .positive("dynamic")
+            .build()
+            .expect("static space is valid")
+    }
+
+    /// A security-style space: positive `tainted`, negative `untainted`.
+    #[must_use]
+    pub fn taint() -> QualSpace {
+        QualSpaceBuilder::new()
+            .positive("tainted")
+            .build()
+            .expect("static space is valid")
+    }
+
+    /// The §2.3 data-structure example: negative `sorted`.
+    #[must_use]
+    pub fn sorted() -> QualSpace {
+        QualSpaceBuilder::new()
+            .negative("sorted")
+            .build()
+            .expect("static space is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_detects_duplicates() {
+        let err = QualSpaceBuilder::new()
+            .positive("const")
+            .negative("const")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::DuplicateName("const".into()));
+    }
+
+    #[test]
+    fn builder_rejects_bad_names() {
+        let err = QualSpaceBuilder::new().positive("a b").build().unwrap_err();
+        assert_eq!(err, SpaceError::InvalidName("a b".into()));
+        let err = QualSpaceBuilder::new().positive("").build().unwrap_err();
+        assert_eq!(err, SpaceError::InvalidName(String::new()));
+    }
+
+    #[test]
+    fn builder_rejects_too_many() {
+        let mut b = QualSpaceBuilder::new();
+        for i in 0..65 {
+            b = b.positive(format!("q{i}"));
+        }
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SpaceError::TooManyQualifiers(65)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn elements_refuses_huge_spaces() {
+        let mut b = QualSpaceBuilder::new();
+        for i in 0..40 {
+            b = b.positive(format!("q{i}"));
+        }
+        let s = b.build().unwrap();
+        let _ = s.elements();
+    }
+
+    #[test]
+    fn empty_space_is_trivial() {
+        let s = QualSpaceBuilder::new().build().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.elem_count(), 1);
+        assert_eq!(s.top(), s.bottom());
+        assert_eq!(s.elements().count(), 1);
+        assert_eq!(s.render(s.top()), "");
+    }
+
+    #[test]
+    fn sixty_four_qualifiers_ok() {
+        let mut b = QualSpaceBuilder::new();
+        for i in 0..64 {
+            b = b.positive(format!("q{i}"));
+        }
+        let s = b.build().unwrap();
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.top().bits(), u64::MAX);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = QualSpace::figure2();
+        assert_eq!(s.id("const"), Some(QualId(0)));
+        assert_eq!(s.id("dynamic"), Some(QualId(1)));
+        assert_eq!(s.id("nonzero"), Some(QualId(2)));
+        assert_eq!(s.id("bogus"), None);
+        assert_eq!(s.decl(QualId(2)).polarity(), Polarity::Negative);
+    }
+
+    #[test]
+    fn figure2_has_eight_elements() {
+        let s = QualSpace::figure2();
+        assert_eq!(s.elem_count(), 8);
+        assert_eq!(s.elements().count(), 8);
+    }
+
+    #[test]
+    fn bottom_contains_negatives_top_contains_positives() {
+        let s = QualSpace::figure2();
+        let nz = s.id("nonzero").unwrap();
+        let c = s.id("const").unwrap();
+        let d = s.id("dynamic").unwrap();
+        assert!(s.bottom().has(&s, nz));
+        assert!(!s.bottom().has(&s, c));
+        assert!(s.top().has(&s, c));
+        assert!(s.top().has(&s, d));
+        assert!(!s.top().has(&s, nz));
+    }
+
+    #[test]
+    fn none_differs_from_bottom_when_negatives_exist() {
+        let s = QualSpace::figure2();
+        assert_ne!(s.none(), s.bottom());
+        let c = QualSpace::const_only();
+        assert_eq!(c.none(), c.bottom());
+    }
+
+    #[test]
+    fn not_q_is_upper_bound_excluding_q() {
+        let s = QualSpace::figure2();
+        let c = s.id("const").unwrap();
+        let nc = s.not_q(c);
+        assert!(!nc.has(&s, c));
+        // Everything without const present is ⊑ ¬const.
+        for e in s.elements() {
+            assert_eq!(s.le(e, nc), !e.has(&s, c));
+        }
+        // ¬nonzero: greatest element *with* nonzero present.
+        let nz = s.id("nonzero").unwrap();
+        let nnz = s.not_q(nz);
+        assert!(nnz.has(&s, nz));
+        for e in s.elements() {
+            assert_eq!(s.le(e, nnz), e.has(&s, nz));
+        }
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let s = QualSpace::figure2();
+        let e = s.parse_set("const nonzero").unwrap();
+        assert_eq!(s.render(e), "const nonzero");
+        let e = s.parse_set("").unwrap();
+        assert_eq!(s.render(e), "");
+        assert_eq!(e, s.none());
+        let err = s.parse_set("const bogus").unwrap_err();
+        assert_eq!(err.to_string(), "unknown qualifier `bogus`");
+    }
+
+    #[test]
+    fn moving_up_adds_positive_or_removes_negative() {
+        // The caption of Figure 2: "moving up the lattice adds positive
+        // qualifiers or removes negative qualifiers."
+        let s = QualSpace::figure2();
+        let c = s.id("const").unwrap();
+        let nz = s.id("nonzero").unwrap();
+        let x = s.none();
+        let with_c = s.with_present(x, c);
+        assert!(s.le(x, with_c));
+        let with_nz = s.with_present(x, nz);
+        assert!(s.le(with_nz, x));
+    }
+
+    #[test]
+    fn figure2_specific_orderings() {
+        // Spot-check the Hasse diagram of Figure 2.
+        let s = QualSpace::figure2();
+        let nonzero = s.parse_set("nonzero").unwrap();
+        let empty = s.parse_set("").unwrap();
+        let konst = s.parse_set("const").unwrap();
+        let dynamic = s.parse_set("dynamic").unwrap();
+        let const_nonzero = s.parse_set("const nonzero").unwrap();
+        let const_dynamic = s.parse_set("const dynamic").unwrap();
+
+        assert!(s.le(nonzero, empty));
+        assert!(s.le(nonzero, const_nonzero));
+        assert!(s.le(const_nonzero, konst));
+        assert!(s.le(empty, konst));
+        assert!(s.le(empty, dynamic));
+        assert!(s.le(konst, const_dynamic));
+        assert!(s.le(dynamic, const_dynamic));
+        assert!(!s.le(konst, dynamic));
+        assert!(!s.le(dynamic, konst));
+        assert!(!s.le(empty, nonzero));
+        assert_eq!(s.bottom(), nonzero);
+        assert_eq!(s.top(), const_dynamic);
+    }
+
+    #[test]
+    fn spaces_compare_structurally() {
+        assert_eq!(QualSpace::figure2(), QualSpace::figure2());
+        assert_ne!(QualSpace::figure2(), QualSpace::const_only());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: the qualifier lattice of Definition 2 really is a
+//! lattice, and the derived operations satisfy their specifications.
+
+use proptest::prelude::*;
+use qual_lattice::{QualSet, QualSpace, QualSpaceBuilder};
+
+fn arb_space() -> impl Strategy<Value = QualSpace> {
+    // Spaces with 1..=8 qualifiers of random polarity.
+    prop::collection::vec(any::<bool>(), 1..=8).prop_map(|pols| {
+        let mut b = QualSpaceBuilder::new();
+        for (i, pos) in pols.iter().enumerate() {
+            b = if *pos {
+                b.positive(format!("q{i}"))
+            } else {
+                b.negative(format!("q{i}"))
+            };
+        }
+        b.build().expect("generated space is valid")
+    })
+}
+
+fn arb_elem(space: &QualSpace) -> impl Strategy<Value = QualSet> {
+    let n = space.len();
+    (0u64..(1u64 << n)).prop_map(QualSet::from_bits)
+}
+
+fn space_and_elems(k: usize) -> impl Strategy<Value = (QualSpace, Vec<QualSet>)> {
+    arb_space().prop_flat_map(move |s| {
+        let elems = prop::collection::vec(arb_elem(&s), k);
+        elems.prop_map(move |es| (s.clone(), es))
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_meet_commutative((s, es) in space_and_elems(2)) {
+        let (a, b) = (es[0], es[1]);
+        prop_assert_eq!(s.join(a, b), s.join(b, a));
+        prop_assert_eq!(s.meet(a, b), s.meet(b, a));
+    }
+
+    #[test]
+    fn join_meet_associative((s, es) in space_and_elems(3)) {
+        let (a, b, c) = (es[0], es[1], es[2]);
+        prop_assert_eq!(s.join(a, s.join(b, c)), s.join(s.join(a, b), c));
+        prop_assert_eq!(s.meet(a, s.meet(b, c)), s.meet(s.meet(a, b), c));
+    }
+
+    #[test]
+    fn absorption((s, es) in space_and_elems(2)) {
+        let (a, b) = (es[0], es[1]);
+        prop_assert_eq!(s.join(a, s.meet(a, b)), a);
+        prop_assert_eq!(s.meet(a, s.join(a, b)), a);
+    }
+
+    #[test]
+    fn idempotence((s, es) in space_and_elems(1)) {
+        let a = es[0];
+        prop_assert_eq!(s.join(a, a), a);
+        prop_assert_eq!(s.meet(a, a), a);
+    }
+
+    #[test]
+    fn order_consistent_with_join_and_meet((s, es) in space_and_elems(2)) {
+        let (a, b) = (es[0], es[1]);
+        prop_assert_eq!(s.le(a, b), s.join(a, b) == b);
+        prop_assert_eq!(s.le(a, b), s.meet(a, b) == a);
+    }
+
+    #[test]
+    fn le_is_partial_order((s, es) in space_and_elems(3)) {
+        let (a, b, c) = (es[0], es[1], es[2]);
+        prop_assert!(s.le(a, a));
+        if s.le(a, b) && s.le(b, a) {
+            prop_assert_eq!(a, b);
+        }
+        if s.le(a, b) && s.le(b, c) {
+            prop_assert!(s.le(a, c));
+        }
+    }
+
+    #[test]
+    fn bounds_are_extremal((s, es) in space_and_elems(1)) {
+        let a = es[0];
+        prop_assert!(s.le(s.bottom(), a));
+        prop_assert!(s.le(a, s.top()));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound((s, es) in space_and_elems(3)) {
+        let (a, b, ub) = (es[0], es[1], es[2]);
+        let j = s.join(a, b);
+        prop_assert!(s.le(a, j));
+        prop_assert!(s.le(b, j));
+        if s.le(a, ub) && s.le(b, ub) {
+            prop_assert!(s.le(j, ub));
+        }
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound((s, es) in space_and_elems(3)) {
+        let (a, b, lb) = (es[0], es[1], es[2]);
+        let m = s.meet(a, b);
+        prop_assert!(s.le(m, a));
+        prop_assert!(s.le(m, b));
+        if s.le(lb, a) && s.le(lb, b) {
+            prop_assert!(s.le(lb, m));
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip((s, es) in space_and_elems(1)) {
+        let a = es[0];
+        let text = s.render(a);
+        let back = s.parse_set(&text).expect("rendered set parses");
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn not_q_characterization((s, es) in space_and_elems(1)) {
+        // e ⊑ ¬q  ⇔  q's coordinate in e is at its bottom point.
+        let e = es[0];
+        for (id, decl) in s.iter() {
+            let nq = s.not_q(id);
+            let coord_bottom = match decl.polarity() {
+                qual_lattice::Polarity::Positive => !e.has(&s, id),
+                qual_lattice::Polarity::Negative => e.has(&s, id),
+            };
+            prop_assert_eq!(s.le(e, nq), coord_bottom);
+        }
+    }
+
+    #[test]
+    fn with_present_then_has((s, es) in space_and_elems(1)) {
+        let e = es[0];
+        for (id, _) in s.iter() {
+            prop_assert!(s.with_present(e, id).has(&s, id));
+            prop_assert!(!s.with_absent(e, id).has(&s, id));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Human-readable diagnostics: renders a byte-span against its source
+//! text as `line:col` plus a caret excerpt — used by the front ends to
+//! report qualifier violations the way a compiler would.
+
+use crate::error::SolveError;
+
+/// A rendered source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in bytes).
+    pub col: usize,
+}
+
+/// Computes the 1-based line/column of byte offset `at` in `src`
+/// (clamped to the end of the text).
+#[must_use]
+pub fn line_col(src: &str, at: u32) -> LineCol {
+    let at = (at as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for b in src.as_bytes()[..at].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// Renders a single-span diagnostic:
+///
+/// ```text
+/// error: <message>
+///   --> 3:7
+///    |
+///  3 | y := 0;
+///    |   ^^
+/// ```
+#[must_use]
+pub fn render_span(src: &str, lo: u32, hi: u32, message: &str) -> String {
+    let pos = line_col(src, lo);
+    let mut out = format!("error: {message}\n  --> {}:{}\n", pos.line, pos.col);
+    // Extract the offending line.
+    let line_start = src[..(lo as usize).min(src.len())]
+        .rfind('\n')
+        .map_or(0, |i| i + 1);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    let text = &src[line_start..line_end];
+    let gutter = format!("{:>4}", pos.line);
+    out.push_str(&format!("{} |\n", " ".repeat(gutter.len())));
+    out.push_str(&format!("{gutter} | {text}\n"));
+    let caret_start = (lo as usize).saturating_sub(line_start);
+    let caret_len = ((hi.max(lo + 1) as usize).min(line_end) - (lo as usize).min(line_end))
+        .max(1)
+        .min(text.len().saturating_sub(caret_start).max(1));
+    out.push_str(&format!(
+        "{} | {}{}\n",
+        " ".repeat(gutter.len()),
+        " ".repeat(caret_start),
+        "^".repeat(caret_len)
+    ));
+    out
+}
+
+/// Renders every violation of a [`SolveError`] against the source text
+/// the constraints' provenances refer to.
+#[must_use]
+pub fn render_violations(src: &str, err: &SolveError) -> String {
+    let mut out = String::new();
+    for v in &err.violations {
+        let o = v.constraint.origin;
+        out.push_str(&render_span(
+            src,
+            o.lo,
+            o.hi,
+            &format!("unsatisfiable qualifier constraint ({})", o.what),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 3), LineCol { line: 1, col: 4 });
+        assert_eq!(line_col(src, 4), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 9), LineCol { line: 3, col: 2 });
+        // Clamped past the end.
+        assert_eq!(line_col(src, 1000), LineCol { line: 3, col: 4 });
+    }
+
+    #[test]
+    fn render_span_points_at_the_text() {
+        let src = "let x = 1 in\ny := 0\nni";
+        let d = render_span(src, 13, 19, "assignment through const");
+        assert!(d.contains("--> 2:1"), "{d}");
+        assert!(d.contains("y := 0"), "{d}");
+        assert!(d.contains("^^^^^^"), "{d}");
+    }
+
+    #[test]
+    fn caret_clamps_to_line() {
+        let src = "short";
+        let d = render_span(src, 2, 100, "x");
+        assert!(d.contains("^^^"), "{d}");
+        let d = render_span(src, 0, 0, "zero-width");
+        assert!(d.contains('^'), "{d}");
+    }
+
+    #[test]
+    fn violations_render_against_source() {
+        use crate::constraint::ConstraintSet;
+        use crate::term::{Provenance, Qual, VarSupply};
+        use qual_lattice::QualSpace;
+
+        let src = "x := 0";
+        let space = QualSpace::const_only();
+        let mut vs = VarSupply::new();
+        let v = vs.fresh();
+        let mut cs = ConstraintSet::new();
+        cs.add_with(
+            Qual::Const(space.top()),
+            v,
+            Provenance::synthetic("declared const"),
+        );
+        cs.add_with(
+            v,
+            Qual::Const(space.bottom()),
+            Provenance::at(0, 6, "assignment"),
+        );
+        let err = cs.solve(&space, &vs).unwrap_err();
+        let d = render_violations(src, &err);
+        assert!(d.contains("assignment"), "{d}");
+        assert!(d.contains("x := 0"), "{d}");
+    }
+}

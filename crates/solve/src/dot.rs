@@ -1,0 +1,128 @@
+//! Graphviz (DOT) export of a constraint system — the practical answer
+//! to §6's observation that "these constraint systems can be large and
+//! difficult to interpret": draw them.
+//!
+//! Variables become ellipse nodes (labelled with their least/greatest
+//! solution when one is supplied), constants become boxes, and each
+//! `⊑` constraint an edge (dashed when masked to a strict subset of the
+//! coordinates).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use qual_lattice::QualSpace;
+
+use crate::constraint::ConstraintSet;
+use crate::solver::Solution;
+use crate::term::{QVar, Qual};
+
+/// Renders `cs` as a DOT digraph. Pass a [`Solution`] to annotate each
+/// variable with its `[least, greatest]` interval.
+#[must_use]
+pub fn render_dot(cs: &ConstraintSet, space: &QualSpace, solution: Option<&Solution>) -> String {
+    let mut out = String::from("digraph constraints {\n  rankdir=LR;\n");
+    let mut const_ids: HashMap<u64, usize> = HashMap::new();
+
+    let var_node = |v: QVar| format!("v{}", v.index());
+    let mut ensure_const = |out: &mut String, bits: u64| -> String {
+        let next = const_ids.len();
+        let id = *const_ids.entry(bits).or_insert(next);
+        let name = format!("c{id}");
+        if id == next {
+            let label = {
+                let rendered = space.render(qual_lattice::QualSet::from_bits(bits));
+                if rendered.is_empty() {
+                    "∅".to_owned()
+                } else {
+                    rendered
+                }
+            };
+            let _ = writeln!(out, "  {name} [shape=box, label=\"{label}\"];");
+        }
+        name
+    };
+
+    // Variable nodes (with solution intervals when available).
+    for v in cs.mentioned_vars() {
+        let label = match solution {
+            Some(sol) => {
+                let lo = space.render(sol.least(v));
+                let hi = space.render(sol.greatest(v));
+                format!("{v}\\n[{lo} , {hi}]")
+            }
+            None => v.to_string(),
+        };
+        let _ = writeln!(out, "  {} [label=\"{label}\"];", var_node(v));
+    }
+
+    let top = space.top().bits();
+    for c in cs.constraints() {
+        let from = match c.lhs {
+            Qual::Var(v) => var_node(v),
+            Qual::Const(k) => ensure_const(&mut out, k.bits()),
+        };
+        let to = match c.rhs {
+            Qual::Var(v) => var_node(v),
+            Qual::Const(k) => ensure_const(&mut out, k.bits()),
+        };
+        let masked = c.mask & top != top;
+        let style = if masked { ", style=dashed" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {from} -> {to} [label=\"{}\"{style}];",
+            c.origin.what
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Provenance, VarSupply};
+
+    #[test]
+    fn dot_contains_nodes_edges_and_intervals() {
+        let space = QualSpace::const_only();
+        let mut vs = VarSupply::new();
+        let (a, b) = (vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        cs.add_with(Qual::Const(space.top()), a, Provenance::synthetic("annot"));
+        cs.add_with(a, b, Provenance::synthetic("flow"));
+        let sol = cs.solve(&space, &vs).unwrap();
+        let dot = render_dot(&cs, &space, Some(&sol));
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(dot.contains("v0"), "{dot}");
+        assert!(dot.contains("v1"), "{dot}");
+        assert!(dot.contains("shape=box"), "{dot}");
+        assert!(dot.contains("flow"), "{dot}");
+        assert!(dot.contains("const"), "annotated interval: {dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn masked_edges_are_dashed() {
+        let space = qual_lattice::QualSpace::figure2();
+        let c_id = space.id("const").unwrap();
+        let mut vs = VarSupply::new();
+        let (a, b) = (vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        cs.add_masked(a, b, &[c_id], Provenance::synthetic("wf"));
+        let dot = render_dot(&cs, &space, None);
+        assert!(dot.contains("style=dashed"), "{dot}");
+    }
+
+    #[test]
+    fn constants_are_shared_nodes() {
+        let space = QualSpace::const_only();
+        let mut vs = VarSupply::new();
+        let (a, b) = (vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        cs.add(Qual::Const(space.top()), a);
+        cs.add(Qual::Const(space.top()), b);
+        let dot = render_dot(&cs, &space, None);
+        // One box for `const`, referenced twice.
+        assert_eq!(dot.matches("shape=box").count(), 1, "{dot}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Solver errors: every unsatisfiable constraint, with provenance.
+
+use std::fmt;
+
+use qual_lattice::QualSet;
+
+use crate::constraint::Constraint;
+
+/// One unsatisfiable constraint: the best (least) value that reached the
+/// left side does not fit under the best (greatest) bound on the right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending constraint (with provenance).
+    pub constraint: Constraint,
+    /// The least value forced onto the left side.
+    pub lower: QualSet,
+    /// The greatest value admitted on the right side.
+    pub upper: QualSet,
+}
+
+/// The constraint system has no solution.
+///
+/// Contains *every* violated constraint, not just the first, so a tool can
+/// report all qualifier errors in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveError {
+    /// All violations discovered.
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsatisfiable qualifier constraints ({} violation{}):",
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" }
+        )?;
+        for v in &self.violations {
+            write!(f, " [{}]", v.constraint.origin)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Provenance, Qual};
+
+    #[test]
+    fn display_counts_violations() {
+        let c = Constraint {
+            lhs: Qual::Const(QualSet::from_bits(1)),
+            rhs: Qual::Const(QualSet::from_bits(0)),
+            mask: u64::MAX,
+            origin: Provenance::synthetic("cast"),
+        };
+        let e = SolveError {
+            violations: vec![Violation {
+                constraint: c,
+                lower: QualSet::from_bits(1),
+                upper: QualSet::from_bits(0),
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("1 violation"), "got: {s}");
+        assert!(s.contains("cast"), "got: {s}");
+    }
+}

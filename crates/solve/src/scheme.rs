@@ -1,0 +1,234 @@
+//! Polymorphic constrained types `∀κ⃗. body \ C` (§3.2 of the paper).
+//!
+//! A [`Scheme`] pairs a client-side body (a qualified type in
+//! `qual-lambda`, a function signature in `qual-constinfer`) with the
+//! qualifier variables generalized over and the constraints that mention
+//! them. Instantiation fresh-renames the bound variables and copies the
+//! constraints — rule (Var′) of the paper. Generalization corresponds to
+//! rule (Letv); the existential binding `∃κ⃗.C₁` is realized by keeping
+//! the bound-variable constraints inside the scheme (they are re-emitted,
+//! renamed, at each use) while constraints among free variables stay in
+//! the caller's constraint set exactly once.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::term::{QVar, Qual, VarSupply};
+
+/// A polymorphic constrained value `∀κ⃗. body \ C`.
+#[derive(Debug, Clone)]
+pub struct Scheme<B> {
+    body: B,
+    bound: Vec<QVar>,
+    constraints: Vec<Constraint>,
+}
+
+impl<B> Scheme<B> {
+    /// A scheme with no bound variables (a monomorphic binding).
+    pub fn monomorphic(body: B) -> Scheme<B> {
+        Scheme {
+            body,
+            bound: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Generalizes `body` over `candidates` (the variables not free in the
+    /// type environment), capturing from `constraints` every constraint
+    /// that mentions a bound variable.
+    ///
+    /// Constraints *not* mentioning a bound variable are instantiation-
+    /// independent and are deliberately not captured: the caller keeps
+    /// them in its own constraint set (that is the `(∃κ⃗.C₁) ∪ C₂` of rule
+    /// (Letv)).
+    pub fn generalize(body: B, candidates: Vec<QVar>, constraints: &ConstraintSet) -> Scheme<B> {
+        Scheme::generalize_in(body, candidates, constraints.constraints())
+    }
+
+    /// Like [`Scheme::generalize`], but scanning only `window` — the
+    /// slice of constraints added since generalization's variable window
+    /// opened. When every bound variable was created inside the window
+    /// and the constraint set only grows, constraints mentioning bound
+    /// variables can only appear in that suffix, so this is equivalent to
+    /// scanning everything and keeps repeated generalization linear.
+    pub fn generalize_in(body: B, candidates: Vec<QVar>, window: &[Constraint]) -> Scheme<B> {
+        let bound_set: HashSet<QVar> = candidates.iter().copied().collect();
+        let captured = window
+            .iter()
+            .filter(|c| {
+                [c.lhs, c.rhs]
+                    .into_iter()
+                    .filter_map(Qual::as_var)
+                    .any(|v| bound_set.contains(&v))
+            })
+            .copied()
+            .collect();
+        Scheme {
+            body,
+            bound: candidates,
+            constraints: captured,
+        }
+    }
+
+    /// The quantified variables `κ⃗`.
+    #[must_use]
+    pub fn bound_vars(&self) -> &[QVar] {
+        &self.bound
+    }
+
+    /// The captured constraints (over bound and free variables).
+    #[must_use]
+    pub fn captured_constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// A shared view of the body (useful for monomorphic use sites).
+    #[must_use]
+    pub fn body(&self) -> &B {
+        &self.body
+    }
+
+    /// Whether this scheme quantifies over anything.
+    #[must_use]
+    pub fn is_polymorphic(&self) -> bool {
+        !self.bound.is_empty()
+    }
+
+    /// Returns a scheme with every bound variable *not* in `keep`
+    /// eliminated from the captured constraints (see
+    /// [`crate::simplify::compact`]). The instantiation behaviour at the
+    /// kept variables is unchanged; instantiation just copies fewer
+    /// constraints — the practical answer to §6's presentation problem
+    /// and a constant-factor win at every call site.
+    #[must_use]
+    pub fn simplified(self, keep: &HashSet<QVar>) -> Scheme<B> {
+        let internal: HashSet<QVar> = self
+            .bound
+            .iter()
+            .copied()
+            .filter(|v| !keep.contains(v))
+            .collect();
+        let compacted = crate::simplify::compact(&self.constraints, &internal, 64);
+        let bound = self
+            .bound
+            .into_iter()
+            .filter(|v| keep.contains(v) || compacted.kept.contains(v))
+            .collect();
+        Scheme {
+            body: self.body,
+            bound,
+            constraints: compacted.constraints,
+        }
+    }
+
+    /// Instantiates the scheme: draws a fresh variable for each bound
+    /// variable, emits the captured constraints (renamed) into `out`, and
+    /// returns `rename_body` applied to the body and the substitution.
+    ///
+    /// This is rule (Var′): `A(x) = ∀κ⃗.ρ\C ⊢ x : ρ[κ⃗↦Q⃗]; C[κ⃗↦Q⃗]`.
+    pub fn instantiate<R>(
+        &self,
+        supply: &mut VarSupply,
+        out: &mut ConstraintSet,
+        rename_body: impl FnOnce(&B, &dyn Fn(QVar) -> QVar) -> R,
+    ) -> R {
+        let map: HashMap<QVar, QVar> = self
+            .bound
+            .iter()
+            .map(|&v| (v, supply.fresh()))
+            .collect();
+        let subst = |v: QVar| map.get(&v).copied().unwrap_or(v);
+        out.extend(self.constraints.iter().map(|c| Constraint {
+            lhs: rename_qual(c.lhs, &subst),
+            rhs: rename_qual(c.rhs, &subst),
+            mask: c.mask,
+            origin: c.origin,
+        }));
+        rename_body(&self.body, &subst)
+    }
+}
+
+fn rename_qual(q: Qual, subst: &impl Fn(QVar) -> QVar) -> Qual {
+    match q {
+        Qual::Var(v) => Qual::Var(subst(v)),
+        Qual::Const(c) => Qual::Const(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Provenance;
+    use qual_lattice::QualSpace;
+
+    #[test]
+    fn monomorphic_scheme_has_no_bound_vars() {
+        let s: Scheme<u32> = Scheme::monomorphic(42);
+        assert!(!s.is_polymorphic());
+        assert_eq!(*s.body(), 42);
+    }
+
+    #[test]
+    fn generalize_captures_only_bound_constraints() {
+        let mut vs = VarSupply::new();
+        let (bound, free, other_free) = (vs.fresh(), vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        cs.add(bound, free); // mentions bound: captured
+        cs.add(free, other_free); // free only: not captured
+        let s = Scheme::generalize(bound, vec![bound], &cs);
+        assert_eq!(s.captured_constraints().len(), 1);
+        assert!(s.is_polymorphic());
+    }
+
+    #[test]
+    fn instantiation_freshens_bound_leaves_free() {
+        let space = QualSpace::const_only();
+        let konst = space.parse_set("const").unwrap();
+        let mut vs = VarSupply::new();
+        let (bound, free) = (vs.fresh(), vs.fresh());
+        let mut cs = ConstraintSet::new();
+        cs.add_with(bound, free, Provenance::synthetic("body"));
+        cs.add_with(Qual::Const(konst), bound, Provenance::synthetic("annot"));
+        let s = Scheme::generalize(bound, vec![bound], &cs);
+
+        let mut out = ConstraintSet::new();
+        let inst1 = s.instantiate(&mut vs, &mut out, |b, f| f(*b));
+        let inst2 = s.instantiate(&mut vs, &mut out, |b, f| f(*b));
+        assert_ne!(inst1, bound);
+        assert_ne!(inst2, bound);
+        assert_ne!(inst1, inst2);
+        // Each instantiation emitted both captured constraints.
+        assert_eq!(out.len(), 4);
+        // The free variable is untouched.
+        assert!(out
+            .constraints()
+            .iter()
+            .any(|c| c.rhs == Qual::Var(free) && c.lhs == Qual::Var(inst1)));
+        assert!(out
+            .constraints()
+            .iter()
+            .any(|c| c.rhs == Qual::Var(free) && c.lhs == Qual::Var(inst2)));
+    }
+
+    #[test]
+    fn separate_instantiations_are_independent() {
+        // The paper's id example (§3.2): one use at const, one at ∅,
+        // both satisfiable simultaneously after instantiation.
+        let space = QualSpace::const_only();
+        let konst = space.parse_set("const").unwrap();
+        let mut vs = VarSupply::new();
+        let x = vs.fresh(); // the qualifier on id's argument/result
+        let cs = ConstraintSet::new();
+        let s = Scheme::generalize(x, vec![x], &cs);
+
+        let mut out = ConstraintSet::new();
+        let i1 = s.instantiate(&mut vs, &mut out, |b, f| f(*b));
+        let i2 = s.instantiate(&mut vs, &mut out, |b, f| f(*b));
+        // Use 1 forces const; use 2 forces non-const.
+        out.add(Qual::Const(konst), i1);
+        out.add(i2, Qual::Const(space.not_q(space.id("const").unwrap())));
+        let sol = out.solve(&space, &vs).expect("independent uses coexist");
+        assert!(sol.least(i1).has(&space, space.id("const").unwrap()));
+        assert!(!sol.greatest(i2).has(&space, space.id("const").unwrap()));
+    }
+}

@@ -1,0 +1,378 @@
+//! The atomic-subtyping solver: least and greatest solutions by worklist
+//! propagation over the constraint graph.
+//!
+//! For a fixed qualifier set the lattice has constant height, so the
+//! worklist pass is linear in the number of constraints — the complexity
+//! the paper cites from Henglein–Rehof 1997.
+
+use qual_lattice::{QualSet, QualSpace};
+
+use crate::constraint::Constraint;
+use crate::error::{SolveError, Violation};
+use crate::term::{QVar, Qual};
+
+/// The result of solving a satisfiable constraint set.
+///
+/// Holds the pointwise **least** and **greatest** satisfying assignments.
+/// Any variable not mentioned by any constraint is unconstrained: its
+/// least value is `⊥` and its greatest is `⊤`.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    least: Vec<QualSet>,
+    greatest: Vec<QualSet>,
+}
+
+impl Solution {
+    /// The least satisfying value of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was issued after the solve (index out of range).
+    #[must_use]
+    pub fn least(&self, v: QVar) -> QualSet {
+        self.least[v.index()]
+    }
+
+    /// The greatest satisfying value of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was issued after the solve (index out of range).
+    #[must_use]
+    pub fn greatest(&self, v: QVar) -> QualSet {
+        self.greatest[v.index()]
+    }
+
+    /// Evaluates a term under the least solution.
+    #[must_use]
+    pub fn eval_least(&self, q: Qual) -> QualSet {
+        match q {
+            Qual::Var(v) => self.least(v),
+            Qual::Const(c) => c,
+        }
+    }
+
+    /// Evaluates a term under the greatest solution.
+    #[must_use]
+    pub fn eval_greatest(&self, q: Qual) -> QualSet {
+        match q {
+            Qual::Var(v) => self.greatest(v),
+            Qual::Const(c) => c,
+        }
+    }
+
+    /// Whether `v` is completely unconstrained (`⊥` below, `⊤` above).
+    #[must_use]
+    pub fn is_unconstrained(&self, space: &QualSpace, v: QVar) -> bool {
+        self.least(v) == space.bottom() && self.greatest(v) == space.top()
+    }
+
+    /// Number of variables covered.
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.least.len()
+    }
+}
+
+/// Solves `constraints` over `space` for `var_count` variables.
+pub(crate) fn solve(
+    space: &QualSpace,
+    var_count: usize,
+    constraints: &[Constraint],
+) -> Result<Solution, SolveError> {
+    // Adjacency with per-edge masks: fwd[v] = (w, m) pairs with
+    // `v ⊓ m ⊑ w ⊔ ¬m`; bwd is the reverse.
+    let top = space.top().bits();
+    let mut fwd: Vec<Vec<(u32, u64)>> = vec![Vec::new(); var_count];
+    let mut bwd: Vec<Vec<(u32, u64)>> = vec![Vec::new(); var_count];
+    let mut least = vec![space.bottom(); var_count];
+    let mut greatest = vec![space.top(); var_count];
+    let mut violations = Vec::new();
+
+    for c in constraints {
+        let m = c.mask & top;
+        match (c.lhs, c.rhs) {
+            (Qual::Const(l), Qual::Const(r)) => {
+                if l.bits() & !r.bits() & m != 0 {
+                    violations.push(Violation {
+                        constraint: *c,
+                        lower: l,
+                        upper: r,
+                    });
+                }
+            }
+            (Qual::Const(l), Qual::Var(v)) => {
+                let lv = &mut least[v.index()];
+                *lv = QualSet::from_bits(lv.bits() | (l.bits() & m));
+            }
+            (Qual::Var(v), Qual::Const(r)) => {
+                let gv = &mut greatest[v.index()];
+                *gv = QualSet::from_bits(gv.bits() & (r.bits() | (top & !m)));
+            }
+            (Qual::Var(v), Qual::Var(w)) => {
+                // `v ⊓ m ⊑ v ⊔ ¬m` always holds, so self-loops are inert.
+                if v != w {
+                    fwd[v.index()].push((w.0, m));
+                    bwd[w.index()].push((v.0, m));
+                }
+            }
+        }
+    }
+
+    // Least solution: propagate lower bounds forward to fixpoint.
+    propagate(top, &fwd, &mut least, PropagateDir::JoinForward);
+    // Greatest solution: propagate upper bounds backward to fixpoint.
+    propagate(top, &bwd, &mut greatest, PropagateDir::MeetBackward);
+
+    // Satisfiability: the least solution satisfies every `L ⊑ κ` and
+    // `κ ⊑ κ′` constraint by construction, so the system is solvable iff
+    // the least solution also respects every `κ ⊑ L` upper bound.
+    // Checking exactly those constraints reports each conflict once, at
+    // the constraint whose bound is exceeded.
+    for c in constraints {
+        if let (Qual::Var(v), Qual::Const(r)) = (c.lhs, c.rhs) {
+            let lo = least[v.index()];
+            if lo.bits() & !r.bits() & c.mask & top != 0 {
+                violations.push(Violation {
+                    constraint: *c,
+                    lower: lo,
+                    upper: r,
+                });
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(Solution { least, greatest })
+    } else {
+        Err(SolveError { violations })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum PropagateDir {
+    JoinForward,
+    MeetBackward,
+}
+
+/// Worklist fixpoint: for each edge `v -> (w, m)` in `adj`, enforce
+/// `val[w] ⊒ val[v] ⊓ m` (join mode) or `val[w] ⊑ val[v] ⊔ ¬m` reading
+/// `adj` as the reversed graph (meet mode). Each variable re-enters the
+/// worklist only when its value strictly changes; the lattice has height
+/// ≤ 64, so the total work is `O(height · edges)`.
+fn propagate(top: u64, adj: &[Vec<(u32, u64)>], val: &mut [QualSet], dir: PropagateDir) {
+    let mut on_list = vec![true; val.len()];
+    let mut work: Vec<u32> = (0..val.len() as u32).collect();
+    while let Some(v) = work.pop() {
+        on_list[v as usize] = false;
+        let from = val[v as usize].bits();
+        for &(w, m) in &adj[v as usize] {
+            let cur = val[w as usize].bits();
+            let next = match dir {
+                PropagateDir::JoinForward => cur | (from & m),
+                PropagateDir::MeetBackward => cur & (from | (top & !m)),
+            };
+            if next != cur {
+                val[w as usize] = QualSet::from_bits(next);
+                if !on_list[w as usize] {
+                    on_list[w as usize] = true;
+                    work.push(w);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintSet;
+    use crate::term::{Provenance, VarSupply};
+    use qual_lattice::QualSpace;
+
+    fn setup() -> (QualSpace, VarSupply, ConstraintSet) {
+        (QualSpace::figure2(), VarSupply::new(), ConstraintSet::new())
+    }
+
+    #[test]
+    fn unconstrained_vars_span_whole_lattice() {
+        let (space, mut vs, cs) = setup();
+        let a = vs.fresh();
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert_eq!(sol.least(a), space.bottom());
+        assert_eq!(sol.greatest(a), space.top());
+        assert!(sol.is_unconstrained(&space, a));
+    }
+
+    #[test]
+    fn lower_bounds_flow_forward() {
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let (a, b, c) = (vs.fresh(), vs.fresh(), vs.fresh());
+        cs.add(konst, a);
+        cs.add(a, b);
+        cs.add(b, c);
+        let sol = cs.solve(&space, &vs).unwrap();
+        for v in [a, b, c] {
+            assert!(space.le(konst, sol.least(v)));
+        }
+        // Nothing flows backward.
+        assert_eq!(sol.greatest(a), space.top());
+    }
+
+    #[test]
+    fn upper_bounds_flow_backward() {
+        let (space, mut vs, mut cs) = setup();
+        let nc = space.not_q(space.id("const").unwrap());
+        let (a, b) = (vs.fresh(), vs.fresh());
+        cs.add(a, b);
+        cs.add(b, nc);
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert!(space.le(sol.greatest(a), nc));
+        assert!(space.le(sol.greatest(b), nc));
+    }
+
+    #[test]
+    fn conflict_is_reported_with_provenance() {
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let nc = space.not_q(space.id("const").unwrap());
+        let a = vs.fresh();
+        cs.add_with(konst, a, Provenance::synthetic("annotation"));
+        cs.add_with(a, nc, Provenance::at(5, 9, "assignment"));
+        let err = cs.solve(&space, &vs).unwrap_err();
+        assert_eq!(err.violations.len(), 1);
+        let v = &err.violations[0];
+        assert_eq!(v.constraint.origin.what, "assignment");
+        let msg = err.to_string();
+        assert!(msg.contains("assignment"), "message was: {msg}");
+    }
+
+    #[test]
+    fn const_const_violation_detected() {
+        let (space, _vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let none = space.none();
+        cs.add(konst, none); // const ⊑ ∅ is false
+        let err = cs.solve_with_count(&space, 0).unwrap_err();
+        assert_eq!(err.violations.len(), 1);
+        cs = ConstraintSet::new();
+        cs.add(none, konst); // ∅ ⊑ const is true
+        assert!(cs.solve_with_count(&space, 0).is_ok());
+    }
+
+    #[test]
+    fn cycles_converge() {
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let (a, b, c) = (vs.fresh(), vs.fresh(), vs.fresh());
+        cs.add(a, b);
+        cs.add(b, c);
+        cs.add(c, a);
+        cs.add(konst, b);
+        let sol = cs.solve(&space, &vs).unwrap();
+        for v in [a, b, c] {
+            assert_eq!(sol.least(v), konst);
+        }
+    }
+
+    #[test]
+    fn negative_qualifier_flows() {
+        // nonzero is negative: ⊥ contains it. An `x` required nonzero on
+        // use (x ⊑ ¬nonzero-complement ... ) — model the paper's line 3/4
+        // example shape: value 0 has qualifier set *without* nonzero, and
+        // asserting nonzero on it must fail.
+        let (space, mut vs, mut cs) = setup();
+        let nz = space.id("nonzero").unwrap();
+        let zero_quals = space.none(); // plain 0 literal: nonzero absent
+        let x = vs.fresh();
+        cs.add(zero_quals, x); // value flows into x
+        // assertion x|nonzero requires x ⊑ (element with nonzero present)
+        let req = space.with_present(space.top(), nz);
+        cs.add(x, req);
+        let err = cs.solve(&space, &vs).unwrap_err();
+        assert_eq!(err.violations.len(), 1);
+    }
+
+    #[test]
+    fn eval_helpers() {
+        let (space, mut vs, mut cs) = setup();
+        let a = vs.fresh();
+        let konst = space.parse_set("const").unwrap();
+        cs.add(konst, a);
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert_eq!(sol.eval_least(Qual::Var(a)), konst);
+        assert_eq!(sol.eval_least(Qual::Const(space.none())), space.none());
+        assert_eq!(sol.eval_greatest(Qual::Var(a)), space.top());
+        assert_eq!(sol.var_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_harmless() {
+        let (space, mut vs, mut cs) = setup();
+        let a = vs.fresh();
+        cs.add(a, a);
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert!(sol.is_unconstrained(&space, a));
+    }
+
+    #[test]
+    fn masked_constraint_relates_only_masked_coordinates() {
+        // v carries const+dynamic; edge to w masked to const only.
+        let (space, mut vs, mut cs) = setup();
+        let cd = space.parse_set("const dynamic").unwrap();
+        let c_id = space.id("const").unwrap();
+        let (v, w) = (vs.fresh(), vs.fresh());
+        cs.add(cd, v);
+        cs.add_masked(v, w, &[c_id], Provenance::synthetic("wf"));
+        let sol = cs.solve(&space, &vs).unwrap();
+        // Only the const coordinate moved; w otherwise stays at ⊥.
+        let expected = space.with_present(space.bottom(), c_id);
+        assert_eq!(sol.least(w), expected, "only const flowed through the mask");
+        assert!(!sol.least(w).has(&space, space.id("dynamic").unwrap()));
+    }
+
+    #[test]
+    fn masked_upper_bound_leaves_other_coordinates_free() {
+        // v ⊑ ∅ masked to const: forbids const but not dynamic.
+        let (space, mut vs, mut cs) = setup();
+        let c_id = space.id("const").unwrap();
+        let v = vs.fresh();
+        cs.add_masked(v, space.bottom(), &[c_id], Provenance::synthetic("assign"));
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert!(!sol.greatest(v).has(&space, c_id));
+        assert!(sol.greatest(v).has(&space, space.id("dynamic").unwrap()));
+    }
+
+    #[test]
+    fn masked_violation_only_on_masked_coordinate() {
+        let (space, mut vs, mut cs) = setup();
+        let c_id = space.id("const").unwrap();
+        let d_id = space.id("dynamic").unwrap();
+        let v = vs.fresh();
+        // dynamic flows in; upper bound ∅ masked to const: fine.
+        cs.add(space.parse_set("dynamic").unwrap(), v);
+        cs.add_masked(v, space.bottom(), &[c_id], Provenance::synthetic("a"));
+        assert!(cs.solve(&space, &vs).is_ok());
+        // Now bound the dynamic coordinate too: violation.
+        cs.add_masked(v, space.bottom(), &[d_id], Provenance::synthetic("b"));
+        let err = cs.solve(&space, &vs).unwrap_err();
+        assert_eq!(err.violations.len(), 1);
+        assert_eq!(err.violations[0].constraint.origin.what, "b");
+    }
+
+    #[test]
+    fn diamond_join() {
+        // const ⊑ a, dynamic ⊑ b, a ⊑ c, b ⊑ c ⇒ least(c) = const ⊔ dynamic.
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let dynamic = space.parse_set("dynamic").unwrap();
+        let (a, b, c) = (vs.fresh(), vs.fresh(), vs.fresh());
+        cs.add(konst, a);
+        cs.add(dynamic, b);
+        cs.add(a, c);
+        cs.add(b, c);
+        let sol = cs.solve(&space, &vs).unwrap();
+        assert_eq!(sol.least(c), space.join(konst, dynamic));
+    }
+}

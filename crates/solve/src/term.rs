@@ -1,0 +1,201 @@
+//! Qualifier terms: the `Q ::= κ | l` production of the paper's qualified
+//! type grammar (Figure 3), plus variable supply and provenance tracking.
+
+use std::fmt;
+
+use qual_lattice::{QualSet, QualSpace};
+
+/// A qualifier variable `κ` ranging over lattice elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QVar(pub(crate) u32);
+
+impl QVar {
+    /// The variable's index (dense, issued in order by [`VarSupply`]).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a variable from a raw index previously obtained from
+    /// [`QVar::index`]. Use only with indices issued by the same supply.
+    #[must_use]
+    pub fn from_index(i: usize) -> QVar {
+        QVar(u32::try_from(i).expect("variable index fits in u32"))
+    }
+}
+
+impl fmt::Display for QVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "κ{}", self.0)
+    }
+}
+
+/// Issues fresh qualifier variables.
+///
+/// ```
+/// use qual_solve::VarSupply;
+/// let mut s = VarSupply::new();
+/// let a = s.fresh();
+/// let b = s.fresh();
+/// assert_ne!(a, b);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct VarSupply {
+    next: u32,
+}
+
+impl VarSupply {
+    /// Creates a supply starting at variable 0.
+    #[must_use]
+    pub fn new() -> VarSupply {
+        VarSupply::default()
+    }
+
+    /// Returns a variable never returned before by this supply.
+    pub fn fresh(&mut self) -> QVar {
+        let v = QVar(self.next);
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("qualifier variable supply exhausted");
+        v
+    }
+
+    /// The number of variables issued so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.next as usize
+    }
+}
+
+/// A qualifier term: either a variable `κ` or a lattice constant `l`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Qual {
+    /// A qualifier variable.
+    Var(QVar),
+    /// A lattice element.
+    Const(QualSet),
+}
+
+impl Qual {
+    /// The variable inside, if this is a variable.
+    #[must_use]
+    pub fn as_var(self) -> Option<QVar> {
+        match self {
+            Qual::Var(v) => Some(v),
+            Qual::Const(_) => None,
+        }
+    }
+
+    /// Renders the term, using `space` to name constants.
+    #[must_use]
+    pub fn render(self, space: &QualSpace) -> String {
+        match self {
+            Qual::Var(v) => v.to_string(),
+            Qual::Const(c) => {
+                let s = space.render(c);
+                if s.is_empty() {
+                    "∅".to_owned()
+                } else {
+                    s
+                }
+            }
+        }
+    }
+}
+
+impl From<QVar> for Qual {
+    fn from(v: QVar) -> Qual {
+        Qual::Var(v)
+    }
+}
+
+impl From<QualSet> for Qual {
+    fn from(c: QualSet) -> Qual {
+        Qual::Const(c)
+    }
+}
+
+/// Where a constraint came from, for error reporting.
+///
+/// `lo` and `hi` are byte offsets into whatever source text the client
+/// analysis was processing (0,0 when synthetic), and `what` is a short
+/// static description such as `"assignment"` or `"qualifier assertion"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Provenance {
+    /// Start byte offset in the client's source text.
+    pub lo: u32,
+    /// End byte offset in the client's source text.
+    pub hi: u32,
+    /// A short description of the program construct that generated the
+    /// constraint.
+    pub what: &'static str,
+}
+
+impl Provenance {
+    /// A provenance with no source location.
+    #[must_use]
+    pub fn synthetic(what: &'static str) -> Provenance {
+        Provenance { lo: 0, hi: 0, what }
+    }
+
+    /// A provenance for source bytes `lo..hi`.
+    #[must_use]
+    pub fn at(lo: u32, hi: u32, what: &'static str) -> Provenance {
+        Provenance { lo, hi, what }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == 0 && self.hi == 0 {
+            write!(f, "{}", self.what)
+        } else {
+            write!(f, "{} at bytes {}..{}", self.what, self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supply_is_dense_and_distinct() {
+        let mut s = VarSupply::new();
+        let vs: Vec<QVar> = (0..100).map(|_| s.fresh()).collect();
+        for (i, v) in vs.iter().enumerate() {
+            assert_eq!(v.index(), i);
+            assert_eq!(QVar::from_index(i), *v);
+        }
+        assert_eq!(s.count(), 100);
+    }
+
+    #[test]
+    fn qual_conversions() {
+        let mut s = VarSupply::new();
+        let v = s.fresh();
+        assert_eq!(Qual::from(v).as_var(), Some(v));
+        let c = QualSet::from_bits(3);
+        assert_eq!(Qual::from(c).as_var(), None);
+    }
+
+    #[test]
+    fn render_constants() {
+        let space = QualSpace::figure2();
+        let e = space.parse_set("const").unwrap();
+        assert_eq!(Qual::Const(e).render(&space), "const");
+        assert_eq!(Qual::Const(space.none()).render(&space), "∅");
+        assert_eq!(Qual::Var(QVar(7)).render(&space), "κ7");
+    }
+
+    #[test]
+    fn provenance_display() {
+        assert_eq!(Provenance::synthetic("test").to_string(), "test");
+        assert_eq!(
+            Provenance::at(3, 9, "assignment").to_string(),
+            "assignment at bytes 3..9"
+        );
+    }
+}

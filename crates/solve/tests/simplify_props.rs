@@ -1,0 +1,78 @@
+//! Property test: compaction preserves the least and greatest solutions
+//! at every interface variable, for random systems with random masks.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use qual_lattice::{QualSet, QualSpaceBuilder};
+use qual_solve::{compact, ConstraintSet, Provenance, QVar, Qual, VarSupply};
+
+const NVARS: usize = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compaction_preserves_interface_solutions(
+        raw in prop::collection::vec((0u8..8, 0u8..8, 0u64..8, any::<bool>()), 0..16),
+        internal_mask in 0u8..(1 << (NVARS as u8)),
+    ) {
+        let space = QualSpaceBuilder::new()
+            .positive("p")
+            .negative("n")
+            .positive("q")
+            .build()
+            .unwrap();
+        let mut vs = VarSupply::new();
+        for _ in 0..NVARS {
+            vs.fresh();
+        }
+        let decode = |c: u8| -> Qual {
+            if (c as usize) < NVARS {
+                Qual::Var(QVar::from_index(c as usize))
+            } else {
+                Qual::Const(QualSet::from_bits(u64::from(c) & space.top().bits()))
+            }
+        };
+        let mut cs = ConstraintSet::new();
+        for &(l, r, m, full) in &raw {
+            let mask = if full { u64::MAX } else { m };
+            cs.extend([qual_solve::Constraint {
+                lhs: decode(l),
+                rhs: decode(r),
+                mask,
+                origin: Provenance::synthetic("prop"),
+            }]);
+        }
+        let internal: HashSet<QVar> = (0..NVARS)
+            .filter(|i| internal_mask >> i & 1 == 1)
+            .map(QVar::from_index)
+            .collect();
+
+        let compacted = compact(cs.constraints(), &internal, 1_000_000);
+        let small: ConstraintSet = compacted.constraints.iter().copied().collect();
+
+        let before = cs.solve(&space, &vs);
+        let after = small.solve(&space, &vs);
+        match (before, after) {
+            (Ok(b), Ok(a)) => {
+                for i in 0..NVARS {
+                    let v = QVar::from_index(i);
+                    if !internal.contains(&v) {
+                        prop_assert_eq!(b.least(v), a.least(v),
+                            "least differs at interface var {}", i);
+                        prop_assert_eq!(b.greatest(v), a.greatest(v),
+                            "greatest differs at interface var {}", i);
+                    }
+                }
+            }
+            (Err(_), Err(_)) => {}
+            // Eliminating an internal variable can erase a violation
+            // *only* if the violating path ran through... it cannot:
+            // path contraction preserves const-to-const consequences.
+            (b, a) => prop_assert!(false,
+                "satisfiability changed: before={} after={}",
+                b.is_ok(), a.is_ok()),
+        }
+    }
+}

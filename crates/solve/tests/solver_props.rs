@@ -1,0 +1,145 @@
+//! Property tests for the atomic constraint solver: solutions satisfy all
+//! constraints, the least solution is pointwise minimal, the greatest is
+//! pointwise maximal, and unsatisfiability is detected exactly when no
+//! assignment exists (verified by brute force on small systems).
+
+use proptest::prelude::*;
+use qual_lattice::{QualSet, QualSpace};
+use qual_solve::{ConstraintSet, QVar, Qual, VarSupply};
+
+const NVARS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct RawSystem {
+    space_bits: usize,
+    constraints: Vec<(u8, u8)>, // encoded terms
+}
+
+/// Terms are encoded in a byte: 0..NVARS = variables, NVARS.. = constants.
+fn decode(space: &QualSpace, code: u8) -> Qual {
+    let n = NVARS as u8;
+    if code < n {
+        Qual::Var(QVar::from_index(code as usize))
+    } else {
+        let c = u64::from(code - n) & (space.top().bits());
+        Qual::Const(QualSet::from_bits(c))
+    }
+}
+
+fn arb_system() -> impl Strategy<Value = RawSystem> {
+    let nbits = 2usize;
+    let max_code = (NVARS + (1 << nbits)) as u8;
+    prop::collection::vec((0..max_code, 0..max_code), 0..12).prop_map(move |constraints| {
+        RawSystem {
+            space_bits: nbits,
+            constraints,
+        }
+    })
+}
+
+fn build(sys: &RawSystem) -> (QualSpace, VarSupply, ConstraintSet) {
+    let mut b = qual_lattice::QualSpaceBuilder::new();
+    for i in 0..sys.space_bits {
+        b = if i % 2 == 0 {
+            b.positive(format!("p{i}"))
+        } else {
+            b.negative(format!("n{i}"))
+        };
+    }
+    let space = b.build().unwrap();
+    let mut vars = VarSupply::new();
+    for _ in 0..NVARS {
+        vars.fresh();
+    }
+    let mut cs = ConstraintSet::new();
+    for &(l, r) in &sys.constraints {
+        cs.add(decode(&space, l), decode(&space, r));
+    }
+    (space, vars, cs)
+}
+
+/// Brute-force: does assignment `asg` satisfy the system?
+fn satisfies(space: &QualSpace, cs: &ConstraintSet, asg: &[QualSet]) -> bool {
+    cs.constraints().iter().all(|c| {
+        let l = match c.lhs {
+            Qual::Var(v) => asg[v.index()],
+            Qual::Const(x) => x,
+        };
+        let r = match c.rhs {
+            Qual::Var(v) => asg[v.index()],
+            Qual::Const(x) => x,
+        };
+        space.le(l, r)
+    })
+}
+
+fn all_assignments(space: &QualSpace) -> Vec<Vec<QualSet>> {
+    let elems: Vec<QualSet> = space.elements().collect();
+    let mut out = vec![Vec::new()];
+    for _ in 0..NVARS {
+        let mut next = Vec::new();
+        for partial in &out {
+            for &e in &elems {
+                let mut p = partial.clone();
+                p.push(e);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(sys in arb_system()) {
+        let (space, vars, cs) = build(&sys);
+        let brute: Vec<Vec<QualSet>> = all_assignments(&space)
+            .into_iter()
+            .filter(|a| satisfies(&space, &cs, a))
+            .collect();
+        match cs.solve(&space, &vars) {
+            Ok(sol) => {
+                prop_assert!(!brute.is_empty(), "solver said SAT, brute force found none");
+                let least: Vec<QualSet> =
+                    (0..NVARS).map(|i| sol.least(QVar::from_index(i))).collect();
+                let greatest: Vec<QualSet> =
+                    (0..NVARS).map(|i| sol.greatest(QVar::from_index(i))).collect();
+                // Both endpoints satisfy the system.
+                prop_assert!(satisfies(&space, &cs, &least));
+                prop_assert!(satisfies(&space, &cs, &greatest));
+                // least is pointwise minimal, greatest pointwise maximal.
+                for a in &brute {
+                    for i in 0..NVARS {
+                        prop_assert!(space.le(least[i], a[i]),
+                            "least not minimal at var {i}");
+                        prop_assert!(space.le(a[i], greatest[i]),
+                            "greatest not maximal at var {i}");
+                    }
+                }
+            }
+            Err(e) => {
+                prop_assert!(brute.is_empty(),
+                    "solver said UNSAT ({e}) but brute force found a solution");
+                prop_assert!(!e.violations.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn extending_constraints_moves_least_up(sys in arb_system(), extra in (0u8..4, 0u8..4)) {
+        let (space, vars, mut cs) = build(&sys);
+        let sol0 = match cs.solve(&space, &vars) { Ok(s) => s, Err(_) => return Ok(()) };
+        cs.add(Qual::Var(QVar::from_index(extra.0 as usize)),
+               Qual::Var(QVar::from_index(extra.1 as usize)));
+        if let Ok(sol1) = cs.solve(&space, &vars) {
+            for i in 0..NVARS {
+                let v = QVar::from_index(i);
+                prop_assert!(space.le(sol0.least(v), sol1.least(v)));
+                prop_assert!(space.le(sol1.greatest(v), sol0.greatest(v)));
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Binding-time analysis as a qualifier system (§1, §2 of the paper):
+//! positive qualifier `dynamic` (with `static` as its absence), the
+//! well-formedness condition that nothing dynamic appears inside a
+//! static value, and propagation through conditionals and application.
+//!
+//! ```text
+//! cargo run --example binding_time
+//! ```
+
+use quals::lambda::rules::BindingTimeRules;
+use quals::lambda::infer_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = BindingTimeRules::space();
+
+    let cases: &[(&str, &str)] = &[
+        (
+            "fully static computation",
+            "(if 1 then 2 else 3 fi)|{~dynamic}",
+        ),
+        (
+            "dynamic guard infects the result",
+            "(if {dynamic} 1 then 2 else 3 fi)|{~dynamic}",
+        ),
+        (
+            "static data flows into dynamic contexts freely",
+            "{dynamic} (if 1 then 2 else 3 fi)",
+        ),
+        (
+            "well-formedness: no dynamic inside a static closure",
+            "(\\x. {dynamic} 1)|{~dynamic}",
+        ),
+        (
+            "a dynamic function produces dynamic results",
+            "(({dynamic} \\x. x) 1)|{~dynamic}",
+        ),
+    ];
+
+    for (what, src) in cases {
+        let out = infer_program(src, &space, &BindingTimeRules)?;
+        println!(
+            "{:<55} {}",
+            what,
+            if out.is_well_qualified() {
+                "OK (static where asserted)"
+            } else {
+                "REJECTED (dynamic leaked into a static position)"
+            }
+        );
+    }
+
+    println!();
+    println!(
+        "A partial evaluator would residualize exactly the dynamic parts;\n\
+         the qualifier framework recovers Henglein-style BTA for free."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Const inference over a C program (§4 of the paper): run both the
+//! monomorphic and the polymorphic analysis and print the signatures
+//! with every inferable `const` inserted.
+//!
+//! ```text
+//! cargo run --example const_inference
+//! ```
+
+use quals::constinfer::{analyze_source, Mode};
+
+const PROGRAM: &str = r#"
+/* A miniature version of the benchmarks: a reader, a writer, and the
+   strchr pattern that needs qualifier polymorphism. */
+
+extern int printf(const char *fmt, ...);
+
+char *find(char *s, int c) {        /* returns a pointer into s */
+  while (*s && *s != c) s++;
+  return s;
+}
+
+void chop(char *line) {             /* writes through find's result */
+  char *p = find(line, '\n');
+  *p = 0;
+}
+
+int count_dots(char *path) {        /* only reads through find */
+  int n = 0;
+  char *p = find(path, '.');
+  while (*p) { n++; p = find(p + 1, '.'); }
+  return n;
+}
+
+int sum(char *data, int n) {        /* plain reader: mono suffices */
+  int acc = 0;
+  for (int i = 0; i < n; i++) acc += data[i];
+  return acc;
+}
+
+int main(void) {
+  char buf[32];
+  buf[0] = 'x';
+  chop(buf);
+  printf("%d\n", count_dots("a.b.c") + sum(buf, 3));
+  return 0;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = quals::cfront::parse(PROGRAM)?;
+
+    for mode in [Mode::Monomorphic, Mode::Polymorphic] {
+        let result = analyze_source(PROGRAM, mode)?;
+        let c = result.counts;
+        println!("== {mode:?} ==");
+        println!(
+            "positions: {} total, {} declared const, {} inferable const",
+            c.total, c.declared, c.inferred
+        );
+        println!("{}", result.annotated_signatures(&prog));
+    }
+
+    println!(
+        "Note how `count_dots` and `sum` gain const under the polymorphic\n\
+         analysis even though `find` is also used by the writer `chop` —\n\
+         the paper's §1 motivation for qualifier polymorphism."
+    );
+    Ok(())
+}

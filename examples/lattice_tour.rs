@@ -1,0 +1,59 @@
+//! A tour of the qualifier lattice machinery: builds the paper's
+//! Figure 2 lattice (positive `const` and `dynamic`, negative `nonzero`)
+//! and prints its Hasse structure and the derived operations.
+//!
+//! ```text
+//! cargo run --example lattice_tour
+//! ```
+
+use quals::lattice::QualSpace;
+
+fn main() {
+    let space = QualSpace::figure2();
+    println!("Figure 2 lattice: {} qualifiers -> {} elements", space.len(), space.elem_count());
+    for (id, decl) in space.iter() {
+        println!("  {decl}  (coordinate {})", id.index());
+    }
+    println!();
+
+    // Enumerate all 8 elements with their covers (the Hasse diagram).
+    let elems: Vec<_> = space.elements().collect();
+    println!("Hasse diagram (x < y with nothing between):");
+    for &x in &elems {
+        for &y in &elems {
+            if x != y && space.le(x, y) {
+                let is_cover = !elems
+                    .iter()
+                    .any(|&z| z != x && z != y && space.le(x, z) && space.le(z, y));
+                if is_cover {
+                    println!("  {{{}}} < {{{}}}", space.render(x), space.render(y));
+                }
+            }
+        }
+    }
+    println!();
+
+    // The ¬q operation used by rule (Assign′).
+    let konst = space.id("const").unwrap();
+    println!(
+        "not_q(const) = {{{}}}  (the greatest element without const —\n\
+         the upper bound (Assign') places on assignment targets)",
+        space.render(space.not_q(konst))
+    );
+
+    // Join and meet.
+    let a = space.parse_set("const nonzero").unwrap();
+    let b = space.parse_set("dynamic nonzero").unwrap();
+    println!(
+        "{{{}}} join {{{}}} = {{{}}}",
+        space.render(a),
+        space.render(b),
+        space.render(space.join(a, b))
+    );
+    println!(
+        "{{{}}} meet {{{}}} = {{{}}}",
+        space.render(a),
+        space.render(b),
+        space.render(space.meet(a, b))
+    );
+}

@@ -1,0 +1,75 @@
+//! Partial evaluation driven by binding-time analysis — §1's motivating
+//! application of the `static`/`dynamic` qualifiers ("binding-time
+//! analysis ... is used in partial evaluation systems").
+//!
+//! The qualifier inference decides what is static; the specializer then
+//! folds conditionals, unfolds applications, and eliminates static lets,
+//! leaving a residual program over the `{dynamic}` inputs only.
+//!
+//! ```text
+//! cargo run --example partial_eval
+//! ```
+
+use quals::lambda::rules::BindingTimeRules;
+use quals::lambda::specialize::specialize_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = BindingTimeRules::space();
+
+    let programs: &[(&str, &str)] = &[
+        (
+            "an interpreter-style dispatcher over a static opcode",
+            "let exec = \\op. \\arg.
+               if op then arg + 1 else arg * 2 fi in
+             let d = {dynamic} 0 in
+             exec 1 d
+             ni ni",
+        ),
+        (
+            "a static configuration table consulted at run time",
+            "let config = (3, (10, 0)) in
+             let scale = fst config in
+             let offset = fst (snd config) in
+             let d = {dynamic} 0 in
+             d * scale + offset
+             ni ni ni ni",
+        ),
+        (
+            "higher-order combinators dissolve",
+            "let compose = \\f. \\g. \\x. f (g x) in
+             let add3 = \\x. x + 3 in
+             let dbl = \\x. x * 2 in
+             let d = {dynamic} 0 in
+             compose add3 dbl d
+             ni ni ni ni",
+        ),
+        (
+            "dynamic control flow is preserved (both branches kept)",
+            "let d = {dynamic} 0 in
+             if d then 1 + 2 else 3 * 4 fi ni",
+        ),
+    ];
+
+    for (what, src) in programs {
+        let spec = specialize_program(src)?;
+        println!("— {what}");
+        println!("  source:   {}", one_line(src));
+        println!("  residual: {}", spec.residual.render(&space));
+        println!(
+            "  ({} ifs folded, {} applications unfolded)",
+            spec.ifs_folded, spec.apps_unfolded
+        );
+        println!();
+    }
+
+    println!(
+        "The binding-time well-formedness condition (§2: nothing dynamic\n\
+         inside static) is exactly what lets the specializer trust the\n\
+         analysis: it never needs a dynamic value to make progress."
+    );
+    Ok(())
+}
+
+fn one_line(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}

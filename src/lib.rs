@@ -1,0 +1,44 @@
+//! `quals` — a complete Rust reproduction of *A Theory of Type
+//! Qualifiers* (Jeffrey S. Foster, Manuel Fähndrich, Alexander Aiken;
+//! PLDI 1999).
+//!
+//! This umbrella crate re-exports the whole system:
+//!
+//! * [`lattice`] — qualifier declarations and the product qualifier
+//!   lattice (paper §2, Definitions 1–2, Figure 2);
+//! * [`solve`] — the atomic subtype-constraint solver and polymorphic
+//!   constrained schemes (§3.1–§3.2);
+//! * [`lambda`] — the paper's core language: a qualified lambda calculus
+//!   with references, qualifier annotations/assertions, checking and
+//!   inference, let-polymorphism, and the Figure-5 operational semantics
+//!   (§2–§3);
+//! * [`cfront`] — a C front end (lexer, parser, typechecker) serving as
+//!   the substrate for const inference (§4);
+//! * [`constinfer`] — monomorphic and polymorphic const inference for C,
+//!   including the function dependence graph traversal and the
+//!   interesting-position counting of the evaluation (§4);
+//! * [`cgen`] — the deterministic benchmark generator standing in for the
+//!   paper's six C benchmark programs (§4.4).
+//!
+//! # Quickstart
+//!
+//! Infer qualifiers for a small program in the paper's core language:
+//!
+//! ```
+//! use quals::lambda::{infer_program, rules::ConstRules};
+//!
+//! let src = "let x = ref 1 in x := 2 ni";
+//! let outcome = infer_program(src, &ConstRules::space(), &ConstRules)?;
+//! assert!(outcome.is_well_qualified());
+//! # Ok::<(), quals::lambda::LambdaError>(())
+//! ```
+//!
+//! See `examples/` for const inference over C sources, binding-time
+//! analysis, taint checking, and the paper's polymorphism examples.
+
+pub use qual_cfront as cfront;
+pub use qual_cgen as cgen;
+pub use qual_constinfer as constinfer;
+pub use qual_lambda as lambda;
+pub use qual_lattice as lattice;
+pub use qual_solve as solve;
