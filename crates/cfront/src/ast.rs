@@ -348,6 +348,40 @@ impl Program {
             })
             .collect()
     }
+
+    /// Replaces the named function definition with an equivalent
+    /// prototype. Fault isolation uses this to exclude a function whose
+    /// analysis failed: calls to it still resolve, but it is treated
+    /// like an unanalyzable library function.
+    pub fn demote_to_proto(&mut self, name: &str) {
+        for item in &mut self.items {
+            if let Item::Func(f) = item {
+                if f.name == name {
+                    *item = Item::Proto {
+                        name: f.name.clone(),
+                        sig: f.sig(),
+                        storage: f.storage,
+                        span: f.span,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Drops the initializer of the named global (fault isolation for a
+    /// global whose initializer failed analysis).
+    pub fn drop_global_init(&mut self, name: &str) {
+        for item in &mut self.items {
+            if let Item::Global {
+                name: n, init, ..
+            } = item
+            {
+                if n == name {
+                    *init = None;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

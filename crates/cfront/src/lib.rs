@@ -34,5 +34,5 @@ pub mod types;
 pub use ast::{FnDef, Item, Program};
 pub use error::CError;
 pub use lexer::Span;
-pub use parser::parse;
+pub use parser::{parse, parse_with_recovery, RecoveredParse};
 pub use types::{CTy, CTyKind, FnTy, Scalar};

@@ -23,17 +23,35 @@ use crate::types::{CTy, CTyKind, FnTy, Scalar};
 /// Returns the first [`CError`] encountered.
 pub fn parse(src: &str) -> Result<Program, CError> {
     let toks = lex(src)?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        typedefs: HashMap::new(),
-        next_expr_id: 0,
-        anon_counter: 0,
-        items: Vec::new(),
-        last_param_names: Vec::new(),
-        depth: 0,
-    };
+    let mut p = Parser::new(toks);
     p.program()
+}
+
+/// A translation unit parsed with error recovery: every top-level item
+/// that failed to parse was skipped (recorded in `errors`) and the rest
+/// of the unit was still parsed into `program`.
+#[derive(Debug, Default)]
+pub struct RecoveredParse {
+    /// The items that did parse.
+    pub program: Program,
+    /// One error per skipped region, in source order.
+    pub errors: Vec<CError>,
+}
+
+/// Parses a translation unit, skipping broken top-level items instead
+/// of aborting: after an error the parser discards tokens up to the
+/// next safe synchronization point (a `;` or closing `}` at top level)
+/// and resumes. A lexer failure still loses the whole file — there is
+/// no token stream to recover on.
+#[must_use]
+pub fn parse_with_recovery(src: &str) -> RecoveredParse {
+    match lex(src) {
+        Err(e) => RecoveredParse {
+            program: Program::default(),
+            errors: vec![e],
+        },
+        Ok(toks) => Parser::new(toks).program_recovering(),
+    }
 }
 
 struct Parser {
@@ -51,10 +69,33 @@ struct Parser {
     /// Current expression-nesting depth (guards against stack overflow
     /// on pathological inputs).
     depth: u32,
+    /// Current statement/block nesting depth.
+    stmt_depth: u32,
+    /// Current declarator/struct/initializer nesting depth.
+    decl_depth: u32,
+    /// Current unary-operator chain depth (prefix ops, casts, sizeof).
+    unary_depth: u32,
 }
 
 /// Maximum expression nesting (each level costs ~a dozen parser frames).
 const MAX_EXPR_DEPTH: u32 = 64;
+
+/// Maximum statement/block nesting.
+const MAX_STMT_DEPTH: u32 = 64;
+
+/// Maximum declarator/struct/initializer nesting.
+const MAX_DECL_DEPTH: u32 = 64;
+
+/// Maximum unary chain length. A chain spends one shallow frame per
+/// link (unlike full expression levels), so the cap is looser; it also
+/// absorbs the one unary frame each parenthesized level contributes.
+const MAX_UNARY_DEPTH: u32 = 192;
+
+/// Maximum pointer/array/function nesting in a single constructed type.
+/// Everything downstream (θ translation, qualifier-shape unification,
+/// the pretty-printer) recurses over type spines, so this parse-time cap
+/// is what makes those recursions total.
+const MAX_TYPE_DEPTH: usize = 128;
 
 /// A parsed parameter list: (optionally named) parameters plus the
 /// varargs flag.
@@ -69,6 +110,43 @@ enum DeclOp {
 }
 
 impl Parser {
+    fn new(toks: Vec<SpannedTok>) -> Parser {
+        Parser {
+            toks,
+            pos: 0,
+            typedefs: HashMap::new(),
+            next_expr_id: 0,
+            anon_counter: 0,
+            items: Vec::new(),
+            last_param_names: Vec::new(),
+            depth: 0,
+            stmt_depth: 0,
+            decl_depth: 0,
+            unary_depth: 0,
+        }
+    }
+
+    /// Runs `f` one nesting level deeper on the chosen counter, erroring
+    /// out (instead of overflowing the stack) past `limit`.
+    fn nested<T>(
+        &mut self,
+        counter: fn(&mut Parser) -> &mut u32,
+        limit: u32,
+        what: &'static str,
+        f: impl FnOnce(&mut Parser) -> Result<T, CError>,
+    ) -> Result<T, CError> {
+        if *counter(self) >= limit {
+            return Err(CError::at(
+                self.peek_span(),
+                format!("{what} nesting too deep"),
+            ));
+        }
+        *counter(self) += 1;
+        let r = f(self);
+        *counter(self) -= 1;
+        r
+    }
+
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
@@ -145,6 +223,72 @@ impl Parser {
             prog.items.extend(item);
         }
         Ok(prog)
+    }
+
+    /// Like [`Parser::program`], but a failing top-level item is
+    /// recorded and skipped rather than aborting the parse.
+    fn program_recovering(&mut self) -> RecoveredParse {
+        let mut prog = Program::default();
+        let mut errors = Vec::new();
+        while self.peek() != &Tok::Eof {
+            let before_items = self.items.len();
+            let before_pos = self.pos;
+            match self.item() {
+                Ok(item) => {
+                    prog.items.extend(self.items.drain(before_items..));
+                    prog.items.extend(item);
+                }
+                Err(e) => {
+                    errors.push(e);
+                    // Drop any side-channel items from the broken region
+                    // and reset nesting counters (unwinding restored
+                    // them, but be defensive — they gate recursion).
+                    self.items.truncate(before_items);
+                    self.depth = 0;
+                    self.stmt_depth = 0;
+                    self.decl_depth = 0;
+                    self.unary_depth = 0;
+                    self.synchronize();
+                    if self.pos == before_pos && self.peek() != &Tok::Eof {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        RecoveredParse {
+            program: prog,
+            errors,
+        }
+    }
+
+    /// Skips to the next plausible top-level boundary: a `;` outside
+    /// braces, or a `}` closing more braces than were opened since the
+    /// error point (i.e. the end of the broken definition).
+    fn synchronize(&mut self) {
+        let mut depth = 0i64;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Semi if depth <= 0 => {
+                    self.bump();
+                    return;
+                }
+                Tok::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RBrace => {
+                    depth -= 1;
+                    self.bump();
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
     }
 
     /// Parses one top-level construct, returning zero or more items.
@@ -348,6 +492,15 @@ impl Parser {
     }
 
     fn struct_specifier(&mut self) -> Result<CTy, CError> {
+        self.nested(
+            |p| &mut p.decl_depth,
+            MAX_DECL_DEPTH,
+            "struct definition",
+            Self::struct_specifier_inner,
+        )
+    }
+
+    fn struct_specifier_inner(&mut self) -> Result<CTy, CError> {
         let span = self.peek_span();
         let name = match self.peek().clone() {
             Tok::Ident(s) => {
@@ -431,6 +584,15 @@ impl Parser {
     fn declarator(&mut self, base: CTy) -> Result<(Option<String>, CTy), CError> {
         let mut ops = Vec::new();
         let name = self.declarator_ops(&mut ops)?;
+        // Cap the constructed type's nesting *before* building it: the
+        // base depth is already capped (typedefs go through here too),
+        // and each op adds at most one level.
+        if base.depth() + ops.len() > MAX_TYPE_DEPTH {
+            return Err(CError::at(
+                self.peek_span(),
+                "declared type nesting too deep",
+            ));
+        }
         // `ops` is in reading order (identifier outward); the type is
         // built by applying them to the base in reverse.
         let mut ty = base;
@@ -461,19 +623,27 @@ impl Parser {
     }
 
     fn declarator_ops(&mut self, ops: &mut Vec<DeclOp>) -> Result<Option<String>, CError> {
-        // Pointer prefix: collected left-to-right, but reading order from
-        // the identifier is right-to-left, so gather then reverse-append.
-        let mut ptrs = Vec::new();
-        while self.eat(&Tok::Star) {
-            let mut is_const = false;
-            while self.eat(&Tok::KwConst) {
-                is_const = true;
-            }
-            ptrs.push(DeclOp::Ptr { is_const });
-        }
-        let name = self.direct_declarator_ops(ops)?;
-        ops.extend(ptrs.into_iter().rev());
-        Ok(name)
+        self.nested(
+            |p| &mut p.decl_depth,
+            MAX_DECL_DEPTH,
+            "declarator",
+            |this| {
+                // Pointer prefix: collected left-to-right, but reading
+                // order from the identifier is right-to-left, so gather
+                // then reverse-append.
+                let mut ptrs = Vec::new();
+                while this.eat(&Tok::Star) {
+                    let mut is_const = false;
+                    while this.eat(&Tok::KwConst) {
+                        is_const = true;
+                    }
+                    ptrs.push(DeclOp::Ptr { is_const });
+                }
+                let name = this.direct_declarator_ops(ops)?;
+                ops.extend(ptrs.into_iter().rev());
+                Ok(name)
+            },
+        )
     }
 
     fn direct_declarator_ops(
@@ -553,6 +723,15 @@ impl Parser {
     }
 
     fn initializer(&mut self) -> Result<Expr, CError> {
+        self.nested(
+            |p| &mut p.decl_depth,
+            MAX_DECL_DEPTH,
+            "initializer",
+            Self::initializer_inner,
+        )
+    }
+
+    fn initializer_inner(&mut self) -> Result<Expr, CError> {
         if self.peek() == &Tok::LBrace {
             // Aggregate initializer: parse the elements but represent the
             // aggregate as a comma chain (the analysis only needs flows).
@@ -624,6 +803,15 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, CError> {
+        self.nested(
+            |p| &mut p.stmt_depth,
+            MAX_STMT_DEPTH,
+            "statement",
+            Self::stmt_inner,
+        )
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, CError> {
         let span = self.peek_span();
         match self.peek().clone() {
             Tok::LBrace => Ok(Stmt::Block(self.block()?)),
@@ -954,6 +1142,15 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, CError> {
+        self.nested(
+            |p| &mut p.unary_depth,
+            MAX_UNARY_DEPTH,
+            "operator",
+            Self::unary_expr_inner,
+        )
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, CError> {
         let span = self.peek_span();
         let op = match self.peek() {
             Tok::Minus => Some(UnOp::Neg),

@@ -83,17 +83,11 @@ impl Sema {
     }
 }
 
-/// Analyzes a parsed program.
-///
-/// # Errors
-///
-/// Returns [`CError`] for unresolved identifiers, unknown struct fields,
-/// or uses of non-struct values as structs.
-pub fn analyze(prog: &Program) -> Result<Sema, CError> {
+/// Pass 1: collect type-level and signature-level information. This
+/// pass is total — a malformed body cannot fail it.
+fn collect_decls(prog: &Program) -> (Sema, HashMap<String, i64>) {
     let mut sema = Sema::default();
     let mut enum_consts: HashMap<String, i64> = HashMap::new();
-
-    // Pass 1: collect type-level and signature-level information.
     for item in &prog.items {
         match item {
             Item::StructDef { name, fields, .. } => {
@@ -117,6 +111,17 @@ pub fn analyze(prog: &Program) -> Result<Sema, CError> {
             Item::Typedef { .. } => {}
         }
     }
+    (sema, enum_consts)
+}
+
+/// Analyzes a parsed program.
+///
+/// # Errors
+///
+/// Returns [`CError`] for unresolved identifiers, unknown struct fields,
+/// or uses of non-struct values as structs.
+pub fn analyze(prog: &Program) -> Result<Sema, CError> {
+    let (mut sema, enum_consts) = collect_decls(prog);
 
     // Pass 2: type every function body and global initializer.
     let mut cx = Cx {
@@ -137,6 +142,70 @@ pub fn analyze(prog: &Program) -> Result<Sema, CError> {
         }
     }
     Ok(sema)
+}
+
+/// Semantic analysis with per-function fault isolation.
+#[derive(Debug, Default)]
+pub struct RecoveredSema {
+    /// The analysis of everything that checked.
+    pub sema: Sema,
+    /// Functions whose bodies failed analysis, with the error. They are
+    /// removed from [`Sema::defined`] (their signatures remain, so calls
+    /// to them resolve and are treated like library calls).
+    pub failed_functions: Vec<(String, CError)>,
+    /// Globals whose initializers failed analysis, with the error.
+    pub failed_globals: Vec<(String, CError)>,
+}
+
+/// Like [`analyze`], but a function body (or global initializer) that
+/// fails is reported and excluded instead of aborting the whole unit.
+///
+/// Callers that feed the result to qualifier inference must also prune
+/// the program ([`Program::demote_to_proto`] /
+/// [`Program::drop_global_init`]): a failed body has incomplete
+/// expression typings, so the engine must not walk it.
+#[must_use]
+pub fn analyze_with_recovery(prog: &Program) -> RecoveredSema {
+    let (mut sema, enum_consts) = collect_decls(prog);
+    let mut failed_functions = Vec::new();
+    let mut failed_globals = Vec::new();
+
+    let mut cx = Cx {
+        sema: &mut sema,
+        enum_consts: &enum_consts,
+        scopes: Vec::new(),
+        current_fn: String::new(),
+    };
+    for item in &prog.items {
+        match item {
+            Item::Func(f) => {
+                if let Err(e) = cx.check_fn(f) {
+                    failed_functions.push((f.name.clone(), e));
+                }
+            }
+            Item::Global {
+                name,
+                init: Some(e),
+                ..
+            } => {
+                cx.current_fn.clear();
+                cx.scopes.clear();
+                if let Err(e) = cx.expr(e) {
+                    failed_globals.push((name.clone(), e));
+                }
+            }
+            _ => {}
+        }
+    }
+    // A failed function is no longer "defined": inference skips its
+    // body and poisons its signature like any other library function.
+    sema.defined
+        .retain(|d| !failed_functions.iter().any(|(n, _)| n == d));
+    RecoveredSema {
+        sema,
+        failed_functions,
+        failed_globals,
+    }
 }
 
 struct Cx<'a> {
@@ -578,6 +647,54 @@ mod tests {
                 assert!(s.is_lvalue(a));
             }
         }
+    }
+
+    #[test]
+    fn recovery_isolates_failing_functions() {
+        let mut p = parse(
+            "int ok1(int x) { return x; }
+             int bad(void) { return nope; }
+             int ok2(int *p) { return *p; }
+             int g = also_nope;",
+        )
+        .unwrap();
+        let r = analyze_with_recovery(&p);
+        assert_eq!(r.failed_functions.len(), 1);
+        assert_eq!(r.failed_functions[0].0, "bad");
+        assert_eq!(r.failed_globals.len(), 1);
+        assert_eq!(r.failed_globals[0].0, "g");
+        assert!(r.sema.is_defined("ok1"));
+        assert!(r.sema.is_defined("ok2"));
+        // `bad` keeps a signature (calls resolve) but is not defined.
+        assert!(!r.sema.is_defined("bad"));
+        assert!(r.sema.signatures.contains_key("bad"));
+
+        // Pruning removes the unanalyzable bodies from the program.
+        for (name, _) in &r.failed_functions {
+            p.demote_to_proto(name);
+        }
+        assert!(p.function("bad").is_none());
+        assert!(p
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Proto { name, .. } if name == "bad")));
+        p.drop_global_init("g");
+        assert!(p.items.iter().any(
+            |i| matches!(i, Item::Global { name, init: None, .. } if name == "g")
+        ));
+    }
+
+    #[test]
+    fn recovery_is_identity_on_clean_programs() {
+        let src = "struct st { int x; };
+                   int f(struct st *p) { return p->x; }";
+        let p = parse(src).unwrap();
+        let strict = analyze(&p).unwrap();
+        let r = analyze_with_recovery(&p);
+        assert!(r.failed_functions.is_empty());
+        assert!(r.failed_globals.is_empty());
+        assert_eq!(r.sema.defined, strict.defined);
+        assert_eq!(r.sema.expr_ty.len(), strict.expr_ty.len());
     }
 
     #[test]

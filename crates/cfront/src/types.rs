@@ -124,6 +124,21 @@ impl CTy {
         matches!(self.kind, CTyKind::Scalar(Scalar::Void))
     }
 
+    /// Structural nesting depth of the type (1 for a scalar). The parser
+    /// caps this at construction time, so every later recursion over a
+    /// type spine (θ translation, unification, printing) is bounded.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match &self.kind {
+            CTyKind::Scalar(_) | CTyKind::Struct(_) => 1,
+            CTyKind::Ptr(inner) | CTyKind::Array(inner, _) => 1 + inner.depth(),
+            CTyKind::Func(f) => {
+                let params = f.params.iter().map(CTy::depth).max().unwrap_or(0);
+                1 + f.ret.depth().max(params)
+            }
+        }
+    }
+
     /// Whether the type is any pointer (or array, which decays).
     #[must_use]
     pub fn is_pointerish(&self) -> bool {

@@ -42,6 +42,135 @@ proptest! {
             let _ = qual_cfront::sema::analyze(&prog);
         }
     }
+
+    #[test]
+    fn recovery_never_panics_and_agrees_with_strict_parse(
+        src in "[a-z{}();,*&=+<>\\[\\]0-9 \\n\"/@]*"
+    ) {
+        let r = qual_cfront::parse_with_recovery(&src);
+        if let Ok(prog) = qual_cfront::parse(&src) {
+            // On clean input recovery is the identity.
+            prop_assert_eq!(r.errors.len(), 0);
+            prop_assert_eq!(r.program.items.len(), prog.items.len());
+        }
+    }
+}
+
+#[test]
+fn recovery_skips_broken_items() {
+    let src = "int good1(void) { return 1; }
+               bogus_type bad bad bad;
+               int good2(void) { return 2; }";
+    let r = qual_cfront::parse_with_recovery(src);
+    assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
+    assert!(r.program.function("good1").is_some());
+    assert!(r.program.function("good2").is_some());
+
+    // A broken function *body* loses only that function; the unbalanced
+    // braces are skipped up to the close of the definition.
+    let src = "int before(void) { return 0; }
+               int broken(void) { if (x ===) { } return; }
+               int after(void) { return 2; }";
+    let r = qual_cfront::parse_with_recovery(src);
+    assert!(!r.errors.is_empty());
+    assert!(r.program.function("before").is_some());
+    assert!(r.program.function("broken").is_none());
+    assert!(r.program.function("after").is_some());
+}
+
+#[test]
+fn recovery_on_lex_failure_and_empty() {
+    // Lexing is not recoverable: the whole unit is one error.
+    let r = qual_cfront::parse_with_recovery("int x; /* unterminated");
+    assert_eq!(r.errors.len(), 1);
+    assert!(r.program.items.is_empty());
+
+    let r = qual_cfront::parse_with_recovery("");
+    assert!(r.errors.is_empty());
+    assert!(r.program.items.is_empty());
+}
+
+#[test]
+fn recovery_never_loops_on_garbage() {
+    // Every item broken: recovery must still terminate and report.
+    let r = qual_cfront::parse_with_recovery(") ) } ; @ # int");
+    assert!(!r.errors.is_empty());
+    assert!(r.program.items.is_empty());
+}
+
+#[test]
+fn deep_unary_chains_error_out() {
+    let deep = format!("int f(int x) {{ return {}x; }}", "!".repeat(500));
+    let err = qual_cfront::parse(&deep).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+    let ok = format!("int f(int x) {{ return {}x; }}", "!".repeat(100));
+    assert!(qual_cfront::parse(&ok).is_ok());
+}
+
+#[test]
+fn deep_statement_nesting_errors_out() {
+    let deep = format!(
+        "int f(void) {{ {} return 1; {} }}",
+        "{".repeat(300),
+        "}".repeat(300)
+    );
+    let err = qual_cfront::parse(&deep).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+    let ok = format!(
+        "int f(void) {{ {} return 1; {} }}",
+        "{".repeat(30),
+        "}".repeat(30)
+    );
+    assert!(qual_cfront::parse(&ok).is_ok());
+}
+
+#[test]
+fn deep_declarators_and_types_error_out() {
+    // Parenthesized declarator nesting.
+    let deep = format!("int {}x{};", "(".repeat(300), ")".repeat(300));
+    let err = qual_cfront::parse(&deep).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+
+    // Pointer-level type depth (built iteratively, capped structurally).
+    let deep = format!("int {}x;", "*".repeat(300));
+    let err = qual_cfront::parse(&deep).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+    let ok = format!("int {}x;", "*".repeat(8));
+    assert!(qual_cfront::parse(&ok).is_ok());
+
+    // Deep aggregate initializers.
+    let deep = format!("int x = {}1{};", "{".repeat(300), "}".repeat(300));
+    let err = qual_cfront::parse(&deep).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+
+    // Nested struct definitions.
+    let mut deep = String::new();
+    for i in 0..200 {
+        deep.push_str(&format!("struct s{i} {{ "));
+    }
+    deep.push_str("int x; ");
+    for i in 0..200 {
+        deep.push_str(&format!("}} m{i}; "));
+    }
+    let err = qual_cfront::parse(&deep).unwrap_err();
+    assert!(err.message.contains("too deep"), "{err}");
+}
+
+#[test]
+fn recovery_survives_depth_bombs_mid_file() {
+    // A depth bomb in the middle of a file is contained to its item.
+    let src = format!(
+        "int a(void) {{ return 1; }}
+         int bomb(void) {{ return {}1{}; }}
+         int b(void) {{ return 2; }}",
+        "(".repeat(500),
+        ")".repeat(500)
+    );
+    let r = qual_cfront::parse_with_recovery(&src);
+    assert!(!r.errors.is_empty());
+    assert!(r.program.function("a").is_some());
+    assert!(r.program.function("b").is_some());
+    assert!(r.program.function("bomb").is_none());
 }
 
 #[test]

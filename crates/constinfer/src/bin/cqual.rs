@@ -2,7 +2,9 @@
 //! tool the paper built (and its successor CQual).
 //!
 //! ```text
-//! cqual [--mode mono|poly|polyrec] [--annotate|--rewrite|--report] FILE...
+//! cqual [--mode mono|poly|polyrec] [--annotate|--rewrite|--report]
+//!       [--keep-going] [--max-constraints N] [--max-solver-steps N]
+//!       [--max-fn-work N] FILE...
 //! ```
 //!
 //! * `--report` (default): the Table-2 style counts plus per-position
@@ -12,35 +14,85 @@
 //! * `--rewrite`: print the whole program with the (monomorphic)
 //!   inferable consts inserted.
 //!
-//! Multiple files are concatenated and analyzed as one program, exactly
-//! as the paper handles multi-file benchmarks ("We analyzed each set of
-//! programs at once").
+//! By default multiple files are concatenated and analyzed as one
+//! program, exactly as the paper handles multi-file benchmarks ("We
+//! analyzed each set of programs at once"). With `--keep-going` each
+//! input is analyzed independently (directories expand to their `*.c`
+//! files), a broken file cannot take the batch down, and the exit code
+//! reports whether *any* input produced diagnostics.
+//!
+//! The whole pipeline is fault-isolated: unparseable items, functions
+//! that fail sema or exhaust an analysis budget are skipped with a
+//! rendered diagnostic while counts are still produced for the rest.
+//! Exit code 0 means a completely clean run; 1 means the analysis
+//! finished but skipped something; 2 means bad usage.
 
 use std::process::ExitCode;
 
-use qual_constinfer::{analyze_source, rewrite_source, Mode, PositionClass};
+use qual_constinfer::{
+    analyze_source_resilient, rewrite_source, AnalysisOutcome, Budgets, Mode,
+    PositionClass,
+};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite] FILE...");
+    eprintln!(
+        "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
+         \x20            [--keep-going] [--max-constraints N] [--max-solver-steps N]\n\
+         \x20            [--max-fn-work N] FILE..."
+    );
     ExitCode::from(2)
 }
 
+struct Config {
+    mode: Mode,
+    action: Action,
+    budgets: Budgets,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Action {
+    Report,
+    Annotate,
+    Rewrite,
+}
+
 fn main() -> ExitCode {
-    let mut mode = Mode::Polymorphic;
-    let mut action = "report".to_owned();
+    let mut cfg = Config {
+        mode: Mode::Polymorphic,
+        action: Action::Report,
+        budgets: Budgets::default(),
+    };
+    let mut keep_going = false;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => match args.next().as_deref() {
-                Some("mono") => mode = Mode::Monomorphic,
-                Some("poly") => mode = Mode::Polymorphic,
-                Some("polyrec") => mode = Mode::PolymorphicRecursive,
+                Some("mono") => cfg.mode = Mode::Monomorphic,
+                Some("poly") => cfg.mode = Mode::Polymorphic,
+                Some("polyrec") => cfg.mode = Mode::PolymorphicRecursive,
                 _ => return usage(),
             },
-            "--report" | "--annotate" | "--rewrite" => {
-                action = a.trim_start_matches("--").to_owned();
+            "--report" => cfg.action = Action::Report,
+            "--annotate" => cfg.action = Action::Annotate,
+            "--rewrite" => cfg.action = Action::Rewrite,
+            "--keep-going" => keep_going = true,
+            "--max-constraints" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => cfg.budgets.max_constraints = n,
+                    None => return usage(),
+                }
             }
+            "--max-solver-steps" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => cfg.budgets.max_solver_steps = n,
+                    None => return usage(),
+                }
+            }
+            "--max-fn-work" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.budgets.max_fn_work = n,
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -53,8 +105,43 @@ fn main() -> ExitCode {
         return usage();
     }
 
+    if keep_going {
+        run_batch(&cfg, &files)
+    } else {
+        run_concatenated(&cfg, &files)
+    }
+}
+
+/// Expands directory arguments to their `*.c` files, sorted; plain
+/// files pass through.
+fn expand_inputs(files: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for f in files {
+        let path = std::path::Path::new(f);
+        if path.is_dir() {
+            let mut found = Vec::new();
+            let entries = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read directory {f}: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("cannot read directory {f}: {e}"))?;
+                let p = entry.path();
+                if p.extension().is_some_and(|x| x == "c") {
+                    found.push(p.to_string_lossy().into_owned());
+                }
+            }
+            found.sort();
+            out.extend(found);
+        } else {
+            out.push(f.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Default mode: one concatenated translation unit.
+fn run_concatenated(cfg: &Config, files: &[String]) -> ExitCode {
     let mut src = String::new();
-    for f in &files {
+    for f in files {
         match std::fs::read_to_string(f) {
             Ok(text) => {
                 src.push_str(&text);
@@ -66,54 +153,120 @@ fn main() -> ExitCode {
             }
         }
     }
+    let diags = analyze_and_print(cfg, &src);
+    if diags == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
-    let result = match analyze_source(&src, mode) {
-        Ok(r) => r,
+/// `--keep-going`: every input analyzed independently; one broken file
+/// cannot take down the batch.
+fn run_batch(cfg: &Config, files: &[String]) -> ExitCode {
+    let inputs = match expand_inputs(files) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("cqual: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = &result.analysis.solution {
-        eprintln!(
-            "cqual: warning: qualifier constraints unsatisfiable \
-             (declared consts conflict with uses); counts are empty"
-        );
-        eprint!("{}", qual_solve::diag::render_violations(&src, e));
+    if inputs.is_empty() {
+        eprintln!("cqual: no input files");
+        return ExitCode::FAILURE;
     }
+    let mut total_diags = 0usize;
+    let mut clean = 0usize;
+    for f in &inputs {
+        println!("== {f} ==");
+        match std::fs::read_to_string(f) {
+            Ok(src) => {
+                let diags = analyze_and_print(cfg, &src);
+                total_diags += diags;
+                if diags == 0 {
+                    clean += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("cqual: cannot read {f}: {e}");
+                total_diags += 1;
+            }
+        }
+    }
+    println!(
+        "cqual: {} file(s): {} clean, {} with diagnostics ({} diagnostic(s) total)",
+        inputs.len(),
+        clean,
+        inputs.len() - clean,
+        total_diags
+    );
+    if total_diags == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
-    match action.as_str() {
-        "annotate" => {
-            let prog = qual_cfront::parse(&src).expect("already parsed once");
-            print!("{}", result.annotated_signatures(&prog));
-        }
-        "rewrite" => {
-            if mode == Mode::Polymorphic {
-                eprintln!(
-                    "cqual: note: rewriting uses the monomorphic result \
-                     (polymorphic extras cannot be expressed as C consts)"
-                );
-            }
-            let prog = qual_cfront::parse(&src).expect("already parsed once");
-            let mono = analyze_source(&src, Mode::Monomorphic).expect("re-analysis");
-            print!("{}", rewrite_source(&prog, &mono));
-        }
-        _ => {
-            let c = result.counts;
-            println!(
-                "{} interesting positions: {} declared const, {} inferable const ({mode:?})",
-                c.total, c.declared, c.inferred
-            );
-            for p in &result.positions {
-                let class = match p.class {
-                    PositionClass::MustConst => "must be const",
-                    PositionClass::MustNotConst => "cannot be const",
-                    PositionClass::Either => "could be const",
-                };
-                let declared = if p.declared { " [declared]" } else { "" };
-                println!("  {:<32} {class}{declared}", p.label());
+/// Analyzes one translation unit, prints the requested view for the
+/// healthy part plus rendered diagnostics for everything skipped, and
+/// returns the diagnostic count.
+fn analyze_and_print(cfg: &Config, src: &str) -> usize {
+    let outcome = analyze_source_resilient(src, cfg.mode, cfg.budgets);
+    match cfg.action {
+        Action::Report => print_report(cfg, &outcome),
+        Action::Annotate => {
+            if let Some(result) = &outcome.result {
+                print!("{}", result.annotated_signatures(&outcome.program));
             }
         }
+        Action::Rewrite => print_rewrite(cfg, src, &outcome),
     }
-    ExitCode::SUCCESS
+    for d in &outcome.skipped {
+        eprint!("{}", d.render(Some(src)));
+    }
+    if outcome.result.is_none() {
+        eprintln!("cqual: constraint solving failed; counts are unavailable");
+    }
+    outcome.skipped.len()
+}
+
+fn print_report(cfg: &Config, outcome: &AnalysisOutcome) {
+    let Some(result) = &outcome.result else {
+        return;
+    };
+    let c = result.counts;
+    println!(
+        "{} interesting positions: {} declared const, {} inferable const ({:?})",
+        c.total, c.declared, c.inferred, cfg.mode
+    );
+    for p in &result.positions {
+        let class = match p.class {
+            PositionClass::MustConst => "must be const",
+            PositionClass::MustNotConst => "cannot be const",
+            PositionClass::Either => "could be const",
+        };
+        let declared = if p.declared { " [declared]" } else { "" };
+        println!("  {:<32} {class}{declared}", p.label());
+    }
+}
+
+fn print_rewrite(cfg: &Config, src: &str, outcome: &AnalysisOutcome) {
+    if cfg.mode != Mode::Monomorphic {
+        eprintln!(
+            "cqual: note: rewriting uses the monomorphic result \
+             (polymorphic extras cannot be expressed as C consts)"
+        );
+    }
+    // Rewriting needs monomorphic classifications; reuse the outcome
+    // when it is already monomorphic, otherwise re-analyze.
+    let mono;
+    let (prog, result) = if cfg.mode == Mode::Monomorphic {
+        (&outcome.program, outcome.result.as_ref())
+    } else {
+        mono = analyze_source_resilient(src, Mode::Monomorphic, cfg.budgets);
+        (&mono.program, mono.result.as_ref())
+    };
+    if let Some(result) = result {
+        print!("{}", rewrite_source(prog, result));
+    }
 }

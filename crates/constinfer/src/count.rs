@@ -13,9 +13,10 @@
 
 use qual_cfront::ast::Program;
 use qual_cfront::sema;
-use qual_cfront::{CTy, CTyKind};
+use qual_cfront::{CError, CTy, CTyKind};
+use qual_solve::{diag, Diagnostic, Phase};
 
-use crate::engine::{run, Analysis, Mode};
+use crate::engine::{run, run_budgeted, Analysis, Budgets, Mode, Options};
 use crate::qtypes::QcShape;
 use crate::ConstInferError;
 
@@ -257,6 +258,108 @@ pub fn analyze_source(src: &str, mode: Mode) -> Result<ConstResult, ConstInferEr
     let sem = sema::analyze(&prog)?;
     let analysis = run(&prog, &sem, &qual_lattice::QualSpace::const_only(), mode);
     Ok(summarize(&prog, analysis))
+}
+
+/// The result of a fault-isolated end-to-end run: whatever could be
+/// analyzed, plus one [`Diagnostic`] per skipped region/function.
+#[derive(Debug)]
+pub struct AnalysisOutcome {
+    /// Counts and positions for the healthy part of the input. `None`
+    /// only when the final constraint solve itself failed (unsat or
+    /// solver budget exhausted) — partial *generation* failures still
+    /// produce a result for the rest.
+    pub result: Option<ConstResult>,
+    /// The pruned program the result describes (broken items skipped,
+    /// failed functions demoted to prototypes). Annotation and
+    /// rewriting should use this program — it is the one the counts
+    /// refer to.
+    pub program: Program,
+    /// Everything that was skipped, in pipeline order.
+    pub skipped: Vec<Diagnostic>,
+}
+
+impl AnalysisOutcome {
+    /// Whether anything at all went wrong.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty() && self.result.is_some()
+    }
+}
+
+fn diag_from_cerror(phase: Phase, e: &CError) -> Diagnostic {
+    Diagnostic::error(phase, e.message.clone()).with_span(e.span.lo, e.span.hi)
+}
+
+/// End-to-end with fault isolation: parse with recovery, analyze with
+/// per-function isolation, infer under [`Budgets`], and count whatever
+/// survived. Never fails and never panics — every fault becomes a
+/// [`Diagnostic`] in [`AnalysisOutcome::skipped`].
+#[must_use]
+pub fn analyze_source_resilient(
+    src: &str,
+    mode: Mode,
+    budgets: Budgets,
+) -> AnalysisOutcome {
+    let recovered = qual_cfront::parse_with_recovery(src);
+    let mut program = recovered.program;
+    let mut skipped: Vec<Diagnostic> = recovered
+        .errors
+        .iter()
+        .map(|e| diag_from_cerror(Phase::Parse, e))
+        .collect();
+
+    let rsema = sema::analyze_with_recovery(&program);
+    for (name, e) in &rsema.failed_functions {
+        skipped.push(diag_from_cerror(Phase::Sema, e).with_function(name.clone()));
+        program.demote_to_proto(name);
+    }
+    for (name, e) in &rsema.failed_globals {
+        skipped.push(diag_from_cerror(Phase::Sema, e).with_function(name.clone()));
+        program.drop_global_init(name);
+    }
+
+    let (analysis, engine_skipped) = run_budgeted(
+        &program,
+        &rsema.sema,
+        &qual_lattice::QualSpace::const_only(),
+        mode,
+        Options::default(),
+        budgets,
+    );
+    // Engine-failed functions drop out of the counts the same way
+    // sema-failed ones did.
+    for d in &engine_skipped {
+        if let Some(f) = &d.function {
+            program.demote_to_proto(f);
+        }
+    }
+    skipped.extend(engine_skipped);
+
+    match &analysis.solution {
+        Err(failure) => {
+            match failure {
+                qual_solve::SolveFailure::Unsat(e) => {
+                    skipped.extend(diag::diagnostics_from_unsat(e));
+                }
+                qual_solve::SolveFailure::BudgetExceeded { steps, limit } => {
+                    skipped.push(Diagnostic::error(
+                        Phase::Solve,
+                        format!("solver budget exceeded ({steps} of {limit} steps)"),
+                    ));
+                }
+            }
+            AnalysisOutcome {
+                result: None,
+                program,
+                skipped,
+            }
+        }
+        Ok(_) => AnalysisOutcome {
+            result: Some(summarize(&program, analysis)),
+            program,
+            skipped,
+        },
+    }
 }
 
 /// Counts positions for an existing analysis.

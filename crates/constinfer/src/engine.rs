@@ -1,7 +1,7 @@
 //! The const-inference engine (§4): constraint generation over C
 //! programs, in monomorphic or polymorphic (FDG-driven) mode.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use qual_cfront::ast::{
     Block, Expr, ExprKind, FnDef, Item, Program, Stmt, UnOp,
@@ -10,7 +10,8 @@ use qual_cfront::sema::{Resolution, Sema};
 use qual_cfront::{CTy, CTyKind};
 use qual_lattice::QualSpace;
 use qual_solve::{
-    ConstraintSet, Provenance, QVar, Qual, Scheme, Solution, SolveError, VarSupply,
+    ConstraintSet, Diagnostic, Phase, Provenance, QVar, Qual, Scheme, Solution,
+    SolveFailure, VarSupply,
 };
 
 use crate::fdg::Fdg;
@@ -57,8 +58,8 @@ pub struct Analysis {
     /// Solutions (the system is always satisfiable: the program is
     /// assumed to be correct C, and declared consts only add lower
     /// bounds; but casts severed flows make this non-trivially true, so
-    /// we keep the error side).
-    pub solution: Result<Solution, SolveError>,
+    /// we keep the error side; a solver-step budget can also exhaust).
+    pub solution: Result<Solution, SolveFailure>,
     /// Signature template nodes per defined function.
     pub signatures: HashMap<String, SigNodes>,
     /// Which mode ran.
@@ -78,6 +79,46 @@ pub struct Options {
     pub simplify_schemes: bool,
 }
 
+/// Resource budgets for one analysis run. Runaway inputs (pathological
+/// constraint graphs, enormous machine-generated functions) exhaust a
+/// budget and become structured [`Diagnostic`]s instead of hangs. The
+/// same caps mirror the parser's nesting guards one layer up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budgets {
+    /// Cap on the total number of generated constraints.
+    pub max_constraints: usize,
+    /// Cap on solver edge relaxations in the final solve (shared by the
+    /// least- and greatest-solution passes).
+    pub max_solver_steps: u64,
+    /// Per-function (and per-global-initializer) cap on expression
+    /// nodes visited during constraint generation. Re-analysis rounds
+    /// (polymorphic recursion) reset it per round.
+    pub max_fn_work: u64,
+}
+
+impl Budgets {
+    /// No limits: every budget is effectively infinite.
+    #[must_use]
+    pub const fn unlimited() -> Budgets {
+        Budgets {
+            max_constraints: usize::MAX,
+            max_solver_steps: u64::MAX,
+            max_fn_work: u64::MAX,
+        }
+    }
+}
+
+impl Default for Budgets {
+    /// Generous defaults: far above anything the benchmark suite needs,
+    /// low enough to cut off adversarial inputs in well under a second.
+    fn default() -> Budgets {
+        Budgets {
+            max_constraints: 4_000_000,
+            max_solver_steps: 50_000_000,
+            max_fn_work: 2_000_000,
+        }
+    }
+}
 
 /// Runs const inference on an analyzed program with default [`Options`].
 ///
@@ -97,6 +138,28 @@ pub fn run_with_options(
     mode: Mode,
     options: Options,
 ) -> Analysis {
+    run_budgeted(prog, sema, space, mode, options, Budgets::unlimited()).0
+}
+
+/// Runs const inference with fault isolation and resource [`Budgets`].
+///
+/// A function whose constraint generation fails (an engine/sema
+/// mismatch, an exhausted work budget) is rolled back, reported in the
+/// returned diagnostics, and excluded: its signature is poisoned like a
+/// library function's so callers stay sound, and the rest of the
+/// program is still analyzed. In the polymorphic modes the fault unit
+/// is the FDG strongly-connected component (mutually recursive
+/// functions are analyzed together, so they fail together).
+#[must_use]
+pub fn run_budgeted(
+    prog: &Program,
+    sema: &Sema,
+    space: &QualSpace,
+    mode: Mode,
+    options: Options,
+    budgets: Budgets,
+) -> (Analysis, Vec<Diagnostic>) {
+    let mut skipped: Vec<Diagnostic> = Vec::new();
     let mut eng = Engine {
         sema,
         space: space.clone(),
@@ -113,6 +176,9 @@ pub fn run_with_options(
         instantiate_intra_scc: false,
         mode,
         struct_defs: sema.structs.clone(),
+        budgets,
+        fuel: budgets.max_fn_work,
+        failed: HashSet::new(),
     };
 
     // Global variables first: their qualifier variables are "free in the
@@ -132,7 +198,8 @@ pub fn run_with_options(
             eng.make_sig(f);
         }
     }
-    // Global initializers.
+    // Global initializers. Each is its own fault unit with its own work
+    // budget; a failing initializer is rolled back and reported.
     for item in &prog.items {
         if let Item::Global {
             name,
@@ -140,10 +207,25 @@ pub fn run_with_options(
             ..
         } = item
         {
-            let cell = eng.globals[name];
-            let v = eng.expr(e);
-            let contents = eng.contents_of(cell);
-            eng.flow(v.rty, contents, Provenance::synthetic("global initializer"));
+            let Some(&cell) = eng.globals.get(name) else {
+                continue;
+            };
+            eng.fuel = budgets.max_fn_work;
+            let cs_mark = eng.cs.len();
+            match eng.expr(e) {
+                Ok(v) => {
+                    let contents = eng.contents_of(cell);
+                    eng.flow(
+                        v.rty,
+                        contents,
+                        Provenance::synthetic("global initializer"),
+                    );
+                }
+                Err(d) => {
+                    eng.cs.truncate(cs_mark);
+                    skipped.push(d.with_function(name.clone()));
+                }
+            }
         }
     }
 
@@ -151,7 +233,12 @@ pub fn run_with_options(
         Mode::Monomorphic => {
             for f in prog.functions() {
                 eng.current_scc = vec![f.name.clone()];
-                eng.analyze_fn(f);
+                let cs_mark = eng.cs.len();
+                if let Err(d) = eng.analyze_fn(f) {
+                    eng.cs.truncate(cs_mark);
+                    eng.exclude(&f.name);
+                    skipped.push(d);
+                }
             }
         }
         Mode::Polymorphic | Mode::PolymorphicRecursive => {
@@ -163,8 +250,11 @@ pub fn run_with_options(
                     || scc
                         .first()
                         .is_some_and(|v| fdg.edges[*v].contains(v));
+                let scc_cs_mark = eng.cs.len();
                 if mode == Mode::PolymorphicRecursive && recursive {
-                    eng.polyrec_scc(&names, prog, options);
+                    if let Err(d) = eng.polyrec_scc(&names, prog, options) {
+                        eng.fail_scc(&names, scc_cs_mark, d, &mut skipped);
+                    }
                     continue;
                 }
                 let mark = eng.supply.count();
@@ -177,10 +267,18 @@ pub fn run_with_options(
                         eng.make_sig(f);
                     }
                 }
+                let mut fault = None;
                 for name in &names {
                     if let Some(f) = prog.function(name) {
-                        eng.analyze_fn(f);
+                        if let Err(d) = eng.analyze_fn(f) {
+                            fault = Some(d);
+                            break;
+                        }
                     }
+                }
+                if let Some(d) = fault {
+                    eng.fail_scc(&names, scc_cs_mark, d, &mut skipped);
+                    continue;
                 }
                 // (Letv) over the SCC: generalize each member's signature
                 // over the qualifier variables created in this window.
@@ -213,16 +311,21 @@ pub fn run_with_options(
         }
     }
 
-    let solution = eng.cs.solve(space, &eng.supply);
-    Analysis {
-        arena: eng.arena,
-        space: space.clone(),
-        supply: eng.supply,
-        constraints: eng.cs,
-        solution,
-        signatures: eng.sigs,
-        mode,
-    }
+    let solution =
+        eng.cs
+            .solve_with_budget(space, &eng.supply, budgets.max_solver_steps);
+    (
+        Analysis {
+            arena: eng.arena,
+            space: space.clone(),
+            supply: eng.supply,
+            constraints: eng.cs,
+            solution,
+            signatures: eng.sigs,
+            mode,
+        },
+        skipped,
+    )
 }
 
 /// The value of an analyzed expression: an optional l-value cell (the
@@ -264,6 +367,13 @@ struct Engine<'a> {
     instantiate_intra_scc: bool,
     mode: Mode,
     struct_defs: HashMap<String, Vec<(String, CTy)>>,
+    /// Resource caps for this run.
+    budgets: Budgets,
+    /// Remaining work units for the function currently being analyzed.
+    fuel: u64,
+    /// Functions excluded by fault isolation; calls to them get the
+    /// conservative library treatment.
+    failed: HashSet<String>,
 }
 
 /// A canonical, alpha-renamed view of one scheme's captured constraints,
@@ -288,7 +398,12 @@ impl Engine<'_> {
     /// polymorphic-recursion typing rule. If the iteration cap is hit
     /// without convergence, a final let-style round (monomorphic
     /// self-calls) restores the sound baseline.
-    fn polyrec_scc(&mut self, names: &[String], prog: &Program, options: Options) {
+    fn polyrec_scc(
+        &mut self,
+        names: &[String],
+        prog: &Program,
+        options: Options,
+    ) -> Result<(), Diagnostic> {
         const MAX_ROUNDS: usize = 8;
         self.current_scc = names.to_vec();
 
@@ -304,18 +419,103 @@ impl Engine<'_> {
         }
         let mut prev = self.scc_summaries(names);
 
-        for round in 0..MAX_ROUNDS {
-            let converged = self.polyrec_round(names, prog, options, true);
+        for _round in 0..MAX_ROUNDS {
+            self.polyrec_round(names, prog, options, true)?;
             let cur = self.scc_summaries(names);
             let stable = cur == prev;
             prev = cur;
-            let _ = (round, converged);
             if stable {
-                return;
+                return Ok(());
             }
         }
         // Did not converge: one authoritative let-style round.
-        self.polyrec_round(names, prog, options, false);
+        self.polyrec_round(names, prog, options, false)
+    }
+
+    /// Fault-isolates a whole SCC: rolls its constraints back, excludes
+    /// every member, and records the triggering diagnostic (plus a
+    /// warning per innocent co-member dragged down with it).
+    fn fail_scc(
+        &mut self,
+        names: &[String],
+        cs_mark: usize,
+        d: Diagnostic,
+        skipped: &mut Vec<Diagnostic>,
+    ) {
+        self.cs.truncate(cs_mark);
+        self.instantiate_intra_scc = false;
+        for name in names {
+            self.exclude(name);
+            if d.function.as_deref() != Some(name) {
+                skipped.push(
+                    Diagnostic::warning(
+                        Phase::Infer,
+                        "skipped: mutually recursive with a failed function",
+                    )
+                    .with_function(name.clone()),
+                );
+            }
+        }
+        skipped.push(d);
+    }
+
+    /// Excludes a failed function from the result: callers from now on
+    /// treat it as a library function, and — because callers that were
+    /// already analyzed linked into its shared signature template — its
+    /// parameter levels not declared const are poisoned non-const, the
+    /// same conservative stance §4.2 takes for library code.
+    fn exclude(&mut self, name: &str) {
+        self.failed.insert(name.to_owned());
+        self.schemes.remove(name);
+        let Some(sig) = self.sigs.get(name).cloned() else {
+            return;
+        };
+        let declared = self.sema.signatures.get(name).cloned();
+        for (i, pcell) in sig.params.iter().enumerate() {
+            let value = self.contents_of(*pcell);
+            let flags = declared
+                .as_ref()
+                .and_then(|s| s.params.get(i))
+                .map(pointee_const_flags)
+                .unwrap_or_default();
+            let spine = self.arena.spine(value);
+            for (level, node) in spine.iter().enumerate() {
+                if !flags.get(level).copied().unwrap_or(false) {
+                    self.write_through(
+                        *node,
+                        Provenance::synthetic("skipped function"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Spends one unit of the per-function work budget and checks the
+    /// global constraint cap; the budget turned to an error here is what
+    /// makes every analysis loop terminate on adversarial input.
+    fn charge(&mut self, e: &Expr) -> Result<(), Diagnostic> {
+        if self.cs.len() >= self.budgets.max_constraints {
+            return Err(Diagnostic::error(
+                Phase::Infer,
+                format!(
+                    "constraint budget exceeded ({} constraints)",
+                    self.budgets.max_constraints
+                ),
+            )
+            .with_span(e.span.lo, e.span.hi));
+        }
+        if self.fuel == 0 {
+            return Err(Diagnostic::error(
+                Phase::Infer,
+                format!(
+                    "analysis work budget exceeded ({} steps)",
+                    self.budgets.max_fn_work
+                ),
+            )
+            .with_span(e.span.lo, e.span.hi));
+        }
+        self.fuel -= 1;
+        Ok(())
     }
 
     /// One analysis round over the SCC with fresh signature templates.
@@ -327,7 +527,7 @@ impl Engine<'_> {
         prog: &Program,
         options: Options,
         instantiate_self: bool,
-    ) -> bool {
+    ) -> Result<(), Diagnostic> {
         let mark = self.supply.count();
         let cs_mark = self.cs.len();
         for name in names {
@@ -338,7 +538,10 @@ impl Engine<'_> {
         self.instantiate_intra_scc = instantiate_self;
         for name in names {
             if let Some(f) = prog.function(name) {
-                self.analyze_fn(f);
+                if let Err(d) = self.analyze_fn(f) {
+                    self.instantiate_intra_scc = false;
+                    return Err(d);
+                }
             }
         }
         self.instantiate_intra_scc = false;
@@ -355,7 +558,7 @@ impl Engine<'_> {
             }
             self.schemes.insert(name.clone(), scheme);
         }
-        true
+        Ok(())
     }
 
     /// The signature spine variables, in deterministic order.
@@ -479,8 +682,19 @@ impl Engine<'_> {
         self.locals.iter().rev().find_map(|s| s.get(name)).copied()
     }
 
-    fn analyze_fn(&mut self, f: &FnDef) {
-        let sig = self.sigs[&f.name].clone();
+    fn analyze_fn(&mut self, f: &FnDef) -> Result<(), Diagnostic> {
+        self.fuel = self.budgets.max_fn_work;
+        let sig = match self.sigs.get(&f.name) {
+            Some(s) => s.clone(),
+            None => {
+                return Err(Diagnostic::error(
+                    Phase::Infer,
+                    "missing signature template",
+                )
+                .with_span(f.span.lo, f.span.hi)
+                .with_function(f.name.clone()))
+            }
+        };
         self.locals.clear();
         let mut top = HashMap::new();
         for ((name, _), cell) in f.params.iter().zip(sig.params.iter()) {
@@ -488,25 +702,29 @@ impl Engine<'_> {
         }
         self.locals.push(top);
         self.current_ret = Some(sig.ret);
-        self.block(&f.body);
-        self.locals.pop();
+        let r = self.block(&f.body);
         self.current_ret = None;
+        r.map_err(|d| d.with_function(f.name.clone()))
     }
 
-    fn block(&mut self, b: &Block) {
+    fn block(&mut self, b: &Block) -> Result<(), Diagnostic> {
         self.locals.push(HashMap::new());
-        for s in &b.stmts {
-            self.stmt(s);
-        }
+        let r = (|| {
+            for s in &b.stmts {
+                self.stmt(s)?;
+            }
+            Ok(())
+        })();
         self.locals.pop();
+        r
     }
 
-    fn stmt(&mut self, s: &Stmt) {
+    fn stmt(&mut self, s: &Stmt) -> Result<(), Diagnostic> {
         match s {
             Stmt::Decl { name, ty, init, .. } => {
                 let cell = self.translator().lvalue_of(ty);
                 if let Some(e) = init {
-                    let v = self.expr(e);
+                    let v = self.expr(e)?;
                     let contents = self.contents_of(cell);
                     self.flow(v.rty, contents, Self::prov(e, "initializer"));
                 }
@@ -516,18 +734,18 @@ impl Engine<'_> {
                     .insert(name.clone(), cell);
             }
             Stmt::Expr(e) => {
-                self.expr(e);
+                self.expr(e)?;
             }
             Stmt::If { cond, then, els } => {
-                self.expr(cond);
-                self.block(then);
+                self.expr(cond)?;
+                self.block(then)?;
                 if let Some(b) = els {
-                    self.block(b);
+                    self.block(b)?;
                 }
             }
             Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
-                self.expr(cond);
-                self.block(body);
+                self.expr(cond)?;
+                self.block(body)?;
             }
             Stmt::For {
                 init,
@@ -536,38 +754,53 @@ impl Engine<'_> {
                 body,
             } => {
                 self.locals.push(HashMap::new());
-                if let Some(s) = init {
-                    self.stmt(s);
-                }
-                if let Some(e) = cond {
-                    self.expr(e);
-                }
-                if let Some(e) = step {
-                    self.expr(e);
-                }
-                self.block(body);
+                let r = (|| {
+                    if let Some(s) = init {
+                        self.stmt(s)?;
+                    }
+                    if let Some(e) = cond {
+                        self.expr(e)?;
+                    }
+                    if let Some(e) = step {
+                        self.expr(e)?;
+                    }
+                    self.block(body)
+                })();
                 self.locals.pop();
+                r?;
             }
             Stmt::Return(Some(e), _) => {
-                let v = self.expr(e);
+                let v = self.expr(e)?;
                 if let Some(ret) = self.current_ret {
                     self.flow(v.rty, ret, Self::prov(e, "return value"));
                 }
             }
             Stmt::Switch { cond, arms } => {
-                self.expr(cond);
+                self.expr(cond)?;
                 for arm in arms {
-                    self.block(&arm.body);
+                    self.block(&arm.body)?;
                 }
             }
-            Stmt::Label(_, inner) => self.stmt(inner),
+            Stmt::Label(_, inner) => self.stmt(inner)?,
             Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Goto(..) => {}
-            Stmt::Block(b) => self.block(b),
+            Stmt::Block(b) => self.block(b)?,
         }
+        Ok(())
     }
 
-    fn expr(&mut self, e: &Expr) -> EVal {
-        match &e.kind {
+    /// The declared C type of `e`, as an error rather than a panic when
+    /// sema never typed it (a fault-isolated body must not bring the
+    /// engine down).
+    fn sema_ty(&self, e: &Expr) -> Result<CTy, Diagnostic> {
+        self.sema.expr_ty.get(&e.id).cloned().ok_or_else(|| {
+            Diagnostic::error(Phase::Infer, "expression was never typed by sema")
+                .with_span(e.span.lo, e.span.hi)
+        })
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<EVal, Diagnostic> {
+        self.charge(e)?;
+        Ok(match &e.kind {
             ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::Sizeof => {
                 EVal::rvalue(self.fresh_val())
             }
@@ -583,9 +816,13 @@ impl Engine<'_> {
             }
             ExprKind::Ident(name) => match self.sema.resolution.get(&e.id) {
                 Some(Resolution::Local { .. }) => {
-                    let cell = self
-                        .lookup_local(name)
-                        .expect("sema resolved local exists in engine scope");
+                    let Some(cell) = self.lookup_local(name) else {
+                        return Err(Diagnostic::error(
+                            Phase::Infer,
+                            format!("local `{name}` missing from engine scope"),
+                        )
+                        .with_span(e.span.lo, e.span.hi));
+                    };
                     let rty = self.contents_of(cell);
                     EVal {
                         lcell: Some(cell),
@@ -594,7 +831,13 @@ impl Engine<'_> {
                     }
                 }
                 Some(Resolution::Global(g)) => {
-                    let cell = self.globals[g];
+                    let Some(&cell) = self.globals.get(g) else {
+                        return Err(Diagnostic::error(
+                            Phase::Infer,
+                            format!("global `{g}` missing from engine scope"),
+                        )
+                        .with_span(e.span.lo, e.span.hi));
+                    };
                     let rty = self.contents_of(cell);
                     EVal {
                         lcell: Some(cell),
@@ -621,7 +864,7 @@ impl Engine<'_> {
                 Some(Resolution::EnumConst(_)) | None => EVal::rvalue(self.fresh_val()),
             },
             ExprKind::Unary(op, inner) => {
-                let iv = self.expr(inner);
+                let iv = self.expr(inner)?;
                 match op {
                     UnOp::Deref => {
                         // The pointer value *is* the ref to the pointee
@@ -636,7 +879,7 @@ impl Engine<'_> {
                     UnOp::Addr => match iv.lcell {
                         Some(cell) => EVal::rvalue(cell),
                         None => {
-                            let ty = self.sema.ty(e).clone();
+                            let ty = self.sema_ty(e)?;
                             let v = self.translator().rvalue_of(&ty);
                             EVal::rvalue(v)
                         }
@@ -649,14 +892,14 @@ impl Engine<'_> {
                 }
             }
             ExprKind::PostIncDec(inner, _) => {
-                let iv = self.expr(inner);
+                let iv = self.expr(inner)?;
                 self.write_value(&iv, Self::prov(e, "increment"));
                 EVal::rvalue(iv.rty)
             }
             ExprKind::Binary(op, a, b) => {
                 use qual_cfront::ast::BinOp;
-                let va = self.expr(a);
-                let vb = self.expr(b);
+                let va = self.expr(a)?;
+                let vb = self.expr(b)?;
                 match op {
                     BinOp::Add | BinOp::Sub => {
                         // Pointer arithmetic aliases the same cells: keep
@@ -673,8 +916,8 @@ impl Engine<'_> {
                 }
             }
             ExprKind::Assign(op, lhs, rhs) => {
-                let lv = self.expr(lhs);
-                let rv = self.expr(rhs);
+                let lv = self.expr(lhs)?;
+                let rv = self.expr(rhs)?;
                 let _ = op; // compound assigns read too, but the write is what matters
                 self.write_value(&lv, Self::prov(e, "assignment"));
                 if let Some(cell) = lv.lcell {
@@ -683,10 +926,10 @@ impl Engine<'_> {
                 }
                 EVal::rvalue(lv.rty)
             }
-            ExprKind::Call(callee, args) => self.call(e, callee, args),
+            ExprKind::Call(callee, args) => self.call(e, callee, args)?,
             ExprKind::Index(base, idx) => {
-                let bv = self.expr(base);
-                self.expr(idx);
+                let bv = self.expr(base)?;
+                self.expr(idx)?;
                 let rty = self.contents_of(bv.rty);
                 EVal {
                     lcell: Some(bv.rty),
@@ -695,42 +938,42 @@ impl Engine<'_> {
                 }
             }
             ExprKind::Member(base, field) => {
-                let bv = self.expr(base);
+                let bv = self.expr(base)?;
                 let mut guards = bv.guards;
                 guards.extend(bv.lcell);
-                self.member_cell(base, bv.rty, field, guards)
+                self.member_cell(base, bv.rty, field, guards)?
             }
             ExprKind::PMember(base, field) => {
-                let bv = self.expr(base);
+                let bv = self.expr(base)?;
                 // Writing through p->f also requires the pointee cell
                 // (the pointer's target) to be non-const.
                 let pointee_guard = vec![bv.rty];
                 let struct_val = self.contents_of(bv.rty);
-                self.member_cell(base, struct_val, field, pointee_guard)
+                self.member_cell(base, struct_val, field, pointee_guard)?
             }
             ExprKind::Cast(ty, inner) => {
                 // Explicit casts lose any association (§4.2).
-                self.expr(inner);
+                self.expr(inner)?;
                 let ty = ty.clone();
                 let v = self.translator().rvalue_of(&ty);
                 EVal::rvalue(v)
             }
             ExprKind::Cond(c, t, f) => {
-                self.expr(c);
-                let vt = self.expr(t);
-                let vf = self.expr(f);
-                let ty = self.sema.ty(e).clone();
+                self.expr(c)?;
+                let vt = self.expr(t)?;
+                let vf = self.expr(f)?;
+                let ty = self.sema_ty(e)?;
                 let out = self.translator().rvalue_of(&ty.decayed());
                 self.flow(vt.rty, out, Self::prov(e, "conditional"));
                 self.flow(vf.rty, out, Self::prov(e, "conditional"));
                 EVal::rvalue(out)
             }
             ExprKind::Comma(a, b) => {
-                self.expr(a);
-                let vb = self.expr(b);
+                self.expr(a)?;
+                let vb = self.expr(b)?;
                 EVal::rvalue(vb.rty)
             }
-        }
+        })
     }
 
     /// The shared field cell of `tag.field` as an l-value.
@@ -740,18 +983,18 @@ impl Engine<'_> {
         struct_val: QcId,
         field: &str,
         guards: Vec<QcId>,
-    ) -> EVal {
+    ) -> Result<EVal, Diagnostic> {
         let tag = match &self.arena.get(struct_val).shape {
             QcShape::Struct(tag) => tag.clone(),
             _ => {
                 // Severed or unknown: use sema's type if possible.
-                match &self.sema.ty(base).decayed().kind {
+                match &self.sema_ty(base)?.decayed().kind {
                     CTyKind::Struct(t) => t.clone(),
                     CTyKind::Ptr(inner) => match &inner.kind {
                         CTyKind::Struct(t) => t.clone(),
-                        _ => return EVal::rvalue(self.fresh_val()),
+                        _ => return Ok(EVal::rvalue(self.fresh_val())),
                     },
-                    _ => return EVal::rvalue(self.fresh_val()),
+                    _ => return Ok(EVal::rvalue(self.fresh_val())),
                 }
             }
         };
@@ -761,7 +1004,7 @@ impl Engine<'_> {
             .and_then(|fs| fs.iter().find(|(n, _)| n == field))
             .map(|(_, t)| t.clone())
         else {
-            return EVal::rvalue(self.fresh_val());
+            return Ok(EVal::rvalue(self.fresh_val()));
         };
         let mut tr = Translator {
             arena: &mut self.arena,
@@ -771,11 +1014,11 @@ impl Engine<'_> {
         };
         let cell = self.structs.field_cell(&tag, field, &fty, &mut tr);
         let rty = self.contents_of(cell);
-        EVal {
+        Ok(EVal {
             lcell: Some(cell),
             guards,
             rty,
-        }
+        })
     }
 
     /// Applies the write restriction to a value's cell and guards.
@@ -788,8 +1031,16 @@ impl Engine<'_> {
         }
     }
 
-    fn call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> EVal {
-        let arg_vals: Vec<EVal> = args.iter().map(|a| self.expr(a)).collect();
+    fn call(
+        &mut self,
+        e: &Expr,
+        callee: &Expr,
+        args: &[Expr],
+    ) -> Result<EVal, Diagnostic> {
+        let arg_vals: Vec<EVal> = args
+            .iter()
+            .map(|a| self.expr(a))
+            .collect::<Result<_, _>>()?;
         let fname = match (&callee.kind, self.sema.resolution.get(&callee.id)) {
             (ExprKind::Ident(n), Some(Resolution::Function(_)) | None) => Some(n.clone()),
             _ => None,
@@ -797,16 +1048,16 @@ impl Engine<'_> {
         let Some(fname) = fname else {
             // Indirect call: conservative — every pointer argument may be
             // written by the unknown callee.
-            self.expr(callee);
+            self.expr(callee)?;
             for av in &arg_vals {
                 for node in self.arena.spine(av.rty) {
                     self.write_through(node, Self::prov(e, "indirect call"));
                 }
             }
-            return EVal::rvalue(self.fresh_val());
+            return Ok(EVal::rvalue(self.fresh_val()));
         };
 
-        if self.sema.is_defined(&fname) {
+        if self.sema.is_defined(&fname) && !self.failed.contains(&fname) {
             let use_scheme = matches!(
                 self.mode,
                 Mode::Polymorphic | Mode::PolymorphicRecursive
@@ -825,17 +1076,27 @@ impl Engine<'_> {
                     ret: arena.copy_with(body.ret, f),
                 })
             } else {
-                self.sigs[&fname].clone()
+                match self.sigs.get(&fname) {
+                    Some(s) => s.clone(),
+                    None => {
+                        return Err(Diagnostic::error(
+                            Phase::Infer,
+                            format!("defined function `{fname}` has no signature template"),
+                        )
+                        .with_span(e.span.lo, e.span.hi))
+                    }
+                }
             };
             for (av, pcell) in arg_vals.iter().zip(sig.params.iter()) {
                 let contents = self.contents_of(*pcell);
                 self.flow(av.rty, contents, Self::prov(e, "argument"));
             }
             // Extra arguments (wrong-arity calls) are ignored (§4.2).
-            EVal::rvalue(sig.ret)
+            Ok(EVal::rvalue(sig.ret))
         } else {
-            // Library function: parameters not declared const are
-            // conservatively non-const (§4.2).
+            // Library function (or one excluded by fault isolation):
+            // parameters not declared const are conservatively
+            // non-const (§4.2).
             let declared = self.sema.signatures.get(&fname).cloned();
             for (i, av) in arg_vals.iter().enumerate() {
                 let declared_param = declared.as_ref().and_then(|s| s.params.get(i));
@@ -845,7 +1106,7 @@ impl Engine<'_> {
                 .as_ref()
                 .map_or_else(CTy::int, |s| s.ret.clone());
             let v = self.translator().rvalue_of(&ret_ty.decayed());
-            EVal::rvalue(v)
+            Ok(EVal::rvalue(v))
         }
     }
 
@@ -1052,6 +1313,198 @@ mod tests {
             Mode::Monomorphic,
         );
         assert!(a.solution.is_ok());
+    }
+
+    #[test]
+    fn work_budget_isolates_the_offending_function() {
+        // `big` spends more than the work budget; `small` fits. The
+        // failure must be contained to `big`, with `small` still
+        // classified, and `big`'s parameter poisoned like a library
+        // function's.
+        let src = "void big(int *p) {
+                     *p = 1; *p = 2; *p = 3; *p = 4; *p = 5;
+                     *p = 6; *p = 7; *p = 8; *p = 9; *p = 10;
+                   }
+                   int small(const int *q) { return *q; }";
+        let prog = parse(src).expect("parses");
+        let sem = sema::analyze(&prog).expect("sema");
+        let budgets = Budgets {
+            max_fn_work: 20,
+            ..Budgets::unlimited()
+        };
+        let (a, skipped) = run_budgeted(
+            &prog,
+            &sem,
+            &QualSpace::const_only(),
+            Mode::Monomorphic,
+            Options::default(),
+            budgets,
+        );
+        assert_eq!(skipped.len(), 1, "{skipped:?}");
+        assert_eq!(skipped[0].function.as_deref(), Some("big"));
+        assert!(
+            skipped[0].message.contains("work budget"),
+            "{}",
+            skipped[0].message
+        );
+        assert!(a.solution.is_ok());
+        let (can_small, must_small) = param_level(&a, "small", 0, 0);
+        assert!(can_small && must_small, "small is unaffected");
+        let (can_big, _) = param_level(&a, "big", 0, 0);
+        assert!(!can_big, "big's undeclared param level is poisoned");
+    }
+
+    #[test]
+    fn work_budget_failure_poisons_callers_conservatively() {
+        // A caller that passed its pointer into the failed function
+        // must not report that pointer const-able: the failed body can
+        // no longer prove it is only read.
+        let src = "void cheap_caller(int *p) { heavy(p); }
+                   void heavy(int *q) {
+                     *q = 1; *q = 2; *q = 3; *q = 4; *q = 5;
+                     *q = 6; *q = 7; *q = 8; *q = 9; *q = 10;
+                   }";
+        let prog = parse(src).expect("parses");
+        let sem = sema::analyze(&prog).expect("sema");
+        let budgets = Budgets {
+            max_fn_work: 20,
+            ..Budgets::unlimited()
+        };
+        let (a, skipped) = run_budgeted(
+            &prog,
+            &sem,
+            &QualSpace::const_only(),
+            Mode::Monomorphic,
+            Options::default(),
+            budgets,
+        );
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].function.as_deref(), Some("heavy"));
+        let (can, _) = param_level(&a, "cheap_caller", 0, 0);
+        assert!(!can, "flow into the skipped function stays conservative");
+    }
+
+    #[test]
+    fn constraint_budget_reports_structured_diagnostics() {
+        let src = "void f(int *p) { *p = 1; *p = 2; *p = 3; }";
+        let prog = parse(src).expect("parses");
+        let sem = sema::analyze(&prog).expect("sema");
+        let budgets = Budgets {
+            max_constraints: 1,
+            ..Budgets::unlimited()
+        };
+        let (_, skipped) = run_budgeted(
+            &prog,
+            &sem,
+            &QualSpace::const_only(),
+            Mode::Monomorphic,
+            Options::default(),
+            budgets,
+        );
+        assert!(!skipped.is_empty());
+        assert!(
+            skipped
+                .iter()
+                .any(|d| d.message.contains("constraint budget")),
+            "{skipped:?}"
+        );
+    }
+
+    #[test]
+    fn solver_budget_turns_into_budget_exceeded() {
+        let src = "void zero(int *p, int n) {
+                     for (int i = 0; i < n; i++) p[i] = 0;
+                   }";
+        let prog = parse(src).expect("parses");
+        let sem = sema::analyze(&prog).expect("sema");
+        let budgets = Budgets {
+            max_solver_steps: 0,
+            ..Budgets::unlimited()
+        };
+        let (a, skipped) = run_budgeted(
+            &prog,
+            &sem,
+            &QualSpace::const_only(),
+            Mode::Monomorphic,
+            Options::default(),
+            budgets,
+        );
+        assert!(skipped.is_empty(), "generation is within budget");
+        assert!(
+            matches!(a.solution, Err(SolveFailure::BudgetExceeded { .. })),
+            "{:?}",
+            a.solution
+        );
+    }
+
+    #[test]
+    fn budgets_isolate_sccs_in_polymorphic_modes() {
+        // `ping`/`pong` are mutually recursive (one SCC) and heavy;
+        // `lean` is separate and must survive in every mode.
+        let src = "void ping(int *p) {
+                     *p = 1; *p = 2; *p = 3; *p = 4; *p = 5;
+                     pong(p);
+                   }
+                   void pong(int *p) {
+                     *p = 1; *p = 2; *p = 3; *p = 4; *p = 5;
+                     ping(p);
+                   }
+                   int lean(const int *q) { return *q; }";
+        let prog = parse(src).expect("parses");
+        let sem = sema::analyze(&prog).expect("sema");
+        let budgets = Budgets {
+            max_fn_work: 12,
+            ..Budgets::unlimited()
+        };
+        for mode in [Mode::Polymorphic, Mode::PolymorphicRecursive] {
+            let (a, skipped) = run_budgeted(
+                &prog,
+                &sem,
+                &QualSpace::const_only(),
+                mode,
+                Options::default(),
+                budgets,
+            );
+            assert!(
+                skipped
+                    .iter()
+                    .any(|d| d.function.as_deref() == Some("ping")
+                        || d.function.as_deref() == Some("pong")),
+                "{mode:?}: {skipped:?}"
+            );
+            assert!(a.solution.is_ok(), "{mode:?}");
+            let (can, must) = param_level(&a, "lean", 0, 0);
+            assert!(can && must, "{mode:?}: lean is unaffected");
+        }
+    }
+
+    #[test]
+    fn unlimited_budgets_match_plain_run() {
+        let src = "int copy(char *dst, const char *s) {
+                     int i = 0;
+                     while (s[i]) { dst[i] = s[i]; i++; }
+                     return i;
+                   }";
+        let prog = parse(src).expect("parses");
+        let sem = sema::analyze(&prog).expect("sema");
+        for mode in [
+            Mode::Monomorphic,
+            Mode::Polymorphic,
+            Mode::PolymorphicRecursive,
+        ] {
+            let (a, skipped) = run_budgeted(
+                &prog,
+                &sem,
+                &QualSpace::const_only(),
+                mode,
+                Options::default(),
+                Budgets::unlimited(),
+            );
+            let plain = run(&prog, &sem, &QualSpace::const_only(), mode);
+            assert!(skipped.is_empty(), "{mode:?}");
+            assert_eq!(a.constraints.len(), plain.constraints.len(), "{mode:?}");
+            assert_eq!(a.solution.is_ok(), plain.solution.is_ok(), "{mode:?}");
+        }
     }
 
     #[test]

@@ -35,8 +35,13 @@ pub mod rewrite;
 
 use std::fmt;
 
-pub use count::{analyze_source, ConstCounts, ConstResult, Position, PositionClass};
-pub use engine::{run, run_with_options, Analysis, Mode, Options, SigNodes};
+pub use count::{
+    analyze_source, analyze_source_resilient, AnalysisOutcome, ConstCounts,
+    ConstResult, Position, PositionClass,
+};
+pub use engine::{
+    run, run_budgeted, run_with_options, Analysis, Budgets, Mode, Options, SigNodes,
+};
 pub use fdg::Fdg;
 pub use rewrite::{apply_consts, rewrite_source};
 

@@ -1,0 +1,144 @@
+//! End-to-end acceptance tests for the `cqual` binary: a batch run over
+//! a directory containing an unparseable file, a sema-failing file, a
+//! budget-blowing file, and a healthy file must complete without a
+//! panic, report per-file diagnostics with source spans, still print
+//! counts for the healthy file, and exit 1. An all-clean batch exits 0.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "cqual-cli-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn write(&self, name: &str, contents: &str) {
+        std::fs::write(self.0.join(name), contents).expect("write fixture");
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn cqual(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cqual"))
+        .args(args)
+        .output()
+        .expect("spawn cqual")
+}
+
+#[test]
+fn keep_going_batch_over_mixed_directory() {
+    let dir = TempDir::new("mixed");
+    dir.write("a_unparseable.c", "int broken( {\n");
+    dir.write("b_bad_sema.c", "int f(void) { return no_such_name; }\n");
+    dir.write(
+        "c_budget.c",
+        "void heavy(int *p) {\n  *p = 1; *p = 2; *p = 3; *p = 4; *p = 5;\n  \
+         *p = 6; *p = 7; *p = 8; *p = 9; *p = 10;\n}\n",
+    );
+    dir.write("d_good.c", "int first(char *s) { return s[0]; }\n");
+
+    let out = cqual(&[
+        "--keep-going",
+        "--max-fn-work",
+        "20",
+        dir.0.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}\nstderr:\n{stderr}");
+
+    // Per-file sections, in sorted order.
+    for f in ["a_unparseable.c", "b_bad_sema.c", "c_budget.c", "d_good.c"] {
+        assert!(stdout.contains(&format!("== {}", dir.0.join(f).display())), "{stdout}");
+    }
+
+    // The healthy file still gets its counts.
+    assert!(
+        stdout.contains("1 interesting positions: 0 declared const, 1 inferable const"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("first(arg 0"), "{stdout}");
+
+    // Summary: 4 files, 1 clean, 3 with diagnostics.
+    assert!(
+        stdout.contains("cqual: 4 file(s): 1 clean, 3 with diagnostics (3 diagnostic(s) total)"),
+        "{stdout}"
+    );
+
+    // Each failure is a rendered diagnostic with a source span caret.
+    assert!(stderr.contains("error[parse]"), "{stderr}");
+    assert!(stderr.contains("error[sema]"), "{stderr}");
+    assert!(stderr.contains("no_such_name"), "{stderr}");
+    assert!(stderr.contains("work budget exceeded"), "{stderr}");
+    assert!(stderr.contains('^'), "spans rendered with carets: {stderr}");
+}
+
+#[test]
+fn keep_going_all_clean_exits_zero() {
+    let dir = TempDir::new("clean");
+    dir.write("one.c", "int first(const char *s) { return s[0]; }\n");
+    dir.write("two.c", "char *id(char *p) { return p; }\n");
+
+    let out = cqual(&["--keep-going", dir.0.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("cqual: 2 file(s): 2 clean, 0 with diagnostics"), "{stdout}");
+}
+
+#[test]
+fn concatenated_mode_propagates_diagnostics_to_exit_code() {
+    let dir = TempDir::new("concat");
+    dir.write("bad.c", "int f(void) { return no_such_name; }\n");
+
+    let out = cqual(&[dir.0.join("bad.c").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[sema]"), "{stderr}");
+
+    // The same file is fine as part of --annotate of a healthy sibling.
+    dir.write("good.c", "int first(const char *s) { return s[0]; }\n");
+    let out = cqual(&["--annotate", dir.0.join("good.c").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("const char *"), "{stdout}");
+}
+
+#[test]
+fn unreadable_input_is_an_error_not_a_panic() {
+    let out = cqual(&["/no/such/file.c"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = cqual(&["--mode", "quantum", "x.c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = cqual(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn rewrite_of_non_mono_mode_does_not_panic() {
+    let dir = TempDir::new("rewrite");
+    dir.write("r.c", "int first(char *s) { return s[0]; }\n");
+    let out = cqual(&["--mode", "poly", "--rewrite", dir.0.join("r.c").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("const char *s"), "{stdout}");
+}

@@ -1,0 +1,207 @@
+//! Robustness of the full fault-isolated pipeline: arbitrary C-like
+//! token soup must flow through parse → sema → inference → counting →
+//! rewriting in every mode without a panic, and partial failures must
+//! yield partial results plus diagnostics — never nothing.
+
+use proptest::prelude::*;
+
+use qual_constinfer::{analyze_source_resilient, Budgets, Mode};
+
+const MODES: [Mode; 3] = [
+    Mode::Monomorphic,
+    Mode::Polymorphic,
+    Mode::PolymorphicRecursive,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn resilient_pipeline_never_panics_on_byte_soup(src in "\\PC*") {
+        for mode in MODES {
+            let outcome = analyze_source_resilient(&src, mode, Budgets::default());
+            // Whatever survived must render and rewrite without panic.
+            for d in &outcome.skipped {
+                let _ = d.render(Some(&src));
+            }
+            if let Some(result) = &outcome.result {
+                let _ = result.annotated_signatures(&outcome.program);
+                let _ = qual_constinfer::rewrite_source(&outcome.program, result);
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_pipeline_never_panics_on_c_like_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "char", "const", "struct", "typedef", "*", "x", "y",
+                "f", "g", "(", ")", "{", "}", ";", ",", "=", "1", "return",
+                "if", "else", "while", "for", "[", "]", "...", "switch",
+                "case", "default", ":", "goto", "extern", "static",
+                "\"s\"", "&", "->", ".", "+", "-", "!", "?", "0",
+            ]),
+            0..48,
+        )
+    ) {
+        let src = words.join(" ");
+        for mode in MODES {
+            let outcome = analyze_source_resilient(&src, mode, Budgets::default());
+            for d in &outcome.skipped {
+                let _ = d.render(Some(&src));
+            }
+            if let Some(result) = &outcome.result {
+                let _ = result.annotated_signatures(&outcome.program);
+                let _ = qual_constinfer::rewrite_source(&outcome.program, result);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_inputs_stay_clean_under_resilience(
+        n_fns in 1usize..4,
+    ) {
+        // Well-formed programs must produce a result with no
+        // diagnostics — resilience is free on the happy path.
+        let mut src = String::new();
+        for i in 0..n_fns {
+            src.push_str(&format!(
+                "int f{i}(const char *s{i}) {{ return s{i}[{i}]; }}\n"
+            ));
+        }
+        for mode in MODES {
+            let outcome = analyze_source_resilient(&src, mode, Budgets::default());
+            prop_assert!(outcome.skipped.is_empty());
+            let result = outcome.result.expect("clean program solves");
+            prop_assert_eq!(result.counts.total, n_fns);
+            prop_assert_eq!(result.counts.inferred, n_fns);
+        }
+    }
+}
+
+/// The acceptance fixture: three healthy functions and one corrupt one.
+/// The corrupt function costs exactly one diagnostic, and the three
+/// healthy ones are still counted and annotated.
+#[test]
+fn partial_results_for_mixed_file() {
+    let src = "int good1(const char *a) { return a[0]; }
+               int corrupt(void) { return no_such_name; }
+               int good2(char *b) { b[0] = 1; return 0; }
+               char *good3(char *c) { return c; }";
+    for mode in MODES {
+        let outcome = analyze_source_resilient(src, mode, Budgets::default());
+        assert_eq!(outcome.skipped.len(), 1, "{mode:?}: {:?}", outcome.skipped);
+        let d = &outcome.skipped[0];
+        assert_eq!(d.function.as_deref(), Some("corrupt"), "{mode:?}");
+        assert!(d.span.is_some(), "{mode:?}: diagnostic carries a span");
+        assert!(
+            d.render(Some(src)).contains("no_such_name"),
+            "{mode:?}: {}",
+            d.render(Some(src))
+        );
+
+        // --report view: counts cover exactly the three healthy
+        // functions (good1: 1 position, good2: 1, good3: 2).
+        let result = outcome.result.as_ref().expect("healthy part solves");
+        assert_eq!(result.counts.total, 4, "{mode:?}");
+        assert!(
+            result.positions.iter().all(|p| p.function != "corrupt"),
+            "{mode:?}: skipped function must not be counted"
+        );
+
+        // --annotate view: three healthy signatures, corrupt one gone.
+        let annotated = result.annotated_signatures(&outcome.program);
+        for f in ["good1", "good2", "good3"] {
+            assert!(annotated.contains(f), "{mode:?}: {annotated}");
+        }
+        assert!(!annotated.contains("corrupt"), "{mode:?}: {annotated}");
+        assert!(annotated.contains("const char *"), "{mode:?}: {annotated}");
+    }
+}
+
+/// A file where one item cannot even parse: the rest still parses and
+/// analyzes, with one parse diagnostic.
+#[test]
+fn partial_results_survive_parse_corruption() {
+    let src = "int good1(const char *a) { return a[0]; }
+               bogus_type zzz qqq;
+               int good2(char *b) { return b[1]; }";
+    let outcome = analyze_source_resilient(src, Mode::Polymorphic, Budgets::default());
+    assert_eq!(outcome.skipped.len(), 1, "{:?}", outcome.skipped);
+    let result = outcome.result.expect("healthy part solves");
+    assert_eq!(result.counts.total, 2);
+    assert_eq!(result.counts.inferred, 2);
+}
+
+/// Budget exhaustion in one function surfaces as a diagnostic while the
+/// rest of the file is still analyzed.
+#[test]
+fn budget_exhaustion_yields_partial_results() {
+    let src = "void heavy(int *p) {
+                 *p = 1; *p = 2; *p = 3; *p = 4; *p = 5;
+                 *p = 6; *p = 7; *p = 8; *p = 9; *p = 10;
+               }
+               int light(const char *s) { return s[0]; }";
+    let budgets = Budgets {
+        max_fn_work: 20,
+        ..Budgets::unlimited()
+    };
+    let outcome = analyze_source_resilient(src, Mode::Monomorphic, budgets);
+    assert_eq!(outcome.skipped.len(), 1, "{:?}", outcome.skipped);
+    assert_eq!(outcome.skipped[0].function.as_deref(), Some("heavy"));
+    assert!(outcome.skipped[0].message.contains("budget"));
+    let result = outcome.result.expect("light still solves");
+    assert!(result.positions.iter().any(|p| p.function == "light"));
+    assert!(result.positions.iter().all(|p| p.function != "heavy"));
+}
+
+/// A solver-step budget exhaustion loses the counts (there is no
+/// solution to classify against) but is reported, not panicked.
+#[test]
+fn solver_budget_exhaustion_is_reported() {
+    let src = "void zero(int *p, int n) {
+                 for (int i = 0; i < n; i++) p[i] = 0;
+               }";
+    let budgets = Budgets {
+        max_solver_steps: 0,
+        ..Budgets::unlimited()
+    };
+    let outcome = analyze_source_resilient(src, Mode::Monomorphic, budgets);
+    assert!(outcome.result.is_none());
+    assert!(
+        outcome
+            .skipped
+            .iter()
+            .any(|d| d.message.contains("solver budget")),
+        "{:?}",
+        outcome.skipped
+    );
+}
+
+/// Depth bombs anywhere in a file are contained to their item.
+#[test]
+fn depth_bombs_are_contained() {
+    let src = format!(
+        "int good(const char *s) {{ return s[0]; }}
+         int bomb(void) {{ return {}1{}; }}",
+        "(".repeat(500),
+        ")".repeat(500)
+    );
+    let outcome = analyze_source_resilient(&src, Mode::Polymorphic, Budgets::default());
+    assert!(!outcome.skipped.is_empty());
+    let result = outcome.result.expect("good still solves");
+    assert_eq!(result.counts.total, 1);
+    assert_eq!(result.counts.inferred, 1);
+}
+
+/// Nothing analyzable at all: empty result set, diagnostics present,
+/// no panic.
+#[test]
+fn total_failure_is_still_structured() {
+    let outcome =
+        analyze_source_resilient("/* unterminated", Mode::Monomorphic, Budgets::default());
+    assert_eq!(outcome.skipped.len(), 1);
+    let result = outcome.result.expect("empty program trivially solves");
+    assert_eq!(result.counts.total, 0);
+    assert!(outcome.program.items.is_empty());
+}

@@ -1,0 +1,216 @@
+//! Offline drop-in for the subset of the `criterion` API this
+//! workspace's benches use. The workspace must build with no crates.io
+//! access, so the real `criterion` cannot be fetched; this crate is
+//! wired in via Cargo dependency renaming
+//! (`criterion = { package = "qual-minibench", .. }`) so bench sources
+//! compile unchanged.
+//!
+//! It is a plain wall-clock harness: per benchmark it warms up, picks
+//! an iteration count targeting a fixed measurement window, takes
+//! `sample_size` samples, and prints median ns/iter (plus throughput
+//! when configured). No plotting, no statistics beyond the median —
+//! enough to compare mono vs poly and to spot regressions by eye.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` resolves.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Passed to the closure given to `bench_with_input`; `iter` runs and
+/// times the workload.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up: find an iteration count that fills the window.
+        let mut one = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+        };
+        f(&mut one, input);
+        let per_iter = one.samples[0].max(Duration::from_nanos(1));
+        let window = self.criterion.measurement_window;
+        let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut b = Bencher {
+            iters,
+            samples: Vec::with_capacity(self.criterion.sample_size),
+        };
+        for _ in 0..self.criterion.sample_size {
+            f(&mut b, input);
+        }
+        let mut per: Vec<u128> = b
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() / u128::from(iters.max(1)))
+            .collect();
+        per.sort_unstable();
+        let median = per[per.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0 => {
+                format!("  ({:.1} Kelem/s)", n as f64 / median as f64 * 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > 0 => {
+                format!("  ({:.1} MB/s)", n as f64 / median as f64 * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12} ns/iter  [{} samples x {} iters]{}",
+            self.name, id, median, self.criterion.sample_size, iters, rate
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_window: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.bench_with_input(BenchmarkId::new(name, "-"), &(), |b, ()| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

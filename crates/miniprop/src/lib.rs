@@ -1,0 +1,604 @@
+//! Offline drop-in for the subset of the `proptest` API this workspace
+//! uses. The workspace must build with no crates.io access, so the real
+//! `proptest` cannot be fetched; this crate is wired in via Cargo
+//! dependency renaming (`proptest = { package = "qual-miniprop", .. }`)
+//! so `use proptest::prelude::*;` call sites compile unchanged.
+//!
+//! Differences from the real thing, by design:
+//!
+//! - **Deterministic by default.** Cases derive from a fixed base seed
+//!   (override with the `PROPTEST_SEED` env var), so CI runs are
+//!   reproducible without regression files.
+//! - **No shrinking.** On failure the full generated inputs are printed
+//!   along with the seed and case number, which is enough to reproduce.
+//! - **Pattern strategies are not full regexes.** Only the shapes used
+//!   in this repo are supported: `\PC*` (printable soup) and
+//!   `[class]*` character classes. Unsupported patterns panic loudly at
+//!   generation time rather than silently generating the wrong thing.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 source backing every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Rng for one test case: mixes the base seed with the case index.
+    pub fn for_case(base: u64, case: u64) -> Self {
+        TestRng {
+            state: base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// The base seed: `PROPTEST_SEED` env var if set, else a fixed
+/// constant, so test runs are reproducible by default.
+pub fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => 0x0051_ADC0_DE20_2600,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and failure type
+// ---------------------------------------------------------------------------
+
+/// Mirror of `proptest::test_runner::Config` (the fields we use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each `#[test]` runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case (mirror of `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of test values (mirror of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pick a follow-up strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of one value (mirror of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy (mirror of
+/// `proptest::arbitrary::Arbitrary`, values only).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Produce a uniform sample from raw generator output.
+    fn from_raw(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn from_raw(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn from_raw(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::from_raw(rng)
+    }
+}
+
+/// The canonical strategy for `T` (mirror of `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Pattern strategies for &str
+// ---------------------------------------------------------------------------
+
+/// Character pool described by a pattern string.
+fn pattern_pool(pattern: &str) -> Vec<char> {
+    if pattern == "\\PC*" {
+        // "Printable soup": ASCII printables plus a few multibyte
+        // characters so UTF-8 boundary handling gets exercised.
+        let mut pool: Vec<char> = (' '..='~').collect();
+        pool.extend(['\n', '\t', 'é', 'λ', '中', '😀', '\u{2028}']);
+        return pool;
+    }
+    let class = pattern
+        .strip_prefix('[')
+        .and_then(|p| p.strip_suffix("]*"))
+        .unwrap_or_else(|| {
+            panic!("qual-miniprop supports only `\\PC*` and `[class]*` patterns, got {pattern:?}")
+        });
+    let mut pool = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\\' && i + 1 < chars.len() {
+            pool.push(match chars[i + 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            });
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (c, chars[i + 2]);
+            assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+            pool.extend(lo..=hi);
+            i += 3;
+        } else {
+            pool.push(c);
+            i += 1;
+        }
+    }
+    assert!(!pool.is_empty(), "empty character class in {pattern:?}");
+    pool
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pool = pattern_pool(self);
+        let len = rng.below(64) as usize;
+        (0..len)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize])
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: module tree
+// ---------------------------------------------------------------------------
+
+/// Mirror of the `proptest::prop` re-export tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use std::fmt;
+
+        /// Strategy for vectors of `elem` with length in `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// Mirror of `proptest::collection::vec`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo + 1) as u64;
+                let len = self.size.lo + rng.below(span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+        use std::fmt;
+
+        /// Strategy picking uniformly from a fixed list.
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Mirror of `proptest::sample::select`.
+        pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty option list");
+            Select { options }
+        }
+
+        impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Inclusive length bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub lo: usize,
+    /// Maximum length (inclusive).
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Mirror of `proptest::proptest!`: expands each `#[test] fn name(pat in
+/// strategy, ...) { body }` into a deterministic multi-case test.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $( $(#[$meta:meta])+ fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __seed = $crate::base_seed();
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(__seed, u64::from(__case));
+                    let mut __desc = ::std::string::String::new();
+                    let __out = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $(
+                                    let $pat = {
+                                        let __v =
+                                            $crate::Strategy::generate(&$strat, &mut __rng);
+                                        __desc.push_str(&::std::format!(
+                                            "  {} = {:?}\n",
+                                            stringify!($pat),
+                                            __v
+                                        ));
+                                        __v
+                                    };
+                                )+
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match __out {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(__e)) => {
+                            ::std::panic!(
+                                "case {}/{} (seed {:#x}) failed: {}\ninputs:\n{}",
+                                __case + 1, __cfg.cases, __seed, __e, __desc
+                            );
+                        }
+                        ::std::result::Result::Err(__p) => {
+                            ::std::eprintln!(
+                                "case {}/{} (seed {:#x}) panicked; inputs:\n{}",
+                                __case + 1, __cfg.cases, __seed, __desc
+                            );
+                            ::std::panic::resume_unwind(__p);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`: fail the current case (the
+/// enclosing closure returns `Err`) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __l == __r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Everything a test needs (mirror of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn char_class_pool_parses() {
+        let mut rng = TestRng::for_case(1, 1);
+        let s: String =
+            Strategy::generate(&"[a-z{}();,*&=+<>\\[\\]0-9 \\n\"/]*", &mut rng);
+        assert!(s
+            .chars()
+            .all(|c| c.is_ascii_lowercase()
+                || "{}();,*&=+<>[]\" /\n".contains(c)
+                || c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| TestRng::for_case(9, c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| TestRng::for_case(9, c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 0u64..1, (lo, hi) in (0u32..5, 5u32..10)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert_eq!(y, 0);
+            prop_assert!(lo < hi, "{} vs {}", lo, hi);
+        }
+
+        #[test]
+        fn vec_and_select_compose(
+            words in prop::collection::vec(prop::sample::select(vec!["a", "b"]), 0..5),
+            exact in prop::collection::vec(any::<bool>(), 3usize),
+        ) {
+            prop_assert!(words.len() < 5);
+            prop_assert_eq!(exact.len(), 3);
+            if words.len() == 99 {
+                return Ok(()); // exercise early return, like real proptest bodies
+            }
+        }
+
+        #[test]
+        fn maps_and_flat_maps_compose(
+            (n, xs) in (1usize..4).prop_flat_map(|n| {
+                prop::collection::vec(0u8..10, n).prop_map(move |xs| (n, xs))
+            }),
+        ) {
+            prop_assert_eq!(xs.len(), n);
+        }
+    }
+}

@@ -5,7 +5,7 @@ use std::fmt;
 
 use qual_lattice::QualSpace;
 
-use crate::error::SolveError;
+use crate::error::{SolveError, SolveFailure};
 use crate::solver::{self, Solution};
 use crate::term::{Provenance, QVar, Qual, VarSupply};
 
@@ -130,6 +130,31 @@ impl ConstraintSet {
         solver::solve(space, vars.count(), &self.constraints)
     }
 
+    /// Like [`ConstraintSet::solve`] but gives up with
+    /// [`SolveFailure::BudgetExceeded`] once the worklist has taken
+    /// `max_steps` edge relaxations, so a pathological system becomes a
+    /// structured diagnostic rather than an unbounded stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveFailure::Unsat`] when no assignment exists and
+    /// [`SolveFailure::BudgetExceeded`] when the cap is hit first.
+    pub fn solve_with_budget(
+        &self,
+        space: &QualSpace,
+        vars: &VarSupply,
+        max_steps: u64,
+    ) -> Result<Solution, SolveFailure> {
+        solver::solve_budgeted(space, vars.count(), &self.constraints, max_steps)
+    }
+
+    /// Drops every constraint after the first `len` — the rollback half
+    /// of a mark/rollback pair, used to discard constraints emitted by
+    /// an analysis that failed partway.
+    pub fn truncate(&mut self, len: usize) {
+        self.constraints.truncate(len);
+    }
+
     /// Like [`ConstraintSet::solve`] but sized by an explicit variable
     /// count (useful when the supply itself is not at hand).
     ///
@@ -229,6 +254,40 @@ mod tests {
         let a = vs.fresh();
         cs.add(space.top(), a);
         assert_eq!(cs.render(&space), "const ⊑ κ0\n");
+    }
+
+    #[test]
+    fn solve_with_budget_reports_exhaustion() {
+        let space = QualSpace::const_only();
+        let mut vs = VarSupply::new();
+        let vars: Vec<_> = (0..64).map(|_| vs.fresh()).collect();
+        let mut cs = ConstraintSet::new();
+        cs.add(space.top(), vars[0]);
+        for w in vars.windows(2) {
+            cs.add(w[0], w[1]);
+        }
+        // Generous budget: solves fine.
+        let sol = cs.solve_with_budget(&space, &vs, 1_000_000).unwrap();
+        assert_eq!(sol.least(vars[63]), space.top());
+        // Starved budget: structured failure, not a wrong answer.
+        match cs.solve_with_budget(&space, &vs, 3) {
+            Err(SolveFailure::BudgetExceeded { steps, limit: 3 }) => assert!(steps <= 3),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_mark() {
+        let space = QualSpace::const_only();
+        let mut vs = VarSupply::new();
+        let a = vs.fresh();
+        let mut cs = ConstraintSet::new();
+        cs.add(space.top(), a);
+        let mark = cs.len();
+        cs.add(a, space.bottom()); // would be unsatisfiable
+        assert!(cs.solve(&space, &vs).is_err());
+        cs.truncate(mark);
+        assert!(cs.solve(&space, &vs).is_ok());
     }
 
     #[test]

@@ -1,8 +1,166 @@
 //! Human-readable diagnostics: renders a byte-span against its source
 //! text as `line:col` plus a caret excerpt — used by the front ends to
 //! report qualifier violations the way a compiler would.
+//!
+//! Also home of [`Diagnostic`], the unified fault record every pipeline
+//! phase (lexing, parsing, sema, qualifier inference, constraint
+//! solving) reports through, so a batch driver can render and count
+//! failures from any layer the same way.
+
+use std::fmt;
 
 use crate::error::SolveError;
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The subject (file, function, …) was analyzed, with caveats.
+    Warning,
+    /// The subject (or part of it) could not be analyzed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which pipeline stage produced a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tokenizing source text.
+    Lex,
+    /// Parsing a translation unit.
+    Parse,
+    /// Name resolution and type checking.
+    Sema,
+    /// Qualifier-constraint generation.
+    Infer,
+    /// Constraint solving.
+    Solve,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+            Phase::Infer => "infer",
+            Phase::Solve => "solve",
+        })
+    }
+}
+
+/// One fault from any pipeline phase: severity, phase, optional source
+/// byte-span, optional function attribution, and a message. This is the
+/// `skipped` side-channel currency of the fault-isolated pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Which stage reported it.
+    pub phase: Phase,
+    /// Byte range in the source, when known.
+    pub span: Option<(u32, u32)>,
+    /// The function that was skipped or implicated, when known.
+    pub function: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error diagnostic with no span or function attribution.
+    #[must_use]
+    pub fn error(phase: Phase, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            phase,
+            span: None,
+            function: None,
+            message: message.into(),
+        }
+    }
+
+    /// A warning diagnostic with no span or function attribution.
+    #[must_use]
+    pub fn warning(phase: Phase, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(phase, message)
+        }
+    }
+
+    /// Attaches a source byte range.
+    #[must_use]
+    pub fn with_span(mut self, lo: u32, hi: u32) -> Diagnostic {
+        self.span = Some((lo, hi));
+        self
+    }
+
+    /// Attributes the diagnostic to a function.
+    #[must_use]
+    pub fn with_function(mut self, name: impl Into<String>) -> Diagnostic {
+        self.function = Some(name.into());
+        self
+    }
+
+    /// Renders the diagnostic; with source text available, spans become
+    /// `line:col` caret excerpts, otherwise byte offsets.
+    #[must_use]
+    pub fn render(&self, src: Option<&str>) -> String {
+        let mut head = format!("{}[{}]", self.severity, self.phase);
+        if let Some(f) = &self.function {
+            head.push_str(&format!(" in `{f}`"));
+        }
+        match (self.span, src) {
+            (Some((lo, hi)), Some(src)) => {
+                format!("{head}: {}", render_span(src, lo, hi, &self.message))
+            }
+            (Some((lo, hi)), None) => {
+                format!("{head}: {} (bytes {lo}..{hi})\n", self.message)
+            }
+            (None, _) => format!("{head}: {}\n", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.render(None).trim_end())
+    }
+}
+
+/// Renders a batch of diagnostics, one after another.
+#[must_use]
+pub fn render_diagnostics(src: Option<&str>, diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| d.render(src)).collect()
+}
+
+/// Converts every violation of a [`SolveError`] into [`Diagnostic`]s
+/// carrying the violated constraints' provenance spans.
+#[must_use]
+pub fn diagnostics_from_unsat(err: &SolveError) -> Vec<Diagnostic> {
+    err.violations
+        .iter()
+        .map(|v| {
+            let o = v.constraint.origin;
+            let d = Diagnostic::error(
+                Phase::Solve,
+                format!("unsatisfiable qualifier constraint ({})", o.what),
+            );
+            if (o.lo, o.hi) == (0, 0) {
+                d
+            } else {
+                d.with_span(o.lo, o.hi)
+            }
+        })
+        .collect()
+}
 
 /// A rendered source position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +274,43 @@ mod tests {
         assert!(d.contains("^^^"), "{d}");
         let d = render_span(src, 0, 0, "zero-width");
         assert!(d.contains('^'), "{d}");
+    }
+
+    #[test]
+    fn diagnostic_renders_with_and_without_source() {
+        let src = "int f(void) { return 1; }";
+        let d = Diagnostic::error(Phase::Sema, "unknown variable `y`")
+            .with_span(14, 20)
+            .with_function("f");
+        let with = d.render(Some(src));
+        assert!(with.contains("error[sema] in `f`"), "{with}");
+        assert!(with.contains("--> 1:15"), "{with}");
+        assert!(with.contains("return 1"), "{with}");
+        let without = d.render(None);
+        assert!(without.contains("bytes 14..20"), "{without}");
+        assert!(d.to_string().contains("unknown variable"), "{d}");
+        let w = Diagnostic::warning(Phase::Infer, "skipped");
+        assert!(w.render(None).starts_with("warning[infer]"), "{w}");
+    }
+
+    #[test]
+    fn unsat_becomes_solve_diagnostics() {
+        use crate::constraint::ConstraintSet;
+        use crate::term::{Provenance, Qual, VarSupply};
+        use qual_lattice::QualSpace;
+
+        let space = QualSpace::const_only();
+        let mut vs = VarSupply::new();
+        let v = vs.fresh();
+        let mut cs = ConstraintSet::new();
+        cs.add_with(Qual::Const(space.top()), v, Provenance::synthetic("decl"));
+        cs.add_with(v, Qual::Const(space.bottom()), Provenance::at(3, 7, "store"));
+        let err = cs.solve(&space, &vs).unwrap_err();
+        let ds = diagnostics_from_unsat(&err);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].phase, Phase::Solve);
+        assert_eq!(ds[0].span, Some((3, 7)));
+        assert!(ds[0].message.contains("store"), "{}", ds[0].message);
     }
 
     #[test]

@@ -45,6 +45,44 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Why a budgeted solve produced no solution: either the system is
+/// genuinely unsatisfiable, or the solver hit its iteration cap before
+/// reaching a fixpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveFailure {
+    /// No assignment exists; see the violations.
+    Unsat(SolveError),
+    /// The worklist exceeded its step budget. The partial state is
+    /// discarded: a truncated fixpoint is neither a least nor a
+    /// greatest solution, so nothing useful can be salvaged.
+    BudgetExceeded {
+        /// Steps actually taken before giving up.
+        steps: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SolveFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveFailure::Unsat(e) => e.fmt(f),
+            SolveFailure::BudgetExceeded { steps, limit } => write!(
+                f,
+                "solver budget exceeded: {steps} worklist steps (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveFailure {}
+
+impl From<SolveError> for SolveFailure {
+    fn from(e: SolveError) -> Self {
+        SolveFailure::Unsat(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,7 +55,8 @@ mod solver;
 mod term;
 
 pub use constraint::{Constraint, ConstraintSet};
-pub use error::{SolveError, Violation};
+pub use diag::{Diagnostic, Phase, Severity};
+pub use error::{SolveError, SolveFailure, Violation};
 pub use scheme::Scheme;
 pub use simplify::{compact, Compacted};
 pub use solver::Solution;

@@ -8,7 +8,7 @@
 use qual_lattice::{QualSet, QualSpace};
 
 use crate::constraint::Constraint;
-use crate::error::{SolveError, Violation};
+use crate::error::{SolveError, SolveFailure, Violation};
 use crate::term::{QVar, Qual};
 
 /// The result of solving a satisfiable constraint set.
@@ -80,6 +80,25 @@ pub(crate) fn solve(
     var_count: usize,
     constraints: &[Constraint],
 ) -> Result<Solution, SolveError> {
+    match solve_budgeted(space, var_count, constraints, u64::MAX) {
+        Ok(s) => Ok(s),
+        Err(SolveFailure::Unsat(e)) => Err(e),
+        Err(SolveFailure::BudgetExceeded { .. }) => {
+            unreachable!("u64::MAX budget cannot be exhausted")
+        }
+    }
+}
+
+/// Like [`solve`], but gives up with [`SolveFailure::BudgetExceeded`]
+/// once the worklist has taken more than `max_steps` edge-relaxation
+/// steps, turning pathological constraint graphs into a structured
+/// diagnostic instead of an unbounded stall.
+pub(crate) fn solve_budgeted(
+    space: &QualSpace,
+    var_count: usize,
+    constraints: &[Constraint],
+    max_steps: u64,
+) -> Result<Solution, SolveFailure> {
     // Adjacency with per-edge masks: fwd[v] = (w, m) pairs with
     // `v ⊓ m ⊑ w ⊔ ¬m`; bwd is the reverse.
     let top = space.top().bits();
@@ -119,10 +138,24 @@ pub(crate) fn solve(
         }
     }
 
-    // Least solution: propagate lower bounds forward to fixpoint.
-    propagate(top, &fwd, &mut least, PropagateDir::JoinForward);
-    // Greatest solution: propagate upper bounds backward to fixpoint.
-    propagate(top, &bwd, &mut greatest, PropagateDir::MeetBackward);
+    // Least solution: propagate lower bounds forward to fixpoint; then
+    // greatest by propagating upper bounds backward. Both passes share
+    // one step budget.
+    let mut budget = max_steps;
+    let converged = propagate(top, &fwd, &mut least, PropagateDir::JoinForward, &mut budget)
+        && propagate(
+            top,
+            &bwd,
+            &mut greatest,
+            PropagateDir::MeetBackward,
+            &mut budget,
+        );
+    if !converged {
+        return Err(SolveFailure::BudgetExceeded {
+            steps: max_steps - budget,
+            limit: max_steps,
+        });
+    }
 
     // Satisfiability: the least solution satisfies every `L ⊑ κ` and
     // `κ ⊑ κ′` constraint by construction, so the system is solvable iff
@@ -145,7 +178,7 @@ pub(crate) fn solve(
     if violations.is_empty() {
         Ok(Solution { least, greatest })
     } else {
-        Err(SolveError { violations })
+        Err(SolveFailure::Unsat(SolveError { violations }))
     }
 }
 
@@ -160,13 +193,26 @@ enum PropagateDir {
 /// `adj` as the reversed graph (meet mode). Each variable re-enters the
 /// worklist only when its value strictly changes; the lattice has height
 /// ≤ 64, so the total work is `O(height · edges)`.
-fn propagate(top: u64, adj: &[Vec<(u32, u64)>], val: &mut [QualSet], dir: PropagateDir) {
+///
+/// Every edge relaxation spends one unit of `budget`; returns `false`
+/// (state unreliable) if the budget ran out before the fixpoint.
+fn propagate(
+    top: u64,
+    adj: &[Vec<(u32, u64)>],
+    val: &mut [QualSet],
+    dir: PropagateDir,
+    budget: &mut u64,
+) -> bool {
     let mut on_list = vec![true; val.len()];
     let mut work: Vec<u32> = (0..val.len() as u32).collect();
     while let Some(v) = work.pop() {
         on_list[v as usize] = false;
         let from = val[v as usize].bits();
         for &(w, m) in &adj[v as usize] {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
             let cur = val[w as usize].bits();
             let next = match dir {
                 PropagateDir::JoinForward => cur | (from & m),
@@ -181,6 +227,7 @@ fn propagate(top: u64, adj: &[Vec<(u32, u64)>], val: &mut [QualSet], dir: Propag
             }
         }
     }
+    true
 }
 
 #[cfg(test)]
