@@ -2,6 +2,13 @@
 //! (§4.4): Table 1 (the benchmark suite), Table 2 (timings and const
 //! counts), and Figure 6 (the same counts as percentages).
 //!
+//! Every count that leaves this harness is **certified**: the solver's
+//! solution is re-checked against the full constraint set by
+//! [`qual_solve::verify_solution`] before a [`Row`] is built. A
+//! benchmark unit that fails anywhere — parse, sema, inference budget,
+//! solving, certification — yields its diagnostics instead of a row, so
+//! one broken unit cannot take down a table run.
+//!
 //! Run the binaries:
 //!
 //! ```text
@@ -16,7 +23,10 @@
 use std::time::{Duration, Instant};
 
 use qual_cgen::Profile;
-use qual_constinfer::{ConstCounts, Mode};
+use qual_constinfer::{
+    recover_front_end, run_budgeted, Budgets, ConstCounts, Mode, Options,
+};
+use qual_solve::{Diagnostic, Phase};
 
 /// One benchmark's full measurement — a row of Table 2.
 #[derive(Debug, Clone)]
@@ -54,50 +64,149 @@ impl Row {
     }
 }
 
-/// Generates, compiles, and analyzes one profile, timing each phase.
-/// `runs` repetitions are averaged for the inference times (the paper
-/// used the average of five).
+/// A fault-isolated, certified measurement: the row (when every phase
+/// succeeded and both solutions passed the verifier) plus every
+/// diagnostic raised along the way.
+#[derive(Debug)]
+pub struct Measurement {
+    /// Benchmark name (present even when the row is not).
+    pub name: String,
+    /// The certified row, or `None` if any mode failed to produce a
+    /// certified count.
+    pub row: Option<Row>,
+    /// Everything that went wrong, in pipeline order.
+    pub skipped: Vec<Diagnostic>,
+}
+
+/// Generates, compiles, analyzes, and **certifies** one profile, timing
+/// each phase. `runs` repetitions are averaged for the inference times
+/// (the paper used the average of five). The timed runs use plain
+/// options; the certification pass re-checks the final run's solution
+/// against every constraint, untimed, so verification cost never skews
+/// the reported times.
 ///
-/// # Panics
-///
-/// Panics if the generated program fails to parse or resolve (generator
-/// bug by construction).
+/// Never panics: a fault in any phase becomes a [`Diagnostic`] in
+/// [`Measurement::skipped`] and the row is withheld.
 #[must_use]
-pub fn measure(profile: &Profile, runs: u32) -> Row {
+pub fn measure_certified(profile: &Profile, runs: u32) -> Measurement {
     let src = qual_cgen::generate(profile);
     let lines = src.lines().count();
 
     let t0 = Instant::now();
-    let prog = qual_cfront::parse(&src).expect("generated source parses");
-    let sema = qual_cfront::sema::analyze(&prog).expect("generated source resolves");
+    let unit = recover_front_end(&src);
     let compile = t0.elapsed();
+    let mut skipped = unit.skipped;
 
     let space = qual_lattice::QualSpace::const_only();
-    let time_mode = |mode: Mode| -> (Duration, ConstCounts) {
-        let mut best_counts = ConstCounts::default();
+    let runs = runs.max(1);
+    let time_mode = |mode: Mode,
+                         skipped: &mut Vec<Diagnostic>|
+     -> (Duration, Option<ConstCounts>) {
         let mut total = Duration::ZERO;
-        for _ in 0..runs.max(1) {
+        let mut last = None;
+        for _ in 0..runs {
             let t = Instant::now();
-            let analysis = qual_constinfer::run(&prog, &sema, &space, mode);
+            let ran = run_budgeted(
+                &unit.program,
+                &unit.sema,
+                &space,
+                mode,
+                Options::default(),
+                Budgets::default(),
+            );
             total += t.elapsed();
-            best_counts = qual_constinfer::count::summarize(&prog, analysis).counts;
+            last = Some(ran);
         }
-        (total / runs.max(1), best_counts)
+        let (analysis, engine_skipped) = last.expect("runs >= 1");
+        skipped.extend(engine_skipped);
+        // The certification gate: no count leaves the harness without
+        // the independent checker accepting the solution it came from.
+        let counts = match &analysis.solution {
+            Ok(sol) => match qual_solve::verify_solution(
+                &analysis.space,
+                analysis.constraints.constraints(),
+                sol,
+            ) {
+                Ok(()) => {
+                    Some(
+                        qual_constinfer::count::summarize(&unit.program, analysis)
+                            .counts,
+                    )
+                }
+                Err(e) => {
+                    skipped.push(Diagnostic::error(
+                        Phase::Verify,
+                        format!("{mode:?} solution failed certification: {e}"),
+                    ));
+                    None
+                }
+            },
+            Err(failure) => {
+                skipped.push(Diagnostic::error(
+                    Phase::Solve,
+                    format!("{mode:?}: {failure}"),
+                ));
+                None
+            }
+        };
+        (total / runs, counts)
     };
-    let (mono_time, mono_counts) = time_mode(Mode::Monomorphic);
-    let (poly_time, poly_counts) = time_mode(Mode::Polymorphic);
-    assert_eq!(mono_counts.total, poly_counts.total);
 
-    Row {
+    let (mono_time, mono_counts) = time_mode(Mode::Monomorphic, &mut skipped);
+    let (poly_time, poly_counts) = time_mode(Mode::Polymorphic, &mut skipped);
+
+    let row = match (mono_counts, poly_counts) {
+        (Some(m), Some(p)) if m.total == p.total => Some(Row {
+            name: profile.name.to_owned(),
+            lines,
+            compile,
+            mono_time,
+            poly_time,
+            declared: m.declared,
+            mono: m.inferred,
+            poly: p.inferred,
+            total: m.total,
+        }),
+        (Some(m), Some(p)) => {
+            skipped.push(Diagnostic::error(
+                Phase::Verify,
+                format!(
+                    "mode disagreement: mono sees {} interesting positions, \
+                     poly sees {}",
+                    m.total, p.total
+                ),
+            ));
+            None
+        }
+        _ => None,
+    };
+    Measurement {
         name: profile.name.to_owned(),
-        lines,
-        compile,
-        mono_time,
-        poly_time,
-        declared: mono_counts.declared,
-        mono: mono_counts.inferred,
-        poly: poly_counts.inferred,
-        total: mono_counts.total,
+        row,
+        skipped,
+    }
+}
+
+/// Generates, compiles, and analyzes one profile, timing each phase.
+///
+/// # Panics
+///
+/// Panics if the generated program fails to analyze or certify
+/// (generator bug by construction); [`measure_certified`] is the
+/// non-panicking form the table binaries use.
+#[must_use]
+pub fn measure(profile: &Profile, runs: u32) -> Row {
+    let m = measure_certified(profile, runs);
+    match m.row {
+        Some(row) => row,
+        None => panic!(
+            "benchmark `{}` failed to produce a certified row: {}",
+            m.name,
+            m.skipped
+                .iter()
+                .map(|d| d.render(None))
+                .collect::<String>()
+        ),
     }
 }
 
@@ -126,6 +235,14 @@ mod tests {
         assert!(row.poly <= row.total);
         let (d, m, x, o) = row.percentages();
         assert!((d + m + x + o - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn certified_measurement_is_clean_on_generated_code() {
+        let p = table1_profiles()[1].scaled(300);
+        let m = measure_certified(&p, 1);
+        assert!(m.row.is_some(), "diagnostics: {:?}", m.skipped);
+        assert!(m.skipped.is_empty(), "diagnostics: {:?}", m.skipped);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! The cross-mode differential oracle: hundreds of cgen-seeded programs
+//! pushed through all three analysis modes, every solution certified by
+//! the independent verifier, and the modes cross-checked against each
+//! other.
+//!
+//! The invariants (none of which the solver itself enforces — that is
+//! the point of an oracle):
+//!
+//! * **Determinism** — the same `Profile` seed yields byte-identical C
+//!   source across two `generate` calls, and re-analyzing the same
+//!   source yields identical counts (no iteration-order leakage).
+//! * **Certification** — every mode's solution passes
+//!   [`qual_solve::verify_solution`] against the full constraint set.
+//! * **Declared recovery** — a position declared `const` in the source
+//!   is always inferred const-able, in every mode.
+//! * **Mode agreement** — polymorphism only adds const-able positions:
+//!   the mono const set is contained in the poly and polyrec sets, and
+//!   all modes agree on the interesting-position universe.
+//!
+//! Case count defaults to 200 and is tunable via `QUAL_ORACLE_CASES`
+//! (CI pins the seed via `PROPTEST_SEED`, so runs are reproducible).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use qual_cgen::table1_profiles;
+use qual_constinfer::{analyze_source, ConstResult, Mode};
+use qual_solve::verify_solution;
+
+fn cases() -> u32 {
+    std::env::var("QUAL_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// The set of const-able positions, keyed stably by (function, param,
+/// pointer level).
+fn const_set(r: &ConstResult) -> BTreeSet<(String, Option<usize>, usize)> {
+    r.positions
+        .iter()
+        .filter(|p| p.can_be_const())
+        .map(|p| (p.function.clone(), p.param, p.level))
+        .collect()
+}
+
+fn declared_set(r: &ConstResult) -> BTreeSet<(String, Option<usize>, usize)> {
+    r.positions
+        .iter()
+        .filter(|p| p.declared)
+        .map(|p| (p.function.clone(), p.param, p.level))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn modes_agree_and_solutions_certify(
+        seed in any::<u64>(),
+        base in 0usize..6,
+        lines in 80usize..200,
+    ) {
+        let mut profile = table1_profiles()[base].scaled(lines);
+        profile.seed = seed;
+
+        // Determinism: the oracle is meaningless if the generator is not
+        // reproducible.
+        let src = qual_cgen::generate(&profile);
+        prop_assert_eq!(
+            &src,
+            &qual_cgen::generate(&profile),
+            "same profile seed must generate byte-identical source"
+        );
+
+        let mut results = Vec::new();
+        for mode in [
+            Mode::Monomorphic,
+            Mode::Polymorphic,
+            Mode::PolymorphicRecursive,
+        ] {
+            let r = analyze_source(&src, mode);
+            prop_assert!(r.is_ok(), "{mode:?}: generated program must analyze");
+            let r = r.unwrap();
+
+            // Certification: the mode's solution must satisfy every
+            // constraint under the independent checker.
+            let a = &r.analysis;
+            prop_assert!(a.solution.is_ok(), "{mode:?}: system must be satisfiable");
+            let verdict = verify_solution(
+                &a.space,
+                a.constraints.constraints(),
+                a.solution.as_ref().unwrap(),
+            );
+            prop_assert!(
+                verdict.is_ok(),
+                "{mode:?}: solution failed certification: {:?}",
+                verdict.unwrap_err()
+            );
+
+            // Declared consts are always recovered.
+            let declared = declared_set(&r);
+            let can = const_set(&r);
+            prop_assert!(
+                declared.is_subset(&can),
+                "{mode:?}: declared consts lost: {:?}",
+                declared.difference(&can).collect::<Vec<_>>()
+            );
+            results.push((mode, r));
+        }
+
+        // Mode agreement: every mode sees the same position universe,
+        // and polymorphism only ever adds const-able positions.
+        let (_, mono) = &results[0];
+        for (mode, other) in &results[1..] {
+            prop_assert_eq!(
+                mono.counts.total, other.counts.total,
+                "{:?}: interesting-position universe changed", mode
+            );
+            let mono_can = const_set(mono);
+            let other_can = const_set(other);
+            prop_assert!(
+                mono_can.is_subset(&other_can),
+                "{:?} lost const positions mono found: {:?}",
+                mode,
+                mono_can.difference(&other_can).collect::<Vec<_>>()
+            );
+        }
+
+        // Stability: a second run over the same source reproduces the
+        // counts exactly (guards against iteration-order nondeterminism
+        // anywhere in the pipeline).
+        for (mode, first) in &results {
+            let again = analyze_source(&src, *mode).unwrap();
+            prop_assert_eq!(
+                first.counts, again.counts,
+                "{:?}: counts unstable across two runs", mode
+            );
+        }
+    }
+}

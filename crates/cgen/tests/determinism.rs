@@ -1,0 +1,53 @@
+//! Determinism guarantees for the benchmark generator: the same
+//! `Profile` (seed included) must produce byte-identical source on
+//! every call. Everything downstream — the differential oracle, the
+//! table binaries, CI seed pinning — leans on this.
+
+use qual_cgen::{table1_profiles, Profile};
+
+#[test]
+fn table1_profiles_generate_identically_twice() {
+    for p in table1_profiles() {
+        let first = qual_cgen::generate(&p);
+        let second = qual_cgen::generate(&p);
+        assert_eq!(first, second, "profile `{}` is not deterministic", p.name);
+        assert!(!first.is_empty(), "profile `{}` generated nothing", p.name);
+    }
+}
+
+#[test]
+fn scaled_profiles_generate_identically_twice() {
+    for p in table1_profiles() {
+        let scaled = p.scaled(150);
+        assert_eq!(
+            qual_cgen::generate(&scaled),
+            qual_cgen::generate(&scaled),
+            "scaled profile `{}` is not deterministic",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn custom_seeds_generate_identically_and_differently() {
+    let base: Profile = table1_profiles()[0].scaled(120);
+    let mut outputs = Vec::new();
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        let mut p = base.clone();
+        p.seed = seed;
+        let first = qual_cgen::generate(&p);
+        assert_eq!(
+            first,
+            qual_cgen::generate(&p),
+            "seed {seed} is not deterministic"
+        );
+        outputs.push(first);
+    }
+    // Distinct seeds should actually steer the generator; identical
+    // output across all seeds would mean the seed is ignored.
+    let distinct: std::collections::BTreeSet<&String> = outputs.iter().collect();
+    assert!(
+        distinct.len() > 1,
+        "generator output does not depend on the seed at all"
+    );
+}

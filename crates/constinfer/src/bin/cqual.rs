@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! cqual [--mode mono|poly|polyrec] [--annotate|--rewrite|--report]
-//!       [--keep-going] [--max-constraints N] [--max-solver-steps N]
-//!       [--max-fn-work N] FILE...
+//!       [--verify] [--explain] [--keep-going] [--max-constraints N]
+//!       [--max-solver-steps N] [--max-fn-work N] FILE...
 //! ```
 //!
 //! * `--report` (default): the Table-2 style counts plus per-position
@@ -13,6 +13,14 @@
 //!   inferable consts inserted.
 //! * `--rewrite`: print the whole program with the (monomorphic)
 //!   inferable consts inserted.
+//! * `--verify`: certify the solve before trusting it — a successful
+//!   solution is re-checked against every constraint by the independent
+//!   verifier, and an unsatisfiable one must produce replayable
+//!   explanation paths. Certification failure (a solver bug, loudly
+//!   surfaced) exits with code 3.
+//! * `--explain`: when the constraints are unsatisfiable, render each
+//!   conflict as a CQual-style constraint path from the qualifier's
+//!   source to the position that rejects it.
 //!
 //! By default multiple files are concatenated and analyzed as one
 //! program, exactly as the paper handles multi-file benchmarks ("We
@@ -25,19 +33,22 @@
 //! that fail sema or exhaust an analysis budget are skipped with a
 //! rendered diagnostic while counts are still produced for the rest.
 //! Exit code 0 means a completely clean run; 1 means the analysis
-//! finished but skipped something; 2 means bad usage.
+//! finished but skipped something; 2 means bad usage; 3 means `--verify`
+//! found a result that failed certification.
 
 use std::process::ExitCode;
 
 use qual_constinfer::{
-    analyze_source_resilient, rewrite_source, AnalysisOutcome, Budgets, Mode,
-    PositionClass,
+    analyze_source_with_options, rewrite_source, AnalysisOutcome, Budgets, Mode,
+    Options, PositionClass,
 };
+use qual_solve::{Phase, SolveFailure};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
-         \x20            [--keep-going] [--max-constraints N] [--max-solver-steps N]\n\
+         \x20            [--verify] [--explain] [--keep-going]\n\
+         \x20            [--max-constraints N] [--max-solver-steps N]\n\
          \x20            [--max-fn-work N] FILE..."
     );
     ExitCode::from(2)
@@ -47,6 +58,18 @@ struct Config {
     mode: Mode,
     action: Action,
     budgets: Budgets,
+    verify: bool,
+    explain: bool,
+}
+
+/// What one translation unit's analysis reported.
+#[derive(Default)]
+struct RunStats {
+    /// Diagnostics rendered (skipped regions, unsat constraints, …).
+    diags: usize,
+    /// Certification failures among them — these escalate the exit code
+    /// to 3, because they mean the *solver* is wrong, not the input.
+    cert_failures: usize,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -61,6 +84,8 @@ fn main() -> ExitCode {
         mode: Mode::Polymorphic,
         action: Action::Report,
         budgets: Budgets::default(),
+        verify: false,
+        explain: false,
     };
     let mut keep_going = false;
     let mut files = Vec::new();
@@ -76,6 +101,8 @@ fn main() -> ExitCode {
             "--report" => cfg.action = Action::Report,
             "--annotate" => cfg.action = Action::Annotate,
             "--rewrite" => cfg.action = Action::Rewrite,
+            "--verify" => cfg.verify = true,
+            "--explain" => cfg.explain = true,
             "--keep-going" => keep_going = true,
             "--max-constraints" => {
                 match args.next().and_then(|v| v.parse().ok()) {
@@ -153,11 +180,18 @@ fn run_concatenated(cfg: &Config, files: &[String]) -> ExitCode {
             }
         }
     }
-    let diags = analyze_and_print(cfg, &src);
-    if diags == 0 {
-        ExitCode::SUCCESS
-    } else {
+    exit_code(&analyze_and_print(cfg, &src))
+}
+
+/// 0 clean, 1 diagnostics, 3 certification failure (the solver's answer
+/// could not be certified — the most serious outcome, so it wins).
+fn exit_code(stats: &RunStats) -> ExitCode {
+    if stats.cert_failures > 0 {
+        ExitCode::from(3)
+    } else if stats.diags > 0 {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -175,21 +209,22 @@ fn run_batch(cfg: &Config, files: &[String]) -> ExitCode {
         eprintln!("cqual: no input files");
         return ExitCode::FAILURE;
     }
-    let mut total_diags = 0usize;
+    let mut total = RunStats::default();
     let mut clean = 0usize;
     for f in &inputs {
         println!("== {f} ==");
         match std::fs::read_to_string(f) {
             Ok(src) => {
-                let diags = analyze_and_print(cfg, &src);
-                total_diags += diags;
-                if diags == 0 {
+                let stats = analyze_and_print(cfg, &src);
+                if stats.diags == 0 {
                     clean += 1;
                 }
+                total.diags += stats.diags;
+                total.cert_failures += stats.cert_failures;
             }
             Err(e) => {
                 eprintln!("cqual: cannot read {f}: {e}");
-                total_diags += 1;
+                total.diags += 1;
             }
         }
     }
@@ -198,20 +233,20 @@ fn run_batch(cfg: &Config, files: &[String]) -> ExitCode {
         inputs.len(),
         clean,
         inputs.len() - clean,
-        total_diags
+        total.diags
     );
-    if total_diags == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    exit_code(&total)
 }
 
 /// Analyzes one translation unit, prints the requested view for the
 /// healthy part plus rendered diagnostics for everything skipped, and
-/// returns the diagnostic count.
-fn analyze_and_print(cfg: &Config, src: &str) -> usize {
-    let outcome = analyze_source_resilient(src, cfg.mode, cfg.budgets);
+/// returns the diagnostic tallies.
+fn analyze_and_print(cfg: &Config, src: &str) -> RunStats {
+    let options = Options {
+        verify_solutions: cfg.verify,
+        ..Options::default()
+    };
+    let outcome = analyze_source_with_options(src, cfg.mode, options, cfg.budgets);
     match cfg.action {
         Action::Report => print_report(cfg, &outcome),
         Action::Annotate => {
@@ -221,13 +256,64 @@ fn analyze_and_print(cfg: &Config, src: &str) -> usize {
         }
         Action::Rewrite => print_rewrite(cfg, src, &outcome),
     }
+    if cfg.explain {
+        print_explanations(src, &outcome);
+    }
     for d in &outcome.skipped {
         eprint!("{}", d.render(Some(src)));
     }
     if outcome.result.is_none() {
         eprintln!("cqual: constraint solving failed; counts are unavailable");
     }
-    outcome.skipped.len()
+    let cert_failures = outcome
+        .skipped
+        .iter()
+        .filter(|d| d.phase == Phase::Verify)
+        .count();
+    if cfg.verify && cert_failures == 0 {
+        match (&outcome.result, &outcome.failed) {
+            (Some(result), _) => println!(
+                "cqual: certified: solution satisfies all {} constraint(s)",
+                result.analysis.constraints.len()
+            ),
+            (None, Some(analysis)) => {
+                if let Err(SolveFailure::Unsat(err)) = &analysis.solution {
+                    println!(
+                        "cqual: certified: unsatisfiability witnessed by {} \
+                         constraint path(s)",
+                        err.violations.len()
+                    );
+                }
+            }
+            (None, None) => {}
+        }
+    }
+    RunStats {
+        diags: outcome.skipped.len(),
+        cert_failures,
+    }
+}
+
+/// `--explain`: renders each unsat violation as a constraint path from
+/// the qualifier's constant source to the bound that rejects it.
+fn print_explanations(src: &str, outcome: &AnalysisOutcome) {
+    let Some(analysis) = &outcome.failed else {
+        return;
+    };
+    let Err(SolveFailure::Unsat(err)) = &analysis.solution else {
+        return;
+    };
+    let exps = qual_solve::explain(
+        &analysis.space,
+        analysis.constraints.constraints(),
+        err,
+    );
+    for exp in &exps {
+        print!(
+            "{}",
+            qual_solve::diag::render_explanation(Some(src), &analysis.space, exp)
+        );
+    }
 }
 
 fn print_report(cfg: &Config, outcome: &AnalysisOutcome) {
@@ -263,7 +349,12 @@ fn print_rewrite(cfg: &Config, src: &str, outcome: &AnalysisOutcome) {
     let (prog, result) = if cfg.mode == Mode::Monomorphic {
         (&outcome.program, outcome.result.as_ref())
     } else {
-        mono = analyze_source_resilient(src, Mode::Monomorphic, cfg.budgets);
+        mono = analyze_source_with_options(
+            src,
+            Mode::Monomorphic,
+            Options::default(),
+            cfg.budgets,
+        );
         (&mono.program, mono.result.as_ref())
     };
     if let Some(result) = result {

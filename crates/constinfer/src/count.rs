@@ -269,6 +269,10 @@ pub struct AnalysisOutcome {
     /// solver budget exhausted) — partial *generation* failures still
     /// produce a result for the rest.
     pub result: Option<ConstResult>,
+    /// When `result` is `None`, the analysis whose solve failed — its
+    /// constraint set and unsat violations are what explanation tools
+    /// (`cqual --explain`) walk to render the failure.
+    pub failed: Option<Analysis>,
     /// The pruned program the result describes (broken items skipped,
     /// failed functions demoted to prototypes). Annotation and
     /// rewriting should use this program — it is the one the counts
@@ -290,16 +294,27 @@ fn diag_from_cerror(phase: Phase, e: &CError) -> Diagnostic {
     Diagnostic::error(phase, e.message.clone()).with_span(e.span.lo, e.span.hi)
 }
 
-/// End-to-end with fault isolation: parse with recovery, analyze with
-/// per-function isolation, infer under [`Budgets`], and count whatever
-/// survived. Never fails and never panics — every fault becomes a
-/// [`Diagnostic`] in [`AnalysisOutcome::skipped`].
+/// The front-end half of the fault-isolated pipeline: the recovered,
+/// pruned program plus its semantic analysis, ready for any number of
+/// [`run_budgeted`] calls (the bench harness analyzes the same unit in
+/// several modes without re-parsing).
+#[derive(Debug)]
+pub struct RecoveredUnit {
+    /// The pruned program (broken items skipped, sema-failed functions
+    /// demoted to prototypes, failing global initializers dropped).
+    pub program: Program,
+    /// Semantic analysis of the healthy part.
+    pub sema: sema::Sema,
+    /// One [`Diagnostic`] per skipped region/function, in pipeline
+    /// order.
+    pub skipped: Vec<Diagnostic>,
+}
+
+/// Parses with recovery and resolves with per-function isolation,
+/// pruning the program as faults surface. Never fails: every fault is a
+/// [`Diagnostic`] in [`RecoveredUnit::skipped`].
 #[must_use]
-pub fn analyze_source_resilient(
-    src: &str,
-    mode: Mode,
-    budgets: Budgets,
-) -> AnalysisOutcome {
+pub fn recover_front_end(src: &str) -> RecoveredUnit {
     let recovered = qual_cfront::parse_with_recovery(src);
     let mut program = recovered.program;
     let mut skipped: Vec<Diagnostic> = recovered
@@ -317,13 +332,49 @@ pub fn analyze_source_resilient(
         skipped.push(diag_from_cerror(Phase::Sema, e).with_function(name.clone()));
         program.drop_global_init(name);
     }
+    RecoveredUnit {
+        program,
+        sema: rsema.sema,
+        skipped,
+    }
+}
+
+/// End-to-end with fault isolation: parse with recovery, analyze with
+/// per-function isolation, infer under [`Budgets`], and count whatever
+/// survived. Never fails and never panics — every fault becomes a
+/// [`Diagnostic`] in [`AnalysisOutcome::skipped`].
+#[must_use]
+pub fn analyze_source_resilient(
+    src: &str,
+    mode: Mode,
+    budgets: Budgets,
+) -> AnalysisOutcome {
+    analyze_source_with_options(src, mode, Options::default(), budgets)
+}
+
+/// [`analyze_source_resilient`] with explicit engine [`Options`] — in
+/// particular [`Options::verify_solutions`], which certifies the solve
+/// (solution checked against every constraint; unsat explained by
+/// replayable constraint paths) before any count is reported.
+#[must_use]
+pub fn analyze_source_with_options(
+    src: &str,
+    mode: Mode,
+    options: Options,
+    budgets: Budgets,
+) -> AnalysisOutcome {
+    let RecoveredUnit {
+        mut program,
+        sema,
+        mut skipped,
+    } = recover_front_end(src);
 
     let (analysis, engine_skipped) = run_budgeted(
         &program,
-        &rsema.sema,
+        &sema,
         &qual_lattice::QualSpace::const_only(),
         mode,
-        Options::default(),
+        options,
         budgets,
     );
     // Engine-failed functions drop out of the counts the same way
@@ -350,12 +401,14 @@ pub fn analyze_source_resilient(
             }
             AnalysisOutcome {
                 result: None,
+                failed: Some(analysis),
                 program,
                 skipped,
             }
         }
         Ok(_) => AnalysisOutcome {
             result: Some(summarize(&program, analysis)),
+            failed: None,
             program,
             skipped,
         },

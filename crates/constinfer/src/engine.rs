@@ -77,6 +77,16 @@ pub struct Options {
     /// per-function compaction costs slightly more than the smaller
     /// instantiations save.
     pub simplify_schemes: bool,
+    /// Certify the solve before reporting it: check a successful
+    /// [`Solution`] against every constraint with
+    /// [`qual_solve::verify_solution`], and replay an unsat result's
+    /// explanation paths through
+    /// [`qual_solve::verify_explanation`]. A failed certificate becomes
+    /// an error [`Diagnostic`] with [`Phase::Verify`]. Debug builds
+    /// always certify (and panic on failure — an uncertified result is a
+    /// solver bug); this option extends the check to release builds and
+    /// turns the panic into a diagnostic.
+    pub verify_solutions: bool,
 }
 
 /// Resource budgets for one analysis run. Runaway inputs (pathological
@@ -314,6 +324,7 @@ pub fn run_budgeted(
     let solution =
         eng.cs
             .solve_with_budget(space, &eng.supply, budgets.max_solver_steps);
+    certify_solution(space, &eng.cs, &solution, options, &mut skipped);
     (
         Analysis {
             arena: eng.arena,
@@ -326,6 +337,59 @@ pub fn run_budgeted(
         },
         skipped,
     )
+}
+
+/// Certification gate between the solver and every count we report
+/// (see [`Options::verify_solutions`]): a successful solution must pass
+/// the independent checker, and an unsat verdict must come with
+/// replayable explanation paths for all of its violations. Debug builds
+/// treat a failed certificate as a solver bug and panic; with the
+/// option set, the failure is reported as a [`Phase::Verify`]
+/// diagnostic instead so tools can surface it.
+fn certify_solution(
+    space: &QualSpace,
+    cs: &ConstraintSet,
+    solution: &Result<Solution, SolveFailure>,
+    options: Options,
+    skipped: &mut Vec<Diagnostic>,
+) {
+    if !options.verify_solutions && !cfg!(debug_assertions) {
+        return;
+    }
+    let mut report = |message: String| {
+        if options.verify_solutions {
+            skipped.push(Diagnostic::error(Phase::Verify, message));
+        } else {
+            debug_assert!(false, "{message}");
+        }
+    };
+    match solution {
+        Ok(sol) => {
+            if let Err(e) = qual_solve::verify_solution(space, cs.constraints(), sol) {
+                report(format!("solution failed certification: {e}"));
+            }
+        }
+        Err(SolveFailure::Unsat(err)) => {
+            let exps = qual_solve::explain(space, cs.constraints(), err);
+            if exps.len() != err.violations.len() {
+                report(format!(
+                    "unsatisfiability not certified: only {} of {} violation(s) \
+                     have a constraint path back to a constant source",
+                    exps.len(),
+                    err.violations.len()
+                ));
+            }
+            for exp in &exps {
+                if let Err(e) = qual_solve::verify_explanation(space, exp) {
+                    report(format!(
+                        "unsat explanation failed certification: {e}"
+                    ));
+                }
+            }
+        }
+        // A blown budget makes no claim, so there is nothing to certify.
+        Err(SolveFailure::BudgetExceeded { .. }) => {}
+    }
 }
 
 /// The value of an analyzed expression: an optional l-value cell (the

@@ -36,8 +36,9 @@ pub mod rewrite;
 use std::fmt;
 
 pub use count::{
-    analyze_source, analyze_source_resilient, AnalysisOutcome, ConstCounts,
-    ConstResult, Position, PositionClass,
+    analyze_source, analyze_source_resilient, analyze_source_with_options,
+    recover_front_end, AnalysisOutcome, ConstCounts, ConstResult, Position,
+    PositionClass, RecoveredUnit,
 };
 pub use engine::{
     run, run_budgeted, run_with_options, Analysis, Budgets, Mode, Options, SigNodes,

@@ -20,6 +20,7 @@ fn simplification_changes_no_classification() {
             Mode::Polymorphic,
             Options {
                 simplify_schemes: true,
+                ..Options::default()
             },
         );
         let without = run_with_options(
@@ -29,6 +30,7 @@ fn simplification_changes_no_classification() {
             Mode::Polymorphic,
             Options {
                 simplify_schemes: false,
+                ..Options::default()
             },
         );
         let constraints_with = with.constraints.len();
@@ -74,6 +76,7 @@ fn simplification_does_not_mask_errors() {
             Mode::Polymorphic,
             Options {
                 simplify_schemes: simplify,
+                ..Options::default()
             },
         );
         assert!(

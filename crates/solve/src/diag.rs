@@ -9,7 +9,10 @@
 
 use std::fmt;
 
+use qual_lattice::{Polarity, QualSet, QualSpace};
+
 use crate::error::SolveError;
+use crate::explain::Explanation;
 
 /// How bad a [`Diagnostic`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +45,9 @@ pub enum Phase {
     Infer,
     /// Constraint solving.
     Solve,
+    /// Independent certification of solver results
+    /// (see [`crate::verify`]).
+    Verify,
 }
 
 impl fmt::Display for Phase {
@@ -52,6 +58,7 @@ impl fmt::Display for Phase {
             Phase::Sema => "sema",
             Phase::Infer => "infer",
             Phase::Solve => "solve",
+            Phase::Verify => "verify",
         })
     }
 }
@@ -202,6 +209,16 @@ pub fn line_col(src: &str, at: u32) -> LineCol {
 pub fn render_span(src: &str, lo: u32, hi: u32, message: &str) -> String {
     let pos = line_col(src, lo);
     let mut out = format!("error: {message}\n  --> {}:{}\n", pos.line, pos.col);
+    out.push_str(&render_excerpt(src, lo, hi));
+    out
+}
+
+/// The caret-excerpt body of [`render_span`] — just the gutter, the
+/// offending line, and the carets, with no `error:`/`-->` header — so
+/// multi-step renderings (like explanation paths) can reuse it.
+#[must_use]
+pub fn render_excerpt(src: &str, lo: u32, hi: u32) -> String {
+    let pos = line_col(src, lo);
     // Extract the offending line.
     let line_start = src[..(lo as usize).min(src.len())]
         .rfind('\n')
@@ -211,7 +228,7 @@ pub fn render_span(src: &str, lo: u32, hi: u32, message: &str) -> String {
         .map_or(src.len(), |i| line_start + i);
     let text = &src[line_start..line_end];
     let gutter = format!("{:>4}", pos.line);
-    out.push_str(&format!("{} |\n", " ".repeat(gutter.len())));
+    let mut out = format!("{} |\n", " ".repeat(gutter.len()));
     out.push_str(&format!("{gutter} | {text}\n"));
     let caret_start = (lo as usize).saturating_sub(line_start);
     let caret_len = ((hi.max(lo + 1) as usize).min(line_end) - (lo as usize).min(line_end))
@@ -224,6 +241,84 @@ pub fn render_span(src: &str, lo: u32, hi: u32, message: &str) -> String {
         "^".repeat(caret_len)
     ));
     out
+}
+
+/// Renders an unsat [`Explanation`] as a CQual-style error path: a
+/// headline naming the offending qualifier, then the constraint chain
+/// from the constant source to the violated bound, each step with its
+/// provenance and (when the source text is available) a `line:col`
+/// caret excerpt.
+///
+/// ```text
+/// error: qualifier `const` reaches a position that must not be `const`
+///   constraint path (3 steps):
+///    1. const ⊑ κ2            declared const pointee
+///       --> 1:8
+///        |
+///      1 | void f(const char *s) { *s = 'x'; }
+///        |        ^^^^^^^^^^^^
+///    2. κ2 ⊑ κ5               argument
+///    3. κ5 ⊑ ¬const           assignment through pointer
+/// ```
+#[must_use]
+pub fn render_explanation(
+    src: Option<&str>,
+    space: &QualSpace,
+    exp: &Explanation,
+) -> String {
+    let (name, polarity) = coordinate_of(space, exp.qualifier);
+    let mut out = match polarity {
+        Polarity::Positive => format!(
+            "error: qualifier `{name}` reaches a position that must not be `{name}`\n"
+        ),
+        Polarity::Negative => format!(
+            "error: a value possibly lacking `{name}` reaches a position that requires `{name}`\n"
+        ),
+    };
+    out.push_str(&format!(
+        "  constraint path ({} step{}):\n",
+        exp.steps.len(),
+        if exp.steps.len() == 1 { "" } else { "s" }
+    ));
+    for (i, step) in exp.steps.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:>2}. {:<24} {}\n",
+            i + 1,
+            step.render(space),
+            step.origin.what
+        ));
+        let o = step.origin;
+        if (o.lo, o.hi) == (0, 0) {
+            continue;
+        }
+        match src {
+            Some(src) => {
+                let pos = line_col(src, o.lo);
+                out.push_str(&format!("      --> {}:{}\n", pos.line, pos.col));
+                for line in render_excerpt(src, o.lo, o.hi).lines() {
+                    out.push_str("      ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            None => {
+                out.push_str(&format!("      --> bytes {}..{}\n", o.lo, o.hi));
+            }
+        }
+    }
+    out
+}
+
+/// Names a single-coordinate qualifier set against its space; falls back
+/// to the raw set rendering (treated as positive) when the set is not a
+/// declared coordinate.
+fn coordinate_of(space: &QualSpace, q: QualSet) -> (String, Polarity) {
+    for (id, decl) in space.iter() {
+        if 1u64 << id.index() == q.bits() {
+            return (decl.name().to_owned(), decl.polarity());
+        }
+    }
+    (space.render(q), Polarity::Positive)
 }
 
 /// Renders every violation of a [`SolveError`] against the source text

@@ -1,0 +1,283 @@
+//! Unsat explanation paths: a minimal chain of constraints showing *why*
+//! a system has no solution.
+//!
+//! A [`crate::SolveError`] names the constraint whose upper bound was
+//! exceeded, but the qualifier that exceeded it usually arrived from far
+//! away — a `const` declared on one parameter, threaded through
+//! assignments and calls into a position that is written. CQual renders
+//! that journey as an error *path*; this module reconstructs it: for
+//! each violation, walk the constraint graph backward from the violated
+//! upper bound to a constant lower bound that supplies the offending
+//! coordinate, using only edges whose masks transmit it. A breadth-first
+//! search makes the chain minimal in the number of constraints.
+//!
+//! The result is a self-contained [`Explanation`] — source constraint,
+//! variable-to-variable hops, violated sink, each with its provenance —
+//! that [`crate::verify::verify_explanation`] can replay without
+//! consulting the solver, and [`crate::diag::render_explanation`] can
+//! print against the source text.
+
+use std::collections::VecDeque;
+
+use qual_lattice::{QualSet, QualSpace};
+
+use crate::constraint::Constraint;
+use crate::error::SolveError;
+use crate::error::Violation;
+use crate::term::Qual;
+
+/// One certified reason a constraint system is unsatisfiable: a chain of
+/// constraints forcing `qualifier` from a constant lower bound into a
+/// constant upper bound that excludes it.
+///
+/// `steps[0].lhs` is the constant source, consecutive steps share a
+/// variable (`steps[i].rhs == steps[i+1].lhs`), and the final step's
+/// right side is the constant bound being exceeded. Every step's mask
+/// relates `qualifier`, so the coordinate flows through the whole chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// The violation this explains.
+    pub violation: Violation,
+    /// The single offending coordinate, as its canonical bit.
+    pub qualifier: QualSet,
+    /// The chain, from constant source to violated constant sink.
+    pub steps: Vec<Constraint>,
+}
+
+/// Extracts one minimal explanation chain per violation of `err`.
+///
+/// Violations whose offending coordinate cannot be traced back to a
+/// constant source are omitted (with a correct solver this does not
+/// happen: only constant lower bounds introduce coordinates), so every
+/// returned explanation replays successfully through
+/// [`crate::verify::verify_explanation`].
+#[must_use]
+pub fn explain(
+    space: &QualSpace,
+    constraints: &[Constraint],
+    err: &SolveError,
+) -> Vec<Explanation> {
+    err.violations
+        .iter()
+        .filter_map(|v| explain_violation(space, constraints, v))
+        .collect()
+}
+
+fn explain_violation(
+    space: &QualSpace,
+    constraints: &[Constraint],
+    v: &Violation,
+) -> Option<Explanation> {
+    let top = space.top().bits();
+    let offending = v.lower.bits() & !v.upper.bits() & v.constraint.mask & top;
+    if offending == 0 {
+        return None;
+    }
+    // Lowest offending coordinate: one concrete contradiction is enough
+    // to certify unsatisfiability.
+    let bit = offending & offending.wrapping_neg();
+    let qualifier = QualSet::from_bits(bit);
+
+    // `L ⊑ L′` violations are their own one-step explanation.
+    let Qual::Var(sink) = v.constraint.lhs else {
+        return Some(Explanation {
+            violation: *v,
+            qualifier,
+            steps: vec![v.constraint],
+        });
+    };
+
+    // Backward BFS from the sink variable over `κ ⊑ κ′` edges that
+    // transmit `bit`, looking for a `L ⊑ κ` source that supplies it.
+    let var_count = constraints
+        .iter()
+        .flat_map(|c| [c.lhs, c.rhs])
+        .filter_map(Qual::as_var)
+        .map(|q| q.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut bwd: Vec<Vec<(usize, &Constraint)>> = vec![Vec::new(); var_count];
+    let mut source: Vec<Option<&Constraint>> = vec![None; var_count];
+    for c in constraints {
+        if c.mask & top & bit == 0 {
+            continue;
+        }
+        match (c.lhs, c.rhs) {
+            (Qual::Var(from), Qual::Var(to)) if from != to => {
+                bwd[to.index()].push((from.index(), c));
+            }
+            (Qual::Const(l), Qual::Var(to)) if l.bits() & bit != 0 => {
+                source[to.index()].get_or_insert(c);
+            }
+            _ => {}
+        }
+    }
+
+    // parent[u] = the edge used to reach u from the sink side.
+    let mut parent: Vec<Option<&Constraint>> = vec![None; var_count];
+    let mut seen = vec![false; var_count];
+    let mut queue = VecDeque::new();
+    seen[sink.index()] = true;
+    queue.push_back(sink.index());
+    while let Some(u) = queue.pop_front() {
+        if let Some(src) = source[u] {
+            // Rebuild: source, then the hops from u forward to the sink,
+            // then the violated constraint itself.
+            let mut steps = vec![*src];
+            let mut cur = u;
+            while let Some(edge) = parent[cur] {
+                steps.push(*edge);
+                cur = edge
+                    .rhs
+                    .as_var()
+                    .expect("parent edges are var-to-var")
+                    .index();
+            }
+            steps.push(v.constraint);
+            return Some(Explanation {
+                violation: *v,
+                qualifier,
+                steps,
+            });
+        }
+        for &(from, edge) in &bwd[u] {
+            if !seen[from] {
+                seen[from] = true;
+                parent[from] = Some(edge);
+                queue.push_back(from);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintSet;
+    use crate::term::{Provenance, VarSupply};
+    use crate::verify::verify_explanation;
+    use qual_lattice::QualSpace;
+
+    fn setup() -> (QualSpace, VarSupply, ConstraintSet) {
+        (QualSpace::figure2(), VarSupply::new(), ConstraintSet::new())
+    }
+
+    #[test]
+    fn chain_is_reconstructed_in_order() {
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let nc = space.not_q(space.id("const").unwrap());
+        let (a, b, c) = (vs.fresh(), vs.fresh(), vs.fresh());
+        cs.add_with(konst, a, Provenance::at(1, 6, "declared const"));
+        cs.add_with(a, b, Provenance::at(10, 12, "argument"));
+        cs.add_with(b, c, Provenance::at(20, 22, "return value"));
+        cs.add_with(c, nc, Provenance::at(30, 36, "assignment"));
+        let err = cs.solve(&space, &vs).unwrap_err();
+        let exps = explain(&space, cs.constraints(), &err);
+        assert_eq!(exps.len(), 1);
+        let e = &exps[0];
+        assert_eq!(e.steps.len(), 4);
+        let whats: Vec<&str> = e.steps.iter().map(|s| s.origin.what).collect();
+        assert_eq!(
+            whats,
+            ["declared const", "argument", "return value", "assignment"]
+        );
+        assert_eq!(verify_explanation(&space, e), Ok(()));
+    }
+
+    #[test]
+    fn bfs_prefers_the_short_path() {
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let nc = space.not_q(space.id("const").unwrap());
+        let (a, b, c, d) = (vs.fresh(), vs.fresh(), vs.fresh(), vs.fresh());
+        // Long route: const ⊑ a ⊑ b ⊑ c ⊑ d; short route: const ⊑ c ⊑ d.
+        cs.add_with(konst, a, Provenance::synthetic("far source"));
+        cs.add(a, b);
+        cs.add(b, c);
+        cs.add_with(konst, c, Provenance::synthetic("near source"));
+        cs.add(c, d);
+        cs.add(d, nc);
+        let err = cs.solve(&space, &vs).unwrap_err();
+        let exps = explain(&space, cs.constraints(), &err);
+        assert_eq!(exps.len(), 1);
+        let e = &exps[0];
+        assert_eq!(e.steps.len(), 3, "near source wins: {:?}", e.steps);
+        assert_eq!(e.steps[0].origin.what, "near source");
+        assert_eq!(verify_explanation(&space, e), Ok(()));
+    }
+
+    #[test]
+    fn const_const_violation_is_single_step() {
+        let (space, _vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        cs.add_with(konst, space.none(), Provenance::synthetic("cast"));
+        let err = cs.solve_with_count(&space, 0).unwrap_err();
+        let exps = explain(&space, cs.constraints(), &err);
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0].steps.len(), 1);
+        assert_eq!(verify_explanation(&space, &exps[0]), Ok(()));
+    }
+
+    #[test]
+    fn masked_edges_that_drop_the_coordinate_are_not_used() {
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let c_id = space.id("const").unwrap();
+        let d_id = space.id("dynamic").unwrap();
+        let nc = space.not_q(c_id);
+        let (a, b) = (vs.fresh(), vs.fresh());
+        cs.add_with(konst, a, Provenance::synthetic("source"));
+        // This edge only relates `dynamic`, so const does not flow here…
+        cs.add_masked(a, b, &[d_id], Provenance::synthetic("masked edge"));
+        // …it flows here.
+        cs.add_masked(a, b, &[c_id], Provenance::synthetic("const edge"));
+        cs.add_with(b, nc, Provenance::synthetic("sink"));
+        let err = cs.solve(&space, &vs).unwrap_err();
+        let exps = explain(&space, cs.constraints(), &err);
+        assert_eq!(exps.len(), 1);
+        let whats: Vec<&str> =
+            exps[0].steps.iter().map(|s| s.origin.what).collect();
+        assert_eq!(whats, ["source", "const edge", "sink"]);
+        assert_eq!(verify_explanation(&space, &exps[0]), Ok(()));
+    }
+
+    #[test]
+    fn every_violation_gets_its_own_explanation() {
+        let (space, mut vs, mut cs) = setup();
+        let konst = space.parse_set("const").unwrap();
+        let nc = space.not_q(space.id("const").unwrap());
+        let (a, b) = (vs.fresh(), vs.fresh());
+        cs.add(konst, a);
+        cs.add_with(a, nc, Provenance::synthetic("first sink"));
+        cs.add(konst, b);
+        cs.add_with(b, nc, Provenance::synthetic("second sink"));
+        let err = cs.solve(&space, &vs).unwrap_err();
+        assert_eq!(err.violations.len(), 2);
+        let exps = explain(&space, cs.constraints(), &err);
+        assert_eq!(exps.len(), 2);
+        for e in &exps {
+            assert_eq!(verify_explanation(&space, e), Ok(()));
+        }
+    }
+
+    #[test]
+    fn negative_qualifier_violations_explain_too() {
+        // nonzero is negative: its canonical bit set means "absent".
+        let (space, mut vs, mut cs) = setup();
+        let nz = space.id("nonzero").unwrap();
+        let x = vs.fresh();
+        cs.add_with(space.none(), x, Provenance::synthetic("zero literal"));
+        cs.add_with(
+            x,
+            space.with_present(space.top(), nz),
+            Provenance::synthetic("nonzero assertion"),
+        );
+        let err = cs.solve(&space, &vs).unwrap_err();
+        let exps = explain(&space, cs.constraints(), &err);
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0].steps.len(), 2);
+        assert_eq!(verify_explanation(&space, &exps[0]), Ok(()));
+    }
+}

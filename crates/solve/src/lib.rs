@@ -49,15 +49,19 @@ mod constraint;
 pub mod diag;
 pub mod dot;
 mod error;
+pub mod explain;
 mod scheme;
 pub mod simplify;
 mod solver;
 mod term;
+pub mod verify;
 
 pub use constraint::{Constraint, ConstraintSet};
 pub use diag::{Diagnostic, Phase, Severity};
 pub use error::{SolveError, SolveFailure, Violation};
+pub use explain::{explain, Explanation};
 pub use scheme::Scheme;
 pub use simplify::{compact, Compacted};
 pub use solver::Solution;
 pub use term::{Provenance, QVar, Qual, VarSupply};
+pub use verify::{verify_explanation, verify_solution, Assignment, CertificateError};

@@ -72,6 +72,25 @@ impl Solution {
     pub fn var_count(&self) -> usize {
         self.least.len()
     }
+
+    /// Builds a *claimed* solution from raw least/greatest tables, one
+    /// entry per variable in index order — e.g. a deserialized witness,
+    /// or a deliberately corrupted one — for
+    /// [`crate::verify::verify_solution`] to check. Nothing is validated
+    /// here; that is the checker's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables disagree on the variable count.
+    #[must_use]
+    pub fn from_parts(least: Vec<QualSet>, greatest: Vec<QualSet>) -> Solution {
+        assert_eq!(
+            least.len(),
+            greatest.len(),
+            "least/greatest tables must cover the same variables"
+        );
+        Solution { least, greatest }
+    }
 }
 
 /// Solves `constraints` over `space` for `var_count` variables.
