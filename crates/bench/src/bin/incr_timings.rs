@@ -1,0 +1,88 @@
+//! Benchmarks the incremental driver against itself: per Table-1
+//! profile, times a cold 1-thread run, a cold N-thread run, and a
+//! warm-cache rerun, and verifies the warm run re-solved nothing. The
+//! three configurations are required to produce identical counts, so
+//! the table doubles as a quick differential check.
+//!
+//! ```text
+//! cargo run -p qual-bench --bin incr-timings --release [-- --quick]
+//! ```
+
+use std::time::Instant;
+
+use qual_cgen::table1_profiles;
+use qual_incr::{analyze_source_incremental, IncrConfig, IncrOutcome};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(8);
+    let cache_root = std::env::temp_dir().join(format!(
+        "qual-bench-incremental-{}",
+        std::process::id()
+    ));
+    println!("Incremental driver: cold/warm and 1-thread/{jobs}-thread timings");
+    println!(
+        "{:<16} {:>8} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "Name",
+        "Lines",
+        "Units",
+        "Cold 1j (s)",
+        format!("Cold {jobs}j (s)"),
+        "Warm (s)",
+        "Speedup",
+        "Reused"
+    );
+    println!("{}", "-".repeat(92));
+    for p in table1_profiles() {
+        let p = if quick { p.scaled(300) } else { p };
+        let src = qual_cgen::generate(&p);
+        let lines = src.lines().count();
+        let cache = cache_root.join(p.name);
+        let _ = std::fs::remove_dir_all(&cache);
+
+        let time = |cfg: &IncrConfig| -> (f64, IncrOutcome) {
+            let t = Instant::now();
+            let out = analyze_source_incremental(&src, cfg);
+            (t.elapsed().as_secs_f64(), out)
+        };
+
+        let (cold1, a) = time(&IncrConfig::default());
+        let (coldn, b) = time(&IncrConfig {
+            jobs,
+            ..IncrConfig::default()
+        });
+        // Populate the cache untimed, then time the warm rerun.
+        let cached = IncrConfig {
+            cache_dir: Some(cache.clone()),
+            ..IncrConfig::default()
+        };
+        let _ = analyze_source_incremental(&src, &cached);
+        let (warm, c) = time(&cached);
+
+        assert_eq!(a.counts, b.counts, "{}: jobs changed the counts", p.name);
+        assert_eq!(a.counts, c.counts, "{}: the cache changed the counts", p.name);
+        assert_eq!(
+            c.stats.analyzed, 0,
+            "{}: warm rerun re-solved {} unit(s)",
+            p.name, c.stats.analyzed
+        );
+
+        println!(
+            "{:<16} {:>8} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>6}/{}",
+            p.name,
+            lines,
+            a.stats.units,
+            cold1,
+            coldn,
+            warm,
+            cold1 / coldn.max(1e-9),
+            c.stats.reused,
+            c.stats.units
+        );
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+    let _ = std::fs::remove_dir_all(&cache_root);
+}

@@ -37,10 +37,14 @@ pub struct Row {
     pub lines: usize,
     /// Parse + semantic analysis time ("compile time").
     pub compile: Duration,
-    /// Monomorphic inference time.
+    /// Monomorphic inference time (median over the repetitions).
     pub mono_time: Duration,
-    /// Polymorphic inference time.
+    /// Fastest monomorphic repetition.
+    pub mono_min: Duration,
+    /// Polymorphic inference time (median over the repetitions).
     pub poly_time: Duration,
+    /// Fastest polymorphic repetition.
+    pub poly_min: Duration,
     /// Consts declared in the source.
     pub declared: usize,
     /// Possible consts under monomorphic inference.
@@ -79,8 +83,10 @@ pub struct Measurement {
 }
 
 /// Generates, compiles, analyzes, and **certifies** one profile, timing
-/// each phase. `runs` repetitions are averaged for the inference times
-/// (the paper used the average of five). The timed runs use plain
+/// each phase. At least three repetitions are always taken (`runs` is
+/// clamped up), and the inference times report the **median** with the
+/// **minimum** alongside — medians resist scheduler noise where the
+/// paper's averages would absorb it. The timed runs use plain
 /// options; the certification pass re-checks the final run's solution
 /// against every constraint, untimed, so verification cost never skews
 /// the reported times.
@@ -98,11 +104,11 @@ pub fn measure_certified(profile: &Profile, runs: u32) -> Measurement {
     let mut skipped = unit.skipped;
 
     let space = qual_lattice::QualSpace::const_only();
-    let runs = runs.max(1);
+    let runs = runs.max(3);
     let time_mode = |mode: Mode,
                          skipped: &mut Vec<Diagnostic>|
-     -> (Duration, Option<ConstCounts>) {
-        let mut total = Duration::ZERO;
+     -> (Duration, Duration, Option<ConstCounts>) {
+        let mut times = Vec::with_capacity(runs as usize);
         let mut last = None;
         for _ in 0..runs {
             let t = Instant::now();
@@ -114,7 +120,7 @@ pub fn measure_certified(profile: &Profile, runs: u32) -> Measurement {
                 Options::default(),
                 Budgets::default(),
             );
-            total += t.elapsed();
+            times.push(t.elapsed());
             last = Some(ran);
         }
         let (analysis, engine_skipped) = last.expect("runs >= 1");
@@ -149,11 +155,20 @@ pub fn measure_certified(profile: &Profile, runs: u32) -> Measurement {
                 None
             }
         };
-        (total / runs, counts)
+        times.sort_unstable();
+        let min = times[0];
+        let median = if times.len() % 2 == 1 {
+            times[times.len() / 2]
+        } else {
+            (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2
+        };
+        (median, min, counts)
     };
 
-    let (mono_time, mono_counts) = time_mode(Mode::Monomorphic, &mut skipped);
-    let (poly_time, poly_counts) = time_mode(Mode::Polymorphic, &mut skipped);
+    let (mono_time, mono_min, mono_counts) =
+        time_mode(Mode::Monomorphic, &mut skipped);
+    let (poly_time, poly_min, poly_counts) =
+        time_mode(Mode::Polymorphic, &mut skipped);
 
     let row = match (mono_counts, poly_counts) {
         (Some(m), Some(p)) if m.total == p.total => Some(Row {
@@ -161,7 +176,9 @@ pub fn measure_certified(profile: &Profile, runs: u32) -> Measurement {
             lines,
             compile,
             mono_time,
+            mono_min,
             poly_time,
+            poly_min,
             declared: m.declared,
             mono: m.inferred,
             poly: p.inferred,
@@ -230,6 +247,9 @@ mod tests {
     fn measure_produces_consistent_row() {
         let p = table1_profiles()[0].scaled(400);
         let row = measure(&p, 1);
+        // `runs` is clamped to >= 3, so minima are real minima.
+        assert!(row.mono_min <= row.mono_time);
+        assert!(row.poly_min <= row.poly_time);
         assert!(row.declared <= row.mono);
         assert!(row.mono <= row.poly);
         assert!(row.poly <= row.total);

@@ -1,0 +1,172 @@
+//! The incremental-driver differential oracle: cgen-seeded programs
+//! analyzed four ways — the classic serial engine, the incremental
+//! driver with 1 worker, with 4 workers, and twice against a persistent
+//! cache (cold then warm) — and the results cross-checked.
+//!
+//! The invariants:
+//!
+//! * **Serial agreement** — the incremental driver reports the same
+//!   counts, the same const-able position set, and the same declared
+//!   set as the serial engine, in every mode.
+//! * **Schedule independence** — 1 worker and 4 workers produce
+//!   *byte-identical* outcomes: counts, per-position classes in order,
+//!   rendered diagnostics, merged constraint count.
+//! * **Warm-cache identity** — a rerun against a freshly populated
+//!   cache re-solves **zero** units (every unit is a verified cache
+//!   hit) and is byte-identical to the cold run.
+//!
+//! Case count defaults to 40 and is tunable via
+//! `QUAL_INCR_ORACLE_CASES` (CI pins `PROPTEST_SEED`).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use qual_cgen::table1_profiles;
+use qual_constinfer::{analyze_source, Mode, Position};
+use qual_incr::{analyze_source_incremental, IncrConfig, IncrOutcome};
+
+fn cases() -> u32 {
+    std::env::var("QUAL_INCR_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+type PosKey = (String, Option<usize>, usize);
+
+fn const_set(ps: &[Position]) -> BTreeSet<PosKey> {
+    ps.iter()
+        .filter(|p| p.can_be_const())
+        .map(|p| (p.function.clone(), p.param, p.level))
+        .collect()
+}
+
+fn declared_set(ps: &[Position]) -> BTreeSet<PosKey> {
+    ps.iter()
+        .filter(|p| p.declared)
+        .map(|p| (p.function.clone(), p.param, p.level))
+        .collect()
+}
+
+/// Everything that must be byte-identical across schedules and cache
+/// states.
+fn fingerprint(src: &str, out: &IncrOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "counts: {:?}", out.counts);
+    let _ = writeln!(s, "constraints: {}", out.stats.constraints);
+    for p in &out.positions {
+        let _ = writeln!(
+            s,
+            "{} {:?} {} {} {:?}",
+            p.function, p.param, p.level, p.declared, p.class
+        );
+    }
+    for d in &out.skipped {
+        s.push_str(&d.render(Some(src)));
+    }
+    s
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "qual-incr-oracle-{}-{tag}",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn incremental_matches_serial_and_itself(
+        seed in any::<u64>(),
+        base in 0usize..6,
+        lines in 80usize..160,
+    ) {
+        let mut profile = table1_profiles()[base].scaled(lines);
+        profile.seed = seed;
+        let src = qual_cgen::generate(&profile);
+
+        for mode in [
+            Mode::Monomorphic,
+            Mode::Polymorphic,
+            Mode::PolymorphicRecursive,
+        ] {
+            let serial = analyze_source(&src, mode);
+            prop_assert!(serial.is_ok(), "{mode:?}: serial must analyze");
+            let serial = serial.unwrap();
+
+            let run = |jobs: usize, cache: Option<PathBuf>| {
+                analyze_source_incremental(
+                    &src,
+                    &IncrConfig {
+                        mode,
+                        jobs,
+                        cache_dir: cache,
+                        ..IncrConfig::default()
+                    },
+                )
+            };
+
+            // Serial agreement: counts and position sets.
+            let one = run(1, None);
+            prop_assert!(
+                one.skipped.is_empty(),
+                "{mode:?}: incremental run has diagnostics: {:?}",
+                one.skipped
+            );
+            let counts = one.counts.expect("clean run has counts");
+            prop_assert_eq!(counts.total, serial.counts.total, "{:?}", mode);
+            prop_assert_eq!(counts.declared, serial.counts.declared, "{:?}", mode);
+            prop_assert_eq!(counts.inferred, serial.counts.inferred, "{:?}", mode);
+            prop_assert_eq!(
+                const_set(&one.positions),
+                const_set(&serial.positions),
+                "{:?}: const-able position sets differ from serial",
+                mode
+            );
+            prop_assert_eq!(
+                declared_set(&one.positions),
+                declared_set(&serial.positions),
+                "{:?}: declared position sets differ from serial",
+                mode
+            );
+
+            // Schedule independence: byte-identical at 4 workers.
+            let four = run(4, None);
+            prop_assert_eq!(
+                fingerprint(&src, &one),
+                fingerprint(&src, &four),
+                "{:?}: 4 workers diverged from 1 worker",
+                mode
+            );
+
+            // Warm-cache identity: populate, rerun, compare.
+            let dir = scratch_dir(&format!("{seed}-{base}-{lines}-{mode:?}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cold = run(1, Some(dir.clone()));
+            prop_assert_eq!(cold.stats.reused, 0, "{:?}: dir must start cold", mode);
+            let warm = run(4, Some(dir.clone()));
+            prop_assert_eq!(
+                warm.stats.analyzed, 0,
+                "{:?}: warm rerun re-solved {} of {} unit(s)",
+                mode, warm.stats.analyzed, warm.stats.units
+            );
+            prop_assert_eq!(warm.stats.reused, warm.stats.units, "{:?}", mode);
+            prop_assert!(
+                warm.cache_diags.is_empty(),
+                "{mode:?}: warm rerun reported cache trouble: {:?}",
+                warm.cache_diags
+            );
+            prop_assert_eq!(
+                fingerprint(&src, &one),
+                fingerprint(&src, &warm),
+                "{:?}: warm cache diverged from cold",
+                mode
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

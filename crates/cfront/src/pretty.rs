@@ -25,6 +25,18 @@ pub fn render_program(p: &Program) -> String {
     out
 }
 
+/// Renders one item to its canonical source text. The pretty-printer is
+/// deterministic, so this string is a content fingerprint of the item:
+/// two items render identically iff they are structurally identical up
+/// to spans — which is exactly the equivalence the incremental cache
+/// wants to hash.
+#[must_use]
+pub fn render_item_text(item: &Item) -> String {
+    let mut out = String::new();
+    render_item(item, &mut out);
+    out
+}
+
 /// Renders one C declaration: base type + declarator around `name`
 /// (the inverse of declarator parsing, handling pointers with per-level
 /// `const`, arrays, and function declarators).

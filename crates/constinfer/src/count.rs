@@ -238,7 +238,7 @@ pub fn classify(prog: &Program, analysis: &Analysis) -> Vec<Position> {
     out
 }
 
-fn pointee_flags(ty: &CTy) -> Vec<bool> {
+pub(crate) fn pointee_flags(ty: &CTy) -> Vec<bool> {
     let mut flags = Vec::new();
     let mut cur = ty.decayed();
     while let CTyKind::Ptr(inner) = cur.kind {

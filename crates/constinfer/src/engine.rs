@@ -170,35 +170,9 @@ pub fn run_budgeted(
     budgets: Budgets,
 ) -> (Analysis, Vec<Diagnostic>) {
     let mut skipped: Vec<Diagnostic> = Vec::new();
-    let mut eng = Engine {
-        sema,
-        space: space.clone(),
-        arena: QcArena::new(),
-        supply: VarSupply::new(),
-        cs: ConstraintSet::new(),
-        structs: StructTable::new(),
-        globals: HashMap::new(),
-        sigs: HashMap::new(),
-        schemes: HashMap::new(),
-        locals: Vec::new(),
-        current_ret: None,
-        current_scc: Vec::new(),
-        instantiate_intra_scc: false,
-        mode,
-        struct_defs: sema.structs.clone(),
-        budgets,
-        fuel: budgets.max_fn_work,
-        failed: HashSet::new(),
-    };
+    let mut eng = Engine::new(sema, space, mode, budgets);
 
-    // Global variables first: their qualifier variables are "free in the
-    // environment" and never generalized.
-    for item in &prog.items {
-        if let Item::Global { name, ty, .. } = item {
-            let cell = eng.translator().lvalue_of(ty);
-            eng.globals.insert(name.clone(), cell);
-        }
-    }
+    eng.setup_globals(prog);
     // Signature templates. In monomorphic mode every function gets its
     // (single, shared) template now. In polymorphic mode templates are
     // created inside each SCC's generalization window instead, so that
@@ -208,47 +182,12 @@ pub fn run_budgeted(
             eng.make_sig(f);
         }
     }
-    // Global initializers. Each is its own fault unit with its own work
-    // budget; a failing initializer is rolled back and reported.
-    for item in &prog.items {
-        if let Item::Global {
-            name,
-            init: Some(e),
-            ..
-        } = item
-        {
-            let Some(&cell) = eng.globals.get(name) else {
-                continue;
-            };
-            eng.fuel = budgets.max_fn_work;
-            let cs_mark = eng.cs.len();
-            match eng.expr(e) {
-                Ok(v) => {
-                    let contents = eng.contents_of(cell);
-                    eng.flow(
-                        v.rty,
-                        contents,
-                        Provenance::synthetic("global initializer"),
-                    );
-                }
-                Err(d) => {
-                    eng.cs.truncate(cs_mark);
-                    skipped.push(d.with_function(name.clone()));
-                }
-            }
-        }
-    }
+    eng.analyze_global_inits(prog, &mut skipped);
 
     match mode {
         Mode::Monomorphic => {
             for f in prog.functions() {
-                eng.current_scc = vec![f.name.clone()];
-                let cs_mark = eng.cs.len();
-                if let Err(d) = eng.analyze_fn(f) {
-                    eng.cs.truncate(cs_mark);
-                    eng.exclude(&f.name);
-                    skipped.push(d);
-                }
+                eng.analyze_mono_fn(f, &mut skipped);
             }
         }
         Mode::Polymorphic | Mode::PolymorphicRecursive => {
@@ -260,63 +199,7 @@ pub fn run_budgeted(
                     || scc
                         .first()
                         .is_some_and(|v| fdg.edges[*v].contains(v));
-                let scc_cs_mark = eng.cs.len();
-                if mode == Mode::PolymorphicRecursive && recursive {
-                    if let Err(d) = eng.polyrec_scc(&names, prog, options) {
-                        eng.fail_scc(&names, scc_cs_mark, d, &mut skipped);
-                    }
-                    continue;
-                }
-                let mark = eng.supply.count();
-                let cs_mark = eng.cs.len();
-                eng.current_scc = names.clone();
-                // Templates first (mutual recursion needs them all), then
-                // bodies — all inside the window opened at `mark`.
-                for name in &names {
-                    if let Some(f) = prog.function(name) {
-                        eng.make_sig(f);
-                    }
-                }
-                let mut fault = None;
-                for name in &names {
-                    if let Some(f) = prog.function(name) {
-                        if let Err(d) = eng.analyze_fn(f) {
-                            fault = Some(d);
-                            break;
-                        }
-                    }
-                }
-                if let Some(d) = fault {
-                    eng.fail_scc(&names, scc_cs_mark, d, &mut skipped);
-                    continue;
-                }
-                // (Letv) over the SCC: generalize each member's signature
-                // over the qualifier variables created in this window.
-                let bound: Vec<QVar> = (mark..eng.supply.count())
-                    .map(QVar::from_index)
-                    .collect();
-                // Constraints mentioning window variables can only be in
-                // the suffix added during this window.
-                let window = &eng.cs.constraints()[cs_mark..];
-                let mut new_schemes = Vec::new();
-                for name in &names {
-                    let sig = eng.sigs[name].clone();
-                    let mut scheme = Scheme::generalize_in(sig, bound.clone(), window);
-                    if options.simplify_schemes {
-                        // The interface is the signature spine: parameter
-                        // cells, their contents, and the return value.
-                        let mut keep = Vec::new();
-                        for cell in &scheme.body().params {
-                            eng.arena.vars_of(*cell, &mut keep);
-                        }
-                        eng.arena.vars_of(scheme.body().ret, &mut keep);
-                        let keep: std::collections::HashSet<QVar> =
-                            keep.into_iter().collect();
-                        scheme = scheme.simplified(&keep);
-                    }
-                    new_schemes.push((name.clone(), scheme));
-                }
-                eng.schemes.extend(new_schemes);
+                eng.analyze_poly_scc(&names, recursive, prog, options, &mut skipped);
             }
         }
     }
@@ -346,7 +229,7 @@ pub fn run_budgeted(
 /// treat a failed certificate as a solver bug and panic; with the
 /// option set, the failure is reported as a [`Phase::Verify`]
 /// diagnostic instead so tools can surface it.
-fn certify_solution(
+pub fn certify_solution(
     space: &QualSpace,
     cs: &ConstraintSet,
     solution: &Result<Solution, SolveFailure>,
@@ -412,16 +295,21 @@ impl EVal {
     }
 }
 
-struct Engine<'a> {
-    sema: &'a Sema,
-    space: QualSpace,
-    arena: QcArena,
-    supply: VarSupply,
-    cs: ConstraintSet,
-    structs: StructTable,
-    globals: HashMap<String, QcId>,
-    sigs: HashMap<String, SigNodes>,
-    schemes: HashMap<String, Scheme<SigNodes>>,
+/// The constraint-generation engine over one constraint world. The
+/// serial driver ([`run_budgeted`]) runs one engine over the whole
+/// program; the incremental driver (`crate::summary`) runs a fresh
+/// engine per work unit and splices the canonicalized results, so
+/// the per-unit entry points below are crate-visible.
+pub(crate) struct Engine<'a> {
+    pub(crate) sema: &'a Sema,
+    pub(crate) space: QualSpace,
+    pub(crate) arena: QcArena,
+    pub(crate) supply: VarSupply,
+    pub(crate) cs: ConstraintSet,
+    pub(crate) structs: StructTable,
+    pub(crate) globals: HashMap<String, QcId>,
+    pub(crate) sigs: HashMap<String, SigNodes>,
+    pub(crate) schemes: HashMap<String, Scheme<SigNodes>>,
     /// Scoped local cells of the function being analyzed.
     locals: Vec<HashMap<String, QcId>>,
     current_ret: Option<QcId>,
@@ -429,7 +317,7 @@ struct Engine<'a> {
     /// During a polymorphic-recursion round, intra-SCC calls instantiate
     /// the previous round's schemes instead of linking directly.
     instantiate_intra_scc: bool,
-    mode: Mode,
+    pub(crate) mode: Mode,
     struct_defs: HashMap<String, Vec<(String, CTy)>>,
     /// Resource caps for this run.
     budgets: Budgets,
@@ -437,7 +325,7 @@ struct Engine<'a> {
     fuel: u64,
     /// Functions excluded by fault isolation; calls to them get the
     /// conservative library treatment.
-    failed: HashSet<String>,
+    pub(crate) failed: HashSet<String>,
 }
 
 /// A canonical, alpha-renamed view of one scheme's captured constraints,
@@ -452,7 +340,169 @@ enum CanonTerm {
     Const(u64),
 }
 
-impl Engine<'_> {
+impl<'a> Engine<'a> {
+    /// A fresh engine: empty arena, supply, and constraint world.
+    pub(crate) fn new(
+        sema: &'a Sema,
+        space: &QualSpace,
+        mode: Mode,
+        budgets: Budgets,
+    ) -> Engine<'a> {
+        Engine {
+            sema,
+            space: space.clone(),
+            arena: QcArena::new(),
+            supply: VarSupply::new(),
+            cs: ConstraintSet::new(),
+            structs: StructTable::new(),
+            globals: HashMap::new(),
+            sigs: HashMap::new(),
+            schemes: HashMap::new(),
+            locals: Vec::new(),
+            current_ret: None,
+            current_scc: Vec::new(),
+            instantiate_intra_scc: false,
+            mode,
+            struct_defs: sema.structs.clone(),
+            budgets,
+            fuel: budgets.max_fn_work,
+            failed: HashSet::new(),
+        }
+    }
+
+    /// Creates the cells of every global variable, in item order.
+    /// Their qualifier variables are "free in the environment" and
+    /// never generalized.
+    pub(crate) fn setup_globals(&mut self, prog: &Program) {
+        for item in &prog.items {
+            if let Item::Global { name, ty, .. } = item {
+                let cell = self.translator().lvalue_of(ty);
+                self.globals.insert(name.clone(), cell);
+            }
+        }
+    }
+
+    /// Analyzes every global initializer. Each is its own fault unit
+    /// with its own work budget; a failing initializer is rolled back
+    /// and reported.
+    pub(crate) fn analyze_global_inits(
+        &mut self,
+        prog: &Program,
+        skipped: &mut Vec<Diagnostic>,
+    ) {
+        for item in &prog.items {
+            if let Item::Global {
+                name,
+                init: Some(e),
+                ..
+            } = item
+            {
+                let Some(&cell) = self.globals.get(name) else {
+                    continue;
+                };
+                self.fuel = self.budgets.max_fn_work;
+                let cs_mark = self.cs.len();
+                match self.expr(e) {
+                    Ok(v) => {
+                        let contents = self.contents_of(cell);
+                        self.flow(
+                            v.rty,
+                            contents,
+                            Provenance::synthetic("global initializer"),
+                        );
+                    }
+                    Err(d) => {
+                        self.cs.truncate(cs_mark);
+                        skipped.push(d.with_function(name.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Analyzes one function monomorphically as its own fault unit: a
+    /// failing body is rolled back, excluded, and reported.
+    pub(crate) fn analyze_mono_fn(&mut self, f: &FnDef, skipped: &mut Vec<Diagnostic>) {
+        self.current_scc = vec![f.name.clone()];
+        let cs_mark = self.cs.len();
+        if let Err(d) = self.analyze_fn(f) {
+            self.cs.truncate(cs_mark);
+            self.exclude(&f.name);
+            skipped.push(d);
+        }
+    }
+
+    /// Analyzes one FDG component in a polymorphic mode — the SCC is
+    /// the fault unit — and generalizes each member's signature on
+    /// success. `recursive` selects Mycroft iteration under
+    /// [`Mode::PolymorphicRecursive`].
+    pub(crate) fn analyze_poly_scc(
+        &mut self,
+        names: &[String],
+        recursive: bool,
+        prog: &Program,
+        options: Options,
+        skipped: &mut Vec<Diagnostic>,
+    ) {
+        let scc_cs_mark = self.cs.len();
+        if self.mode == Mode::PolymorphicRecursive && recursive {
+            if let Err(d) = self.polyrec_scc(names, prog, options) {
+                self.fail_scc(names, scc_cs_mark, d, skipped);
+            }
+            return;
+        }
+        let mark = self.supply.count();
+        let cs_mark = self.cs.len();
+        self.current_scc = names.to_vec();
+        // Templates first (mutual recursion needs them all), then
+        // bodies — all inside the window opened at `mark`.
+        for name in names {
+            if let Some(f) = prog.function(name) {
+                self.make_sig(f);
+            }
+        }
+        let mut fault = None;
+        for name in names {
+            if let Some(f) = prog.function(name) {
+                if let Err(d) = self.analyze_fn(f) {
+                    fault = Some(d);
+                    break;
+                }
+            }
+        }
+        if let Some(d) = fault {
+            self.fail_scc(names, scc_cs_mark, d, skipped);
+            return;
+        }
+        // (Letv) over the SCC: generalize each member's signature
+        // over the qualifier variables created in this window.
+        let bound: Vec<QVar> = (mark..self.supply.count())
+            .map(QVar::from_index)
+            .collect();
+        // Constraints mentioning window variables can only be in
+        // the suffix added during this window.
+        let window = &self.cs.constraints()[cs_mark..];
+        let mut new_schemes = Vec::new();
+        for name in names {
+            let sig = self.sigs[name].clone();
+            let mut scheme = Scheme::generalize_in(sig, bound.clone(), window);
+            if options.simplify_schemes {
+                // The interface is the signature spine: parameter
+                // cells, their contents, and the return value.
+                let mut keep = Vec::new();
+                for cell in &scheme.body().params {
+                    self.arena.vars_of(*cell, &mut keep);
+                }
+                self.arena.vars_of(scheme.body().ret, &mut keep);
+                let keep: std::collections::HashSet<QVar> =
+                    keep.into_iter().collect();
+                scheme = scheme.simplified(&keep);
+            }
+            new_schemes.push((name.clone(), scheme));
+        }
+        self.schemes.extend(new_schemes);
+    }
+
     /// Mycroft iteration over one recursive SCC: start every member from
     /// the most general scheme (fresh signature, no constraints), then
     /// repeatedly re-analyze the bodies with *all* calls — including
@@ -626,7 +676,7 @@ impl Engine<'_> {
     }
 
     /// The signature spine variables, in deterministic order.
-    fn sig_interface(&self, sig: &SigNodes) -> Vec<QVar> {
+    pub(crate) fn sig_interface(&self, sig: &SigNodes) -> Vec<QVar> {
         let mut vars = Vec::new();
         for cell in &sig.params {
             self.arena.vars_of(*cell, &mut vars);
@@ -670,7 +720,7 @@ impl Engine<'_> {
             .collect()
     }
 
-    fn make_sig(&mut self, f: &FnDef) {
+    pub(crate) fn make_sig(&mut self, f: &FnDef) {
         let params = f
             .params
             .iter()

@@ -70,6 +70,80 @@ impl Fdg {
             .position(|scc| scc.contains(&v))
             .expect("every vertex is in an SCC")
     }
+
+    /// For each vertex, the index (into [`Fdg::sccs`]) of its component.
+    #[must_use]
+    pub fn scc_index_of(&self) -> Vec<usize> {
+        let mut of = vec![0usize; self.names.len()];
+        for (i, scc) in self.sccs.iter().enumerate() {
+            for &v in scc {
+                of[v] = i;
+            }
+        }
+        of
+    }
+
+    /// The components (by index into [`Fdg::sccs`]) that SCC `scc_index`
+    /// depends on — distinct, sorted, self excluded. Because the SCC
+    /// list is in reverse topological order, every returned index is
+    /// `< scc_index`.
+    #[must_use]
+    pub fn scc_callees(&self, scc_index: usize) -> Vec<usize> {
+        let of = self.scc_index_of();
+        let mut deps: Vec<usize> = self.sccs[scc_index]
+            .iter()
+            .flat_map(|&v| self.edges[v].iter().map(|&w| of[w]))
+            .filter(|&c| c != scc_index)
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+
+    /// Groups SCCs into topological *wavefronts*: level 0 holds the
+    /// components with no dependencies, level `k+1` the components all
+    /// of whose dependencies sit in levels `≤ k` with at least one at
+    /// exactly `k`. Every component in one wavefront is independent of
+    /// every other, so a parallel driver may analyze a whole wavefront
+    /// concurrently; wavefronts themselves run in order. Each inner
+    /// vector lists SCC indices in ascending order, so the grouping is
+    /// deterministic given the program.
+    #[must_use]
+    pub fn wavefronts(&self) -> Vec<Vec<usize>> {
+        let of = self.scc_index_of();
+        let mut depth = vec![0usize; self.sccs.len()];
+        for (i, scc) in self.sccs.iter().enumerate() {
+            let mut d = 0usize;
+            for &v in scc {
+                for &w in &self.edges[v] {
+                    let c = of[w];
+                    if c != i {
+                        // Reverse topological order guarantees c < i, so
+                        // depth[c] is already final.
+                        d = d.max(depth[c] + 1);
+                    }
+                }
+            }
+            depth[i] = d;
+        }
+        let levels = depth.iter().copied().max().map_or(0, |m| m + 1);
+        let mut fronts = vec![Vec::new(); levels];
+        for (i, &d) in depth.iter().enumerate() {
+            fronts[d].push(i);
+        }
+        fronts
+    }
+}
+
+/// The set of names mentioned anywhere in an expression — the same
+/// notion of "occurrence" the FDG's edges use (Definition 4). The
+/// incremental driver uses this to key the globals unit on the
+/// functions its initializers may reference.
+#[must_use]
+pub fn mentioned_names(e: &Expr) -> HashSet<String> {
+    let mut out = HashSet::new();
+    collect_expr(e, &mut out);
+    out
 }
 
 fn collect_block(b: &Block, out: &mut HashSet<String>) {
@@ -290,6 +364,103 @@ mod tests {
         let g = fdg("int f(void) { return printf(\"x\"); }");
         assert_eq!(g.names, vec!["f"]);
         assert!(g.edges[0].is_empty());
+    }
+
+    #[test]
+    fn wavefronts_of_a_chain_are_singletons_in_order() {
+        let g = fdg("int c(void) { return 1; }
+                     int b(void) { return c(); }
+                     int a(void) { return b(); }");
+        // A chain admits no parallelism: one SCC per wavefront.
+        assert_eq!(g.wavefronts(), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(g.scc_callees(0), Vec::<usize>::new());
+        assert_eq!(g.scc_callees(1), vec![0]);
+        assert_eq!(g.scc_callees(2), vec![1]);
+    }
+
+    #[test]
+    fn wavefronts_condense_cycles_and_exclude_self_edges() {
+        // even/odd form one cyclic SCC; its internal edges must not
+        // count as dependencies, and main depends on the condensed
+        // component as a whole.
+        let g = fdg("int odd(int n);
+                     int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+                     int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+                     int main(void) { return even(10); }");
+        assert_eq!(g.sccs.len(), 2);
+        assert_eq!(g.scc_callees(0), Vec::<usize>::new(), "cycle edges are internal");
+        assert_eq!(g.scc_callees(1), vec![0]);
+        assert_eq!(g.wavefronts(), vec![vec![0], vec![1]]);
+
+        // Self-recursion: the self-edge is not a dependency either.
+        let g = fdg("int fact(int n) { return n ? n * fact(n - 1) : 1; }");
+        assert_eq!(g.scc_callees(0), Vec::<usize>::new());
+        assert_eq!(g.wavefronts(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn wavefronts_run_disconnected_components_together() {
+        // Two independent chains: their same-depth SCCs share wavefronts.
+        let g = fdg("int leaf1(void) { return 1; }
+                     int leaf2(void) { return 2; }
+                     int up1(void) { return leaf1(); }
+                     int up2(void) { return leaf2(); }
+                     int lone(void) { return 7; }");
+        let fronts = g.wavefronts();
+        assert_eq!(fronts.len(), 2);
+        let names_at = |level: usize| {
+            let mut ns: Vec<&str> = fronts[level]
+                .iter()
+                .map(|&s| g.names[g.sccs[s][0]].as_str())
+                .collect();
+            ns.sort_unstable();
+            ns
+        };
+        assert_eq!(names_at(0), vec!["leaf1", "leaf2", "lone"]);
+        assert_eq!(names_at(1), vec!["up1", "up2"]);
+    }
+
+    #[test]
+    fn wavefront_of_diamond_has_parallel_middle() {
+        let g = fdg("int d(void) { return 0; }
+                     int b(void) { return d(); }
+                     int c(void) { return d(); }
+                     int a(void) { return b() + c(); }");
+        let fronts = g.wavefronts();
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0].len(), 1, "d alone at the bottom");
+        assert_eq!(fronts[1].len(), 2, "b and c are independent");
+        assert_eq!(fronts[2].len(), 1, "a waits for both");
+        // Every SCC appears in exactly one wavefront, and dependencies
+        // always sit at strictly smaller depths.
+        let mut seen = vec![false; g.sccs.len()];
+        for (lvl, front) in fronts.iter().enumerate() {
+            for &s in front {
+                assert!(!seen[s]);
+                seen[s] = true;
+                for dep in g.scc_callees(s) {
+                    let dep_lvl = fronts.iter().position(|f| f.contains(&dep)).unwrap();
+                    assert!(dep_lvl < lvl);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn mentioned_names_sees_through_expressions() {
+        let p = parse(
+            "int h(void);
+             int x = h() + other(1, 2);",
+        )
+        .unwrap();
+        let Item::Global { init: Some(e), .. } = &p.items[1] else {
+            panic!("expected global with initializer");
+        };
+        let names = mentioned_names(e);
+        assert!(names.contains("h"));
+        assert!(names.contains("other"));
+        assert!(!names.contains("x"));
     }
 
     #[test]

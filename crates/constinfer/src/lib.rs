@@ -32,6 +32,7 @@ pub mod engine;
 pub mod fdg;
 pub mod qtypes;
 pub mod rewrite;
+pub mod summary;
 
 use std::fmt;
 

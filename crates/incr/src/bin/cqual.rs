@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cqual [--mode mono|poly|polyrec] [--annotate|--rewrite|--report]
-//!       [--verify] [--explain] [--keep-going] [--max-constraints N]
+//!       [--verify] [--explain] [--keep-going] [--jobs N]
+//!       [--cache-dir DIR] [--cache-stats] [--max-constraints N]
 //!       [--max-solver-steps N] [--max-fn-work N] FILE...
 //! ```
 //!
@@ -21,6 +22,14 @@
 //! * `--explain`: when the constraints are unsatisfiable, render each
 //!   conflict as a CQual-style constraint path from the qualifier's
 //!   source to the position that rejects it.
+//! * `--jobs N`, `--cache-dir DIR`, `--cache-stats`: route `--report`
+//!   through the incremental driver (`qual-incr`) — SCCs are analyzed
+//!   in parallel wavefronts, summaries persist in the cache directory,
+//!   and a warm rerun re-solves nothing. Counts and diagnostics are
+//!   byte-identical to the serial report for any job count or cache
+//!   state; cache trouble is reported on stderr but never changes the
+//!   exit code. `--annotate`/`--rewrite`/`--explain` still use the
+//!   classic pipeline (a note says so).
 //!
 //! By default multiple files are concatenated and analyzed as one
 //! program, exactly as the paper handles multi-file benchmarks ("We
@@ -36,18 +45,21 @@
 //! finished but skipped something; 2 means bad usage; 3 means `--verify`
 //! found a result that failed certification.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use qual_constinfer::{
     analyze_source_with_options, rewrite_source, AnalysisOutcome, Budgets, Mode,
     Options, PositionClass,
 };
-use qual_solve::{Phase, SolveFailure};
+use qual_incr::{analyze_source_incremental, IncrConfig};
+use qual_solve::{sort_diagnostics, Phase, SolveFailure};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
-         \x20            [--verify] [--explain] [--keep-going]\n\
+         \x20            [--verify] [--explain] [--keep-going] [--jobs N]\n\
+         \x20            [--cache-dir DIR] [--cache-stats]\n\
          \x20            [--max-constraints N] [--max-solver-steps N]\n\
          \x20            [--max-fn-work N] FILE..."
     );
@@ -60,6 +72,18 @@ struct Config {
     budgets: Budgets,
     verify: bool,
     explain: bool,
+    /// `Some(n)` when `--jobs` was given — an explicit `--jobs 1` still
+    /// opts into the incremental driver (useful for differencing).
+    jobs: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    cache_stats: bool,
+}
+
+impl Config {
+    /// Whether any incremental-driver flag was given.
+    fn incremental(&self) -> bool {
+        self.jobs.is_some() || self.cache_dir.is_some() || self.cache_stats
+    }
 }
 
 /// What one translation unit's analysis reported.
@@ -86,6 +110,9 @@ fn main() -> ExitCode {
         budgets: Budgets::default(),
         verify: false,
         explain: false,
+        jobs: None,
+        cache_dir: None,
+        cache_stats: false,
     };
     let mut keep_going = false;
     let mut files = Vec::new();
@@ -104,6 +131,15 @@ fn main() -> ExitCode {
             "--verify" => cfg.verify = true,
             "--explain" => cfg.explain = true,
             "--keep-going" => keep_going = true,
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.jobs = Some(n),
+                _ => return usage(),
+            },
+            "--cache-dir" => match args.next() {
+                Some(d) => cfg.cache_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--cache-stats" => cfg.cache_stats = true,
             "--max-constraints" => {
                 match args.next().and_then(|v| v.parse().ok()) {
                     Some(n) => cfg.budgets.max_constraints = n,
@@ -242,6 +278,15 @@ fn run_batch(cfg: &Config, files: &[String]) -> ExitCode {
 /// healthy part plus rendered diagnostics for everything skipped, and
 /// returns the diagnostic tallies.
 fn analyze_and_print(cfg: &Config, src: &str) -> RunStats {
+    if cfg.incremental() && cfg.action == Action::Report {
+        return analyze_and_print_incremental(cfg, src);
+    }
+    if cfg.incremental() {
+        eprintln!(
+            "cqual: note: --annotate/--rewrite use the classic pipeline; \
+             --jobs/--cache-dir apply to --report only"
+        );
+    }
     let options = Options {
         verify_solutions: cfg.verify,
         ..Options::default()
@@ -290,6 +335,87 @@ fn analyze_and_print(cfg: &Config, src: &str) -> RunStats {
     }
     RunStats {
         diags: outcome.skipped.len(),
+        cert_failures,
+    }
+}
+
+/// `--report` through the incremental driver: wavefront-parallel SCC
+/// units, cached summaries, certificate-checked reuse. The printed
+/// report and the exit code match the classic serial path; cache
+/// infrastructure trouble goes to stderr without affecting either.
+fn analyze_and_print_incremental(cfg: &Config, src: &str) -> RunStats {
+    if cfg.explain {
+        eprintln!(
+            "cqual: note: --explain uses the classic pipeline and is \
+             ignored under --jobs/--cache-dir"
+        );
+    }
+    let icfg = IncrConfig {
+        mode: cfg.mode,
+        options: Options {
+            verify_solutions: cfg.verify,
+            ..Options::default()
+        },
+        budgets: cfg.budgets,
+        jobs: cfg.jobs.unwrap_or(1),
+        cache_dir: cfg.cache_dir.clone(),
+    };
+    let mut out = analyze_source_incremental(src, &icfg);
+    if let Some(c) = out.counts {
+        println!(
+            "{} interesting positions: {} declared const, {} inferable const ({:?})",
+            c.total, c.declared, c.inferred, cfg.mode
+        );
+        for p in &out.positions {
+            let class = match p.class {
+                PositionClass::MustConst => "must be const",
+                PositionClass::MustNotConst => "cannot be const",
+                PositionClass::Either => "could be const",
+            };
+            let declared = if p.declared { " [declared]" } else { "" };
+            println!("  {:<32} {class}{declared}", p.label());
+        }
+    }
+    if cfg.cache_stats {
+        let s = out.stats;
+        println!(
+            "cqual: cache: {} unit(s): {} analyzed, {} reused, {} corrupt, \
+             {} stored; {} wavefront(s), {} job(s), {} merged constraint(s)",
+            s.units,
+            s.analyzed,
+            s.reused,
+            s.corrupt,
+            s.stored,
+            s.wavefronts,
+            s.jobs,
+            s.constraints
+        );
+    }
+    sort_diagnostics(&mut out.skipped);
+    for d in &out.skipped {
+        eprint!("{}", d.render(Some(src)));
+    }
+    // Cache trouble is operational, not analytical: report it, but keep
+    // it out of the diagnostic tally that drives the exit code.
+    for d in &out.cache_diags {
+        eprint!("{}", d.render(None));
+    }
+    if out.counts.is_none() {
+        eprintln!("cqual: constraint solving failed; counts are unavailable");
+    }
+    let cert_failures = out
+        .skipped
+        .iter()
+        .filter(|d| d.phase == Phase::Verify)
+        .count();
+    if cfg.verify && cert_failures == 0 && out.counts.is_some() {
+        println!(
+            "cqual: certified: solution satisfies all {} constraint(s)",
+            out.stats.constraints
+        );
+    }
+    RunStats {
+        diags: out.skipped.len(),
         cert_failures,
     }
 }

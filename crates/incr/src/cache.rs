@@ -1,0 +1,288 @@
+//! The persistent on-disk summary cache.
+//!
+//! One file per unit, named by the unit's content-addressed key. Each
+//! file is a small self-checking container:
+//!
+//! ```text
+//! "QINC"  magic (4 bytes)
+//! u32 LE  format version (must equal summary::FORMAT_VERSION)
+//! u64 LE  payload length
+//! u64 LE  FNV-1a checksum of the payload
+//! bytes   payload (an encoded UnitSummary)
+//! ```
+//!
+//! Loads classify every failure mode — missing file, bad magic, stale
+//! version, short read, checksum mismatch — as [`Load::Absent`] or
+//! [`Load::Corrupt`]; corruption is a *diagnostic*, never a panic, and
+//! the driver falls back to a cold analysis. Stores write to a
+//! temporary sibling and rename into place, so a crashed writer leaves
+//! at worst a stray temp file, never a torn cache entry.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use qual_constinfer::summary::FORMAT_VERSION;
+
+const MAGIC: &[u8; 4] = b"QINC";
+
+/// FNV-1a, 64-bit.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A 128-bit content key (two independently seeded FNV-1a streams).
+/// Not cryptographic — the cache defends against staleness and
+/// corruption, not adversaries — but 128 bits keep accidental
+/// collisions out of reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    hi: u64,
+    lo: u64,
+}
+
+impl Key {
+    /// The key as a fixed-width hex string (the cache file stem).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// An incremental hasher producing a [`Key`]. Inputs are framed
+/// (length-prefixed) so `("ab","c")` and `("a","bc")` hash differently.
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for KeyHasher {
+    fn default() -> KeyHasher {
+        KeyHasher::new()
+    }
+}
+
+impl KeyHasher {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> KeyHasher {
+        KeyHasher {
+            a: FNV_OFFSET,
+            // A distinct, arbitrary second seed decorrelates the
+            // streams (golden-ratio constant).
+            b: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Mixes raw bytes (framed with their length).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.u64(bytes.len() as u64);
+        self.a = fnv1a(self.a, bytes);
+        self.b = fnv1a(self.b, bytes);
+    }
+
+    /// Mixes a string (framed).
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Mixes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.a = fnv1a(self.a, &v.to_le_bytes());
+        self.b = fnv1a(self.b, &v.to_le_bytes());
+    }
+
+    /// Mixes a `bool`.
+    pub fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    /// Chains another key into this one (for transitive invalidation:
+    /// a unit's key includes its callee units' keys).
+    pub fn key(&mut self, k: &Key) {
+        self.u64(k.hi);
+        self.u64(k.lo);
+    }
+
+    /// The final key.
+    #[must_use]
+    pub fn finish(&self) -> Key {
+        Key {
+            hi: self.a,
+            lo: self.b,
+        }
+    }
+}
+
+/// The outcome of a cache lookup.
+#[derive(Debug)]
+pub enum Load {
+    /// No entry (or an entry written by a different format version —
+    /// indistinguishable from absent by design).
+    Absent,
+    /// An entry exists but cannot be trusted; the reason is
+    /// human-readable. The caller re-analyzes cold and reports one
+    /// structured diagnostic.
+    Corrupt(String),
+    /// A verified container; the payload still needs decoding and
+    /// certification.
+    Payload(Vec<u8>),
+}
+
+fn entry_path(dir: &Path, key: &Key) -> PathBuf {
+    dir.join(format!("{}.qinc", key.hex()))
+}
+
+/// Stores a payload under `key`, atomically (temp file + rename).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the directory cannot be
+/// created or the file cannot be written — the driver downgrades this
+/// to a diagnostic and continues uncached.
+pub fn store(dir: &Path, key: &Key, payload: &[u8]) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut bytes = Vec::with_capacity(payload.len() + 24);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(FNV_OFFSET, payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let tmp = dir.join(format!(".{}.tmp-{}", key.hex(), std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    match fs::rename(&tmp, entry_path(dir, key)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Loads and integrity-checks the entry for `key`.
+#[must_use]
+pub fn load(dir: &Path, key: &Key) -> Load {
+    let path = entry_path(dir, key);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Load::Absent,
+        Err(e) => return Load::Corrupt(format!("unreadable cache entry: {e}")),
+    };
+    if bytes.len() < 24 {
+        return Load::Corrupt(format!(
+            "cache entry truncated: {} byte(s), header needs 24",
+            bytes.len()
+        ));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Load::Corrupt("cache entry has wrong magic".to_owned());
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        // A stale format is expected across tool upgrades: silently a
+        // miss, not corruption.
+        return Load::Absent;
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[24..];
+    if payload.len() as u64 != len {
+        return Load::Corrupt(format!(
+            "cache entry truncated: payload is {} of {len} byte(s)",
+            payload.len()
+        ));
+    }
+    if fnv1a(FNV_OFFSET, payload) != checksum {
+        return Load::Corrupt("cache entry failed its checksum".to_owned());
+    }
+    Load::Payload(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "qinc-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trip_and_absent() {
+        let dir = tmpdir("rt");
+        let mut h = KeyHasher::new();
+        h.str("hello");
+        let key = h.finish();
+        assert!(matches!(load(&dir, &key), Load::Absent));
+        store(&dir, &key, b"payload bytes").unwrap();
+        match load(&dir, &key) {
+            Load::Payload(p) => assert_eq!(p, b"payload bytes"),
+            other => panic!("expected payload, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_are_framed_and_order_sensitive() {
+        let k = |parts: &[&str]| {
+            let mut h = KeyHasher::new();
+            for p in parts {
+                h.str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(k(&["ab", "c"]), k(&["a", "bc"]));
+        assert_ne!(k(&["a", "b"]), k(&["b", "a"]));
+        assert_eq!(k(&["a", "b"]), k(&["a", "b"]));
+    }
+
+    #[test]
+    fn corruption_is_detected_not_trusted() {
+        let dir = tmpdir("corrupt");
+        let key = KeyHasher::new().finish();
+        store(&dir, &key, b"some payload worth protecting").unwrap();
+        let path = dir.join(format!("{}.qinc", key.hex()));
+
+        // Bit flip in the payload.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&dir, &key), Load::Corrupt(_)));
+
+        // Truncation.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(load(&dir, &key), Load::Corrupt(_)));
+
+        // Empty file.
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(load(&dir, &key), Load::Corrupt(_)));
+
+        // Wrong version reads as a miss, not corruption.
+        store(&dir, &key, b"payload").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&dir, &key), Load::Absent));
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for cache robustness: whatever happens to the cache
+//! directory between runs — truncation, bit flips, a stale format
+//! version, an emptied file, even replacing entries with garbage — the
+//! driver must (a) never panic, (b) report structured diagnostics for
+//! entries it had to distrust, and (c) produce exactly the cold-run
+//! analysis result.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use qual_incr::{analyze_source_incremental, IncrConfig, IncrOutcome};
+
+const SRC: &str = "int leaf(const char *s) { return *s; }
+int mid(char *p) { return leaf(p); }
+char *id(char *q) { return q; }
+void user(char *b) { *id(b) = 'x'; mid(b); }";
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "qinc-robust-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn run(dir: &Path) -> IncrOutcome {
+    analyze_source_incremental(
+        SRC,
+        &IncrConfig {
+            cache_dir: Some(dir.to_path_buf()),
+            ..IncrConfig::default()
+        },
+    )
+}
+
+fn entries(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("cache dir exists after a cold run")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "qinc"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// The analysis result that must survive any cache abuse.
+fn check_matches_cold(out: &IncrOutcome, cold: &IncrOutcome) {
+    assert_eq!(out.counts, cold.counts);
+    assert_eq!(out.skipped.len(), cold.skipped.len());
+    assert_eq!(
+        out.positions
+            .iter()
+            .map(|p| (p.label(), p.class))
+            .collect::<Vec<_>>(),
+        cold.positions
+            .iter()
+            .map(|p| (p.label(), p.class))
+            .collect::<Vec<_>>(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bit_flips_produce_one_diagnostic_per_entry_and_a_cold_result(
+        byte_salt in any::<u64>(),
+        bit in 0u8..8,
+        victims in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        let dir = scratch("flip");
+        let cold = run(&dir);
+        prop_assert!(cold.cache_diags.is_empty(), "{:?}", cold.cache_diags);
+
+        let mut hurt = 0usize;
+        for (i, path) in entries(&dir).into_iter().enumerate() {
+            if !victims.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut bytes = std::fs::read(&path).expect("read entry");
+            // Never touch the version field (bytes 4..8): version skew
+            // is deliberately a silent miss, tested separately.
+            let len = bytes.len() as u64;
+            let idx = (byte_salt % len) as usize;
+            let idx = if (4..8).contains(&idx) { 8 } else { idx };
+            bytes[idx] ^= 1 << bit;
+            if std::fs::read(&path).expect("reread") == bytes {
+                continue; // the flip was a no-op (cannot happen, but be safe)
+            }
+            std::fs::write(&path, &bytes).expect("write corrupted entry");
+            hurt += 1;
+        }
+
+        let out = run(&dir);
+        check_matches_cold(&out, &cold);
+        // One structured diagnostic per distrusted entry — corruption
+        // is never silent and never fatal.
+        prop_assert_eq!(
+            out.cache_diags.len(),
+            hurt,
+            "diags: {:?}",
+            out.cache_diags
+        );
+        prop_assert_eq!(out.stats.corrupt, hurt);
+        prop_assert_eq!(out.stats.analyzed, hurt, "only hurt units re-analyze");
+
+        // Self-healing: distrusted entries were rewritten, so the next
+        // run is fully warm again.
+        let healed = run(&dir);
+        prop_assert_eq!(healed.stats.analyzed, 0);
+        prop_assert!(healed.cache_diags.is_empty(), "{:?}", healed.cache_diags);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_any_point_degrades_gracefully(cut_salt in any::<u64>()) {
+        let dir = scratch("trunc");
+        let cold = run(&dir);
+        let paths = entries(&dir);
+        let path = &paths[(cut_salt % paths.len() as u64) as usize];
+        let bytes = std::fs::read(path).expect("read entry");
+        let cut = (cut_salt % bytes.len() as u64) as usize;
+        std::fs::write(path, &bytes[..cut]).expect("truncate entry");
+
+        let out = run(&dir);
+        check_matches_cold(&out, &cold);
+        prop_assert_eq!(out.cache_diags.len(), 1, "{:?}", out.cache_diags);
+        prop_assert_eq!(out.stats.corrupt, 1);
+        prop_assert_eq!(out.stats.analyzed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn wrong_version_is_a_silent_miss_not_corruption() {
+    let dir = scratch("version");
+    let cold = run(&dir);
+    for path in entries(&dir) {
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1);
+        std::fs::write(&path, bytes).unwrap();
+    }
+    let out = run(&dir);
+    check_matches_cold(&out, &cold);
+    // A format bump is an expected event, not an integrity failure:
+    // every unit quietly re-analyzes and re-stores.
+    assert!(out.cache_diags.is_empty(), "{:?}", out.cache_diags);
+    assert_eq!(out.stats.corrupt, 0);
+    assert_eq!(out.stats.analyzed, out.stats.units);
+    assert_eq!(out.stats.stored, out.stats.units);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn emptied_and_garbage_files_each_produce_one_diagnostic() {
+    let dir = scratch("garbage");
+    let cold = run(&dir);
+    let paths = entries(&dir);
+    assert!(paths.len() >= 2, "need two entries, have {}", paths.len());
+    std::fs::write(&paths[0], b"").unwrap();
+    std::fs::write(&paths[1], b"not a QINC container at all").unwrap();
+
+    let out = run(&dir);
+    check_matches_cold(&out, &cold);
+    assert_eq!(out.cache_diags.len(), 2, "{:?}", out.cache_diags);
+    assert_eq!(out.stats.corrupt, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_cache_dir_that_cannot_be_created_degrades_to_uncached() {
+    // /dev/null exists and is not a directory: every store fails, every
+    // load is absent-or-error, and the analysis still completes.
+    let dir = PathBuf::from("/dev/null/nope");
+    let out = run(&dir);
+    let plain = analyze_source_incremental(SRC, &IncrConfig::default());
+    assert_eq!(out.counts, plain.counts);
+    assert_eq!(out.stats.analyzed, out.stats.units);
+    assert_eq!(out.stats.stored, 0);
+    assert!(
+        !out.cache_diags.is_empty(),
+        "store failures must be reported"
+    );
+}

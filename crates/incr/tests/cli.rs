@@ -142,3 +142,157 @@ fn rewrite_of_non_mono_mode_does_not_panic() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("const char *s"), "{stdout}");
 }
+
+#[test]
+fn jobs_and_cache_flags_report_identically_to_serial() {
+    let dir = TempDir::new("incr");
+    dir.write(
+        "p.c",
+        "char *id(char *s) { return s; }\n\
+         void writer(char *buf) { *id(buf) = 'x'; }\n\
+         char *reader(char *msg) { return id(msg); }\n",
+    );
+    let file = dir.0.join("p.c");
+    let file = file.to_str().unwrap();
+
+    let serial = cqual(&[file]);
+    assert_eq!(serial.status.code(), Some(0));
+    let serial_stdout = String::from_utf8_lossy(&serial.stdout).into_owned();
+
+    // --jobs 1 and --jobs 4 route through the incremental driver and
+    // must reproduce the serial report byte for byte.
+    for jobs in ["1", "4"] {
+        let out = cqual(&["--jobs", jobs, file]);
+        assert_eq!(out.status.code(), Some(0), "--jobs {jobs}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            serial_stdout,
+            "--jobs {jobs} report differs from serial"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_run_reuses_every_unit() {
+    let dir = TempDir::new("warm");
+    dir.write(
+        "w.c",
+        "int helper(const char *s) { return *s; }\n\
+         int user(char *p) { return helper(p); }\n",
+    );
+    let cache = dir.0.join("cache");
+    let file = dir.0.join("w.c");
+    let args = |extra: &[&str]| {
+        let mut v = vec![
+            "--cache-dir".to_owned(),
+            cache.to_str().unwrap().to_owned(),
+            "--cache-stats".to_owned(),
+        ];
+        v.extend(extra.iter().map(|s| (*s).to_owned()));
+        v.push(file.to_str().unwrap().to_owned());
+        v
+    };
+    let cold_args = args(&[]);
+    let cold = cqual(&cold_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(cold.status.code(), Some(0));
+    let cold_stdout = String::from_utf8_lossy(&cold.stdout).into_owned();
+    assert!(
+        cold_stdout.contains("3 unit(s): 3 analyzed, 0 reused"),
+        "{cold_stdout}"
+    );
+
+    let warm = cqual(&cold_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(warm.status.code(), Some(0));
+    let warm_stdout = String::from_utf8_lossy(&warm.stdout).into_owned();
+    assert!(
+        warm_stdout.contains("3 unit(s): 0 analyzed, 3 reused"),
+        "warm rerun must re-solve nothing: {warm_stdout}"
+    );
+    // Identical report apart from the cache-stats line.
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("cqual: cache:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&cold_stdout), strip(&warm_stdout));
+}
+
+#[test]
+fn corrupt_cache_entries_degrade_to_cold_with_a_note() {
+    let dir = TempDir::new("corrupt-cli");
+    dir.write("c.c", "int first(char *s) { return s[0]; }\n");
+    let cache = dir.0.join("cache");
+    let file = dir.0.join("c.c");
+    let run = || {
+        cqual(&[
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--cache-stats",
+            file.to_str().unwrap(),
+        ])
+    };
+    let cold = run();
+    assert_eq!(cold.status.code(), Some(0));
+
+    // Flip one byte in every cache entry.
+    for entry in std::fs::read_dir(&cache).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|x| x == "qinc") {
+            let mut bytes = std::fs::read(&p).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            std::fs::write(&p, bytes).unwrap();
+        }
+    }
+
+    let hurt = run();
+    // Cache trouble must not change the exit code or the report.
+    assert_eq!(hurt.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&cold.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("cqual: cache:"))
+            .collect::<Vec<_>>(),
+        String::from_utf8_lossy(&hurt.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("cqual: cache:"))
+            .collect::<Vec<_>>(),
+    );
+    let stderr = String::from_utf8_lossy(&hurt.stderr);
+    assert!(stderr.contains("re-analyzed cold"), "{stderr}");
+
+    // Healing: the bad entries were rewritten, so a third run is warm.
+    let healed = run();
+    let stdout = String::from_utf8_lossy(&healed.stdout);
+    assert!(stdout.contains("0 analyzed"), "{stdout}");
+}
+
+#[test]
+fn verify_with_jobs_certifies_the_merged_system() {
+    let dir = TempDir::new("verify-jobs");
+    dir.write(
+        "v.c",
+        "int a(char *x) { return *x; }\nint b(char *y) { return a(y); }\n",
+    );
+    let out = cqual(&[
+        "--verify",
+        "--jobs",
+        "2",
+        dir.0.join("v.c").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("cqual: certified: solution satisfies all"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bad_jobs_value_is_a_usage_error() {
+    let out = cqual(&["--jobs", "0", "x.c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = cqual(&["--jobs", "many", "x.c"]);
+    assert_eq!(out.status.code(), Some(2));
+}

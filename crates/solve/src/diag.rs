@@ -148,6 +148,43 @@ pub fn render_diagnostics(src: Option<&str>, diags: &[Diagnostic]) -> String {
     diags.iter().map(|d| d.render(src)).collect()
 }
 
+fn phase_rank(p: Phase) -> u8 {
+    match p {
+        Phase::Lex => 0,
+        Phase::Parse => 1,
+        Phase::Sema => 2,
+        Phase::Infer => 3,
+        Phase::Solve => 4,
+        Phase::Verify => 5,
+    }
+}
+
+fn severity_rank(s: Severity) -> u8 {
+    match s {
+        Severity::Error => 0,
+        Severity::Warning => 1,
+    }
+}
+
+/// Sorts diagnostics into the canonical presentation order: by source
+/// span (spanless last), then pipeline phase, severity, function, and
+/// message. The sort is stable, so diagnostics that tie on every key
+/// keep their pipeline emission order. Batch drivers sort through this
+/// one function so that output order cannot depend on scheduling — a
+/// parallel analysis must render the same bytes as a serial one.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let a_span = a.span.map_or((u32::MAX, u32::MAX), |s| s);
+        let b_span = b.span.map_or((u32::MAX, u32::MAX), |s| s);
+        a_span
+            .cmp(&b_span)
+            .then_with(|| phase_rank(a.phase).cmp(&phase_rank(b.phase)))
+            .then_with(|| severity_rank(a.severity).cmp(&severity_rank(b.severity)))
+            .then_with(|| a.function.cmp(&b.function))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
 /// Converts every violation of a [`SolveError`] into [`Diagnostic`]s
 /// carrying the violated constraints' provenance spans.
 #[must_use]
@@ -386,6 +423,56 @@ mod tests {
         assert!(d.to_string().contains("unknown variable"), "{d}");
         let w = Diagnostic::warning(Phase::Infer, "skipped");
         assert!(w.render(None).starts_with("warning[infer]"), "{w}");
+    }
+
+    #[test]
+    fn sort_orders_by_span_then_phase_and_is_stable() {
+        let mk = |phase, lo_hi: Option<(u32, u32)>, f: &str, msg: &str| {
+            let d = Diagnostic::error(phase, msg).with_function(f);
+            match lo_hi {
+                Some((lo, hi)) => d.with_span(lo, hi),
+                None => d,
+            }
+        };
+        let mut diags = vec![
+            mk(Phase::Verify, None, "z", "spanless verify"),
+            mk(Phase::Solve, Some((40, 44)), "g", "late span"),
+            mk(Phase::Infer, Some((40, 44)), "g", "same span, earlier phase"),
+            mk(Phase::Parse, Some((3, 7)), "f", "early span"),
+            mk(Phase::Sema, None, "a", "spanless sema"),
+        ];
+        sort_diagnostics(&mut diags);
+        let order: Vec<&str> =
+            diags.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(
+            order,
+            [
+                "early span",
+                "same span, earlier phase",
+                "late span",
+                "spanless sema",
+                "spanless verify",
+            ]
+        );
+
+        // Any permutation of the same multiset sorts to identical bytes —
+        // the property the parallel driver relies on.
+        let mut rotated = vec![
+            diags[3].clone(),
+            diags[0].clone(),
+            diags[4].clone(),
+            diags[2].clone(),
+            diags[1].clone(),
+        ];
+        sort_diagnostics(&mut rotated);
+        assert_eq!(rotated, diags);
+
+        // Stability: full ties keep their emission order.
+        let twin_a = mk(Phase::Infer, Some((1, 2)), "f", "twin");
+        let twin_b = mk(Phase::Infer, Some((1, 2)), "f", "twin");
+        let mut twins = vec![twin_a.clone(), twin_b];
+        sort_diagnostics(&mut twins);
+        assert_eq!(twins[0], twin_a);
     }
 
     #[test]

@@ -55,9 +55,10 @@ pub mod simplify;
 mod solver;
 mod term;
 pub mod verify;
+pub mod wire;
 
 pub use constraint::{Constraint, ConstraintSet};
-pub use diag::{Diagnostic, Phase, Severity};
+pub use diag::{sort_diagnostics, Diagnostic, Phase, Severity};
 pub use error::{SolveError, SolveFailure, Violation};
 pub use explain::{explain, Explanation};
 pub use scheme::Scheme;

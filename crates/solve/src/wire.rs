@@ -1,0 +1,470 @@
+//! A tiny, dependency-free binary codec for persisting solver data —
+//! constraints, solutions, diagnostics — to disk (the incremental
+//! analysis cache) and back.
+//!
+//! The format is deliberately dumb: little-endian fixed-width integers
+//! and length-prefixed UTF-8 strings, written in a fixed field order.
+//! There is no self-description and no skipping — a reader must know
+//! the exact layout, which is versioned by the *container* (the cache
+//! file header), not here. Every decode path returns [`WireError`]
+//! instead of panicking: a truncated or bit-flipped input must surface
+//! as a structured error the cache layer can turn into a diagnostic.
+//!
+//! [`Provenance::what`] is a `&'static str` by design (constraint
+//! generation interns nothing); deserialization restores it through a
+//! small global interner ([`intern_static`]), bounded in practice by
+//! the handful of distinct provenance labels the engines use.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use qual_lattice::QualSet;
+
+use crate::constraint::Constraint;
+use crate::diag::{Diagnostic, Phase, Severity};
+use crate::solver::Solution;
+use crate::term::{Provenance, QVar, Qual};
+
+/// A decode failure: the bytes do not describe what the reader expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the field did.
+    Truncated,
+    /// A field decoded to an impossible value (bad tag, non-UTF-8
+    /// string, implausible length).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("input truncated"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes values into a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The serialized bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `usize` as u64 (lengths, counts).
+    pub fn len_prefix(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// A bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len_prefix(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// `Option<String>`-shaped field: presence byte then the string.
+    pub fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.bool(true);
+                self.str(s);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Deserializes values from a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A length/count written by [`Writer::len_prefix`]. Rejects lengths
+    /// that could not possibly fit in the remaining input, so a
+    /// bit-flipped length fails fast instead of attempting a giant
+    /// allocation.
+    pub fn len_prefix(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        let v = usize::try_from(v).map_err(|_| WireError::Malformed("length"))?;
+        if v > self.buf.len().saturating_sub(self.pos).saturating_mul(64) + 4096 {
+            return Err(WireError::Malformed("implausible length"));
+        }
+        Ok(v)
+    }
+
+    /// A bool byte (strictly 0 or 1 — anything else is corruption).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool")),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len_prefix()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Malformed("utf-8 string"))
+    }
+
+    /// Presence-prefixed optional string.
+    pub fn opt_str(&mut self) -> Result<Option<String>, WireError> {
+        Ok(if self.bool()? { Some(self.str()?) } else { None })
+    }
+}
+
+/// Interns a string into the process-global static table, so
+/// deserialized [`Provenance::what`] fields can satisfy the `&'static
+/// str` type. The table only grows, but its population is bounded by
+/// the distinct provenance labels ever decoded — a few dozen literals.
+#[must_use]
+pub fn intern_static(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = table.lock().expect("intern table lock");
+    if let Some(hit) = guard.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+/// Encodes a [`Qual`].
+pub fn put_qual(w: &mut Writer, q: Qual) {
+    match q {
+        Qual::Var(v) => {
+            w.u8(0);
+            w.u32(u32::try_from(v.index()).expect("var index fits u32"));
+        }
+        Qual::Const(c) => {
+            w.u8(1);
+            w.u64(c.bits());
+        }
+    }
+}
+
+/// Decodes a [`Qual`].
+pub fn get_qual(r: &mut Reader<'_>) -> Result<Qual, WireError> {
+    match r.u8()? {
+        0 => Ok(Qual::Var(QVar::from_index(r.u32()? as usize))),
+        1 => Ok(Qual::Const(QualSet::from_bits(r.u64()?))),
+        _ => Err(WireError::Malformed("qual tag")),
+    }
+}
+
+/// Encodes a [`Provenance`] (the label travels as a plain string).
+pub fn put_provenance(w: &mut Writer, p: Provenance) {
+    w.u32(p.lo);
+    w.u32(p.hi);
+    w.str(p.what);
+}
+
+/// Decodes a [`Provenance`], interning the label.
+pub fn get_provenance(r: &mut Reader<'_>) -> Result<Provenance, WireError> {
+    let lo = r.u32()?;
+    let hi = r.u32()?;
+    let what = intern_static(&r.str()?);
+    Ok(Provenance { lo, hi, what })
+}
+
+/// Encodes a [`Constraint`].
+pub fn put_constraint(w: &mut Writer, c: &Constraint) {
+    put_qual(w, c.lhs);
+    put_qual(w, c.rhs);
+    w.u64(c.mask);
+    put_provenance(w, c.origin);
+}
+
+/// Decodes a [`Constraint`].
+pub fn get_constraint(r: &mut Reader<'_>) -> Result<Constraint, WireError> {
+    Ok(Constraint {
+        lhs: get_qual(r)?,
+        rhs: get_qual(r)?,
+        mask: r.u64()?,
+        origin: get_provenance(r)?,
+    })
+}
+
+/// Encodes a [`Solution`] as its per-variable least/greatest bit sets.
+pub fn put_solution(w: &mut Writer, sol: &Solution) {
+    let n = sol.var_count();
+    w.len_prefix(n);
+    for i in 0..n {
+        w.u64(sol.least(QVar::from_index(i)).bits());
+        w.u64(sol.greatest(QVar::from_index(i)).bits());
+    }
+}
+
+/// Decodes a [`Solution`].
+pub fn get_solution(r: &mut Reader<'_>) -> Result<Solution, WireError> {
+    let n = r.len_prefix()?;
+    let mut least = Vec::with_capacity(n.min(65536));
+    let mut greatest = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        least.push(QualSet::from_bits(r.u64()?));
+        greatest.push(QualSet::from_bits(r.u64()?));
+    }
+    Ok(Solution::from_parts(least, greatest))
+}
+
+fn severity_tag(s: Severity) -> u8 {
+    match s {
+        Severity::Warning => 0,
+        Severity::Error => 1,
+    }
+}
+
+fn phase_tag(p: Phase) -> u8 {
+    match p {
+        Phase::Lex => 0,
+        Phase::Parse => 1,
+        Phase::Sema => 2,
+        Phase::Infer => 3,
+        Phase::Solve => 4,
+        Phase::Verify => 5,
+    }
+}
+
+/// Encodes a [`Diagnostic`].
+pub fn put_diagnostic(w: &mut Writer, d: &Diagnostic) {
+    w.u8(severity_tag(d.severity));
+    w.u8(phase_tag(d.phase));
+    match d.span {
+        Some((lo, hi)) => {
+            w.bool(true);
+            w.u32(lo);
+            w.u32(hi);
+        }
+        None => w.bool(false),
+    }
+    w.opt_str(d.function.as_deref());
+    w.str(&d.message);
+}
+
+/// Decodes a [`Diagnostic`].
+pub fn get_diagnostic(r: &mut Reader<'_>) -> Result<Diagnostic, WireError> {
+    let severity = match r.u8()? {
+        0 => Severity::Warning,
+        1 => Severity::Error,
+        _ => return Err(WireError::Malformed("severity tag")),
+    };
+    let phase = match r.u8()? {
+        0 => Phase::Lex,
+        1 => Phase::Parse,
+        2 => Phase::Sema,
+        3 => Phase::Infer,
+        4 => Phase::Solve,
+        5 => Phase::Verify,
+        _ => return Err(WireError::Malformed("phase tag")),
+    };
+    let span = if r.bool()? {
+        Some((r.u32()?, r.u32()?))
+    } else {
+        None
+    };
+    let function = r.opt_str()?;
+    let message = r.str()?;
+    Ok(Diagnostic {
+        severity,
+        phase,
+        span,
+        function,
+        message,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarSupply;
+    use qual_lattice::QualSpace;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.bool(true);
+        w.str("héllo");
+        w.opt_str(None);
+        w.opt_str(Some("x"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_str().unwrap(), None);
+        assert_eq!(r.opt_str().unwrap(), Some("x".to_owned()));
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.str("a longer string");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.str().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_malformed() {
+        let mut r = Reader::new(&[9]);
+        assert_eq!(get_qual(&mut r), Err(WireError::Malformed("qual tag")));
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool(), Err(WireError::Malformed("bool")));
+    }
+
+    #[test]
+    fn constraint_round_trips_with_interned_provenance() {
+        let mut vs = VarSupply::new();
+        let v = vs.fresh();
+        let c = Constraint {
+            lhs: Qual::Var(v),
+            rhs: Qual::Const(QualSet::from_bits(0b101)),
+            mask: 0b1,
+            origin: Provenance::at(3, 9, "assignment"),
+        };
+        let mut w = Writer::new();
+        put_constraint(&mut w, &c);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = get_constraint(&mut r).unwrap();
+        assert_eq!(back, c);
+        // The label is interned: decoding twice yields pointer-equal strs.
+        let mut r2 = Reader::new(&bytes);
+        let again = get_constraint(&mut r2).unwrap();
+        assert!(std::ptr::eq(back.origin.what, again.origin.what));
+    }
+
+    #[test]
+    fn solution_round_trips() {
+        let space = QualSpace::const_only();
+        let mut vs = VarSupply::new();
+        let a = vs.fresh();
+        let b = vs.fresh();
+        let mut cs = crate::constraint::ConstraintSet::new();
+        cs.add(Qual::Const(space.top()), a);
+        cs.add(a, b);
+        let sol = cs.solve(&space, &vs).unwrap();
+        let mut w = Writer::new();
+        put_solution(&mut w, &sol);
+        let bytes = w.into_bytes();
+        let back = get_solution(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.var_count(), sol.var_count());
+        for v in [a, b] {
+            assert_eq!(back.least(v), sol.least(v));
+            assert_eq!(back.greatest(v), sol.greatest(v));
+        }
+    }
+
+    #[test]
+    fn diagnostic_round_trips() {
+        let d = Diagnostic::error(Phase::Infer, "work budget exceeded")
+            .with_span(10, 20)
+            .with_function("heavy");
+        let w2 = Diagnostic::warning(Phase::Verify, "no span");
+        for d in [d, w2] {
+            let mut w = Writer::new();
+            put_diagnostic(&mut w, &d);
+            let bytes = w.into_bytes();
+            assert_eq!(get_diagnostic(&mut Reader::new(&bytes)).unwrap(), d);
+        }
+    }
+}
