@@ -610,10 +610,13 @@ mod tests {
     fn pointer_arithmetic_keeps_pointer() {
         let (p, s) = analyzed("char *next(char *s) { return s + 1; }");
         let f = p.function("next").unwrap();
-        if let Stmt::Return(Some(e), _) = &f.body.stmts[0] {
+        let stmt = &f.body.stmts[0];
+        assert!(
+            matches!(stmt, Stmt::Return(Some(_), _)),
+            "expected a return statement"
+        );
+        if let Stmt::Return(Some(e), _) = stmt {
             assert_eq!(s.ty(e).to_string(), "ptr(char)");
-        } else {
-            panic!("expected return");
         }
     }
 

@@ -398,6 +398,12 @@ pub fn analyze_source_with_options(
                         format!("solver budget exceeded ({steps} of {limit} steps)"),
                     ));
                 }
+                qual_solve::SolveFailure::Cancelled { steps } => {
+                    skipped.push(Diagnostic::error(
+                        Phase::Solve,
+                        format!("solve cancelled by deadline after {steps} step(s)"),
+                    ));
+                }
             }
             AnalysisOutcome {
                 result: None,

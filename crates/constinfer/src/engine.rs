@@ -270,8 +270,9 @@ pub fn certify_solution(
                 }
             }
         }
-        // A blown budget makes no claim, so there is nothing to certify.
-        Err(SolveFailure::BudgetExceeded { .. }) => {}
+        // A blown budget or a cancelled solve makes no claim, so there
+        // is nothing to certify.
+        Err(SolveFailure::BudgetExceeded { .. } | SolveFailure::Cancelled { .. }) => {}
     }
 }
 
@@ -607,7 +608,21 @@ impl<'a> Engine<'a> {
     /// Spends one unit of the per-function work budget and checks the
     /// global constraint cap; the budget turned to an error here is what
     /// makes every analysis loop terminate on adversarial input.
+    ///
+    /// This is also the engine's cooperative cancellation point: when
+    /// the worker thread's wall-clock deadline
+    /// ([`qual_faultpoint::cancel`]) fires, the current function/SCC
+    /// unwinds through the very same rollback-and-exclude path a blown
+    /// budget takes — partial constraints discarded, the unit reported,
+    /// its dependents degraded conservatively.
     fn charge(&mut self, e: &Expr) -> Result<(), Diagnostic> {
+        if qual_faultpoint::cancel::expired() {
+            return Err(Diagnostic::error(
+                Phase::Infer,
+                "unit deadline exceeded; analysis cancelled".to_owned(),
+            )
+            .with_span(e.span.lo, e.span.hi));
+        }
         if self.cs.len() >= self.budgets.max_constraints {
             return Err(Diagnostic::error(
                 Phase::Infer,
@@ -797,6 +812,11 @@ impl<'a> Engine<'a> {
     }
 
     fn analyze_fn(&mut self, f: &FnDef) -> Result<(), Diagnostic> {
+        // Chaos hook: an injected `Panic` here simulates an engine bug
+        // mid-unit (the worker supervisor quarantines it); an injected
+        // `Delay` simulates a slow unit (the deadline machinery reaps
+        // it). Compiled to one relaxed load when no plan is installed.
+        qual_faultpoint::maybe_panic("unit.solve");
         self.fuel = self.budgets.max_fn_work;
         let sig = match self.sigs.get(&f.name) {
             Some(s) => s.clone(),

@@ -47,7 +47,7 @@ use crate::qtypes::Translator;
 /// Version of the canonical summary encoding. Bump on any change to the
 /// canonical form or the wire layout; the cache treats a mismatch as a
 /// miss.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// A canonical variable name, meaningful across units (anchors) or
 /// private to one unit (`Local`).

@@ -1,0 +1,547 @@
+//! Deterministic fault injection and cooperative cancellation.
+//!
+//! Production-grade drivers are only as robust as the faults they have
+//! actually been exercised against. This crate provides the two
+//! primitives the chaos-hardened incremental driver builds on:
+//!
+//! * **Named fault points** ([`hit`]): call sites in the cache, the
+//!   wire codec, the engine, and the worker pool ask "should a fault
+//!   fire here?" and get back a [`FaultKind`] to act out — an I/O
+//!   error, a short write, decode garbage, a panic, or a delay. Which
+//!   points fire is driven by an installed [`FaultPlan`]: either an
+//!   explicit rule list (`cache.write@2=io;unit.solve@*=delay:10`) or
+//!   a seeded pseudo-random schedule that is *fully deterministic* —
+//!   the same seed injects the same faults at the same hits, every
+//!   run, so every chaos failure reproduces.
+//! * **Cooperative cancellation** ([`cancel`]): a per-thread deadline
+//!   token that long-running loops (the engine's per-expression work
+//!   accounting, the solver's worklist) poll cheaply. A unit that
+//!   blows its wall-clock deadline unwinds through the existing
+//!   fault-isolation paths instead of hanging the run.
+//!
+//! When no plan is installed the whole machinery is a single relaxed
+//! atomic load per fault point — cheap enough to leave compiled into
+//! release binaries, which is the point: the *production* code paths
+//! are the ones being tested, not a shadow build.
+//!
+//! The installed plan is process-global (workers on any thread must see
+//! it); tests that install plans must serialize on
+//! [`test_lock`].
+
+pub mod cancel;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an armed fault point should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with a synthetic I/O error (transient: a retry may succeed).
+    Io,
+    /// Write only a prefix of the bytes, then fail — a torn write, as a
+    /// crashed process would leave behind.
+    ShortWrite,
+    /// Corrupt the bytes in flight (decoders must reject, never trust).
+    Garbage,
+    /// Panic, as a worker bug would.
+    Panic,
+    /// Stall for this many milliseconds (drives deadline handling).
+    Delay(u64),
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Result<FaultKind, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        match (name, arg) {
+            ("io", None) => Ok(FaultKind::Io),
+            ("short-write", None) | ("short_write", None) => Ok(FaultKind::ShortWrite),
+            ("garbage", None) => Ok(FaultKind::Garbage),
+            ("panic", None) => Ok(FaultKind::Panic),
+            ("delay", Some(ms)) => ms
+                .parse()
+                .map(FaultKind::Delay)
+                .map_err(|_| format!("bad delay milliseconds: {ms:?}")),
+            ("delay", None) => Ok(FaultKind::Delay(20)),
+            _ => Err(format!(
+                "unknown fault kind {s:?} (want io, short-write, garbage, panic, delay[:MS])"
+            )),
+        }
+    }
+}
+
+/// Which hits of a point a rule arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Occurrence {
+    /// Exactly the n-th hit (1-based).
+    Nth(u64),
+    /// Every hit.
+    Every,
+}
+
+/// One explicit injection rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Rule {
+    /// The fault-point name, or a prefix ending in `*`.
+    point: String,
+    occurrence: Occurrence,
+    kind: FaultKind,
+}
+
+impl Rule {
+    fn matches(&self, point: &str, hit: u64) -> bool {
+        let name_ok = match self.point.strip_suffix('*') {
+            Some(prefix) => point.starts_with(prefix),
+            None => self.point == point,
+        };
+        name_ok
+            && match self.occurrence {
+                Occurrence::Nth(n) => hit == n,
+                Occurrence::Every => true,
+            }
+    }
+}
+
+/// A deterministic injection schedule.
+///
+/// Two flavors, freely combinable: explicit [rules](FaultPlan::parse)
+/// ("the 2nd `cache.write` fails with an I/O error") and a seeded
+/// pseudo-random schedule ("roughly `rate` per mille of all hits fault,
+/// derived from `seed`"). The seeded draw hashes `(seed, point, hit
+/// index)`, so it is independent of thread interleaving: the n-th hit
+/// of a given point always makes the same decision.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+    /// Seeded schedule, as (seed, injection rate per mille of hits).
+    seeded: Option<(u64, u32)>,
+    /// Panics allowed in the seeded schedule (explicit rules always may).
+    seeded_panics: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A purely seeded plan: about `rate_per_mille`/1000 of all fault
+    /// point hits inject, chosen deterministically from `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64, rate_per_mille: u32) -> FaultPlan {
+        FaultPlan {
+            rules: Vec::new(),
+            seeded: Some((seed, rate_per_mille.min(1000))),
+            seeded_panics: true,
+        }
+    }
+
+    /// Disables panic faults in the seeded schedule (explicit rules are
+    /// unaffected). Useful where the harness wants I/O-level chaos only.
+    #[must_use]
+    pub fn without_seeded_panics(mut self) -> FaultPlan {
+        self.seeded_panics = false;
+        self
+    }
+
+    /// Parses a plan specification.
+    ///
+    /// Grammar, `;`-separated (`,` also accepted):
+    ///
+    /// ```text
+    /// spec   := clause (';' clause)*
+    /// clause := point '@' occ '=' kind        explicit rule
+    ///         | 'seed' ':' u64 [':' rate]     seeded schedule (rate per mille, default 150)
+    /// point  := dotted name, '*' suffix matches a prefix
+    /// occ    := decimal hit number (1-based) | '*'
+    /// kind   := 'io' | 'short-write' | 'garbage' | 'panic' | 'delay' [':' ms]
+    /// ```
+    ///
+    /// Example: `cache.write@2=io;unit.solve@*=delay:10;seed:7:100`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a malformed clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for clause in spec.split([';', ',']) {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(rest) = clause.strip_prefix("seed:") {
+                let (seed, rate) = match rest.split_once(':') {
+                    Some((s, r)) => (
+                        s.parse::<u64>().map_err(|_| format!("bad seed: {s:?}"))?,
+                        r.parse::<u32>().map_err(|_| format!("bad rate: {r:?}"))?,
+                    ),
+                    None => (
+                        rest.parse::<u64>().map_err(|_| format!("bad seed: {rest:?}"))?,
+                        150,
+                    ),
+                };
+                plan.seeded = Some((seed, rate.min(1000)));
+                plan.seeded_panics = true;
+                continue;
+            }
+            let (target, kind) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("clause {clause:?} has no `=`"))?;
+            let (point, occ) = target
+                .split_once('@')
+                .ok_or_else(|| format!("clause {clause:?} has no `@` occurrence"))?;
+            if point.is_empty() {
+                return Err(format!("clause {clause:?} names no fault point"));
+            }
+            let occurrence = if occ == "*" {
+                Occurrence::Every
+            } else {
+                Occurrence::Nth(
+                    occ.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad occurrence {occ:?} (want 1-based index or `*`)"))?,
+                )
+            };
+            plan.rules.push(Rule {
+                point: point.to_owned(),
+                occurrence,
+                kind: FaultKind::parse(kind)?,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Whether this plan can inject anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.seeded.is_none()
+    }
+
+    fn decide(&self, point: &str, hit: u64) -> Option<FaultKind> {
+        // Explicit rules win (first match), then the seeded schedule.
+        for r in &self.rules {
+            if r.matches(point, hit) {
+                return Some(r.kind);
+            }
+        }
+        let (seed, rate) = self.seeded?;
+        let roll = splitmix(seed ^ fnv(point) ^ hit.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if roll % 1000 < u64::from(rate) {
+            let mut kind = match splitmix(roll) % 5 {
+                0 => FaultKind::Io,
+                1 => FaultKind::ShortWrite,
+                2 => FaultKind::Garbage,
+                3 => FaultKind::Panic,
+                _ => FaultKind::Delay(1 + splitmix(roll ^ 0xff) % 8),
+            };
+            if kind == FaultKind::Panic && !self.seeded_panics {
+                kind = FaultKind::Io;
+            }
+            Some(kind)
+        } else {
+            None
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Global injection state: the plan, per-point hit counters, and a
+/// record of what actually fired (for observability and tests).
+struct State {
+    plan: FaultPlan,
+    hits: std::collections::HashMap<String, u64>,
+    injected: Vec<(String, u64, FaultKind)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<Option<State>> {
+    static STATE: OnceLock<Mutex<Option<State>>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_state() -> MutexGuard<'static, Option<State>> {
+    // A panicking fault point (that is the job description) may poison
+    // this lock; the state itself is always consistent.
+    state().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs `plan` process-wide, resetting hit counters and the
+/// injection log. An empty plan disables injection entirely.
+pub fn install(plan: FaultPlan) {
+    let mut g = lock_state();
+    ENABLED.store(!plan.is_empty(), Ordering::Relaxed);
+    *g = Some(State {
+        plan,
+        hits: std::collections::HashMap::new(),
+        injected: Vec::new(),
+    });
+}
+
+/// Removes any installed plan (every subsequent [`hit`] is a no-op).
+pub fn clear() {
+    let mut g = lock_state();
+    ENABLED.store(false, Ordering::Relaxed);
+    *g = None;
+}
+
+/// Installs a plan from the environment, if one is configured:
+/// `QUAL_FAULT_PLAN` (a [`FaultPlan::parse`] spec) wins over
+/// `QUAL_FAULT_SEED` (a bare seed for the default-rate seeded
+/// schedule). Returns an error for a malformed spec, `Ok(false)` when
+/// neither variable is set.
+///
+/// # Errors
+///
+/// Propagates the [`FaultPlan::parse`] message.
+pub fn install_from_env() -> Result<bool, String> {
+    if let Ok(spec) = std::env::var("QUAL_FAULT_PLAN") {
+        install(FaultPlan::parse(&spec)?);
+        return Ok(true);
+    }
+    if let Ok(seed) = std::env::var("QUAL_FAULT_SEED") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("QUAL_FAULT_SEED must be a u64, got {seed:?}"))?;
+        install(FaultPlan::seeded(seed, 150));
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// The heart of the crate: records a hit of `point` and returns the
+/// fault to act out, if any. [`FaultKind::Delay`] is already *served*
+/// here (the calling thread sleeps); it is still returned so callers
+/// can log it. With no plan installed this is one relaxed atomic load.
+#[must_use]
+pub fn hit(point: &str) -> Option<FaultKind> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let decision = {
+        let mut g = lock_state();
+        let st = g.as_mut()?;
+        let n = st.hits.entry(point.to_owned()).or_insert(0);
+        *n += 1;
+        let hit_no = *n;
+        let decision = st.plan.decide(point, hit_no);
+        if let Some(kind) = decision {
+            st.injected.push((point.to_owned(), hit_no, kind));
+        }
+        decision
+    };
+    if let Some(FaultKind::Delay(ms)) = decision {
+        // Clamp so a chaotic schedule cannot stall a test suite.
+        std::thread::sleep(Duration::from_millis(ms.min(200)));
+    }
+    decision
+}
+
+/// Convenience: turns an armed `Io`/`ShortWrite` fault at `point` into
+/// a synthetic I/O error; serves `Delay` in place; a `Panic` fault
+/// panics with a recognizable message; `Garbage` is ignored (byte-level
+/// corruption needs the caller's buffer — use [`garble`]).
+///
+/// # Errors
+///
+/// The injected error, tagged with the point name.
+///
+/// # Panics
+///
+/// When the installed plan arms a `Panic` fault here — that is the
+/// fault being simulated; the worker supervisor is expected to contain
+/// it.
+pub fn maybe_io(point: &str) -> std::io::Result<()> {
+    match hit(point) {
+        Some(FaultKind::Io | FaultKind::ShortWrite) => Err(std::io::Error::other(
+            format!("injected fault at {point}"),
+        )),
+        Some(FaultKind::Panic) => panic!("injected panic at {point}"),
+        _ => Ok(()),
+    }
+}
+
+/// Convenience: panics if a `Panic` fault is armed at `point`; serves
+/// delays; ignores other kinds (they are for I/O-shaped call sites).
+///
+/// # Panics
+///
+/// When the installed plan arms a `Panic` fault here.
+pub fn maybe_panic(point: &str) {
+    if hit(point) == Some(FaultKind::Panic) {
+        panic!("injected panic at {point}");
+    }
+}
+
+/// Convenience: when a `Garbage` fault is armed at `point`, corrupts
+/// `bytes` in place (deterministically) and returns `true`. Other
+/// kinds are ignored here.
+pub fn garble(point: &str, bytes: &mut [u8]) -> bool {
+    if hit(point) == Some(FaultKind::Garbage) {
+        let len = bytes.len();
+        for (i, b) in bytes.iter_mut().enumerate() {
+            // Flip a deterministic sprinkle of bytes, dense enough that
+            // any checksum or decoder must notice.
+            if splitmix(i as u64 ^ len as u64).is_multiple_of(7) {
+                *b ^= 0x5a;
+            }
+        }
+        !bytes.is_empty()
+    } else {
+        false
+    }
+}
+
+/// Every fault injected since the last [`install`], as
+/// `(point, hit_number, kind)` in injection order.
+#[must_use]
+pub fn injected() -> Vec<(String, u64, FaultKind)> {
+    lock_state()
+        .as_ref()
+        .map(|st| st.injected.clone())
+        .unwrap_or_default()
+}
+
+/// Number of faults injected since the last [`install`].
+#[must_use]
+pub fn injected_count() -> usize {
+    lock_state().as_ref().map_or(0, |st| st.injected.len())
+}
+
+/// Serializes tests (and any other callers) that install process-global
+/// plans. Lock poisoning is expected here — injected panics unwind
+/// through tests holding the guard — and is transparently recovered.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_none() {
+        let _g = test_lock();
+        clear();
+        assert_eq!(hit("cache.read"), None);
+        assert_eq!(injected_count(), 0);
+    }
+
+    #[test]
+    fn explicit_rule_fires_on_exact_hit() {
+        let _g = test_lock();
+        install(FaultPlan::parse("cache.write@2=io").unwrap());
+        assert_eq!(hit("cache.write"), None);
+        assert_eq!(hit("cache.write"), Some(FaultKind::Io));
+        assert_eq!(hit("cache.write"), None);
+        assert_eq!(hit("cache.read"), None);
+        assert_eq!(injected(), vec![("cache.write".to_owned(), 2, FaultKind::Io)]);
+        clear();
+    }
+
+    #[test]
+    fn wildcards_and_every_occurrence() {
+        let _g = test_lock();
+        install(FaultPlan::parse("cache.*@*=garbage").unwrap());
+        assert_eq!(hit("cache.read"), Some(FaultKind::Garbage));
+        assert_eq!(hit("cache.write"), Some(FaultKind::Garbage));
+        assert_eq!(hit("unit.solve"), None);
+        clear();
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("no-equals").is_err());
+        assert!(FaultPlan::parse("p=io").is_err(), "missing occurrence");
+        assert!(FaultPlan::parse("p@0=io").is_err(), "occurrences are 1-based");
+        assert!(FaultPlan::parse("p@1=whatever").is_err());
+        assert!(FaultPlan::parse("seed:notanumber").is_err());
+        assert!(FaultPlan::parse("@1=io").is_err(), "empty point");
+        let ok = FaultPlan::parse(" cache.write@2=io ; unit.solve@*=delay:10 ").unwrap();
+        assert_eq!(ok.rules.len(), 2);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_and_rate_bounded() {
+        let _g = test_lock();
+        let run = |seed: u64| -> Vec<(String, u64, FaultKind)> {
+            install(FaultPlan::seeded(seed, 300));
+            for _ in 0..200 {
+                // Delay(ms) sleeps; keep the test fast by draining the
+                // decision through the plan directly would skip the
+                // counters, so just accept the (clamped, ≤8ms·few) cost.
+                let _ = lock_state().as_mut().map(|st| {
+                    let n = st.hits.entry("unit.solve".to_owned()).or_insert(0);
+                    *n += 1;
+                    if let Some(k) = st.plan.decide("unit.solve", *n) {
+                        st.injected.push(("unit.solve".to_owned(), *n, k));
+                    }
+                });
+            }
+            let log = injected();
+            clear();
+            log
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty(), "rate 300/1000 over 200 hits must fire");
+        assert!(a.len() < 150, "rate 300/1000 is not 'always'");
+        let c = run(43);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn garble_corrupts_deterministically() {
+        let _g = test_lock();
+        install(FaultPlan::parse("wire@1=garbage;wire@2=garbage").unwrap());
+        let mut a = vec![7u8; 64];
+        let mut b = vec![7u8; 64];
+        assert!(garble("wire", &mut a));
+        assert!(garble("wire", &mut b));
+        assert_eq!(a, b, "corruption is reproducible");
+        assert_ne!(a, vec![7u8; 64], "corruption corrupted something");
+        clear();
+    }
+
+    #[test]
+    fn maybe_io_maps_kinds() {
+        let _g = test_lock();
+        install(FaultPlan::parse("p@1=io").unwrap());
+        let e = maybe_io("p").unwrap_err();
+        assert!(e.to_string().contains("injected fault at p"));
+        assert!(maybe_io("p").is_ok());
+        clear();
+    }
+
+    #[test]
+    fn maybe_panic_panics_only_on_panic_kind() {
+        let _g = test_lock();
+        install(FaultPlan::parse("p@1=io;p@2=panic").unwrap());
+        maybe_panic("p"); // io kind: ignored here
+        let caught = std::panic::catch_unwind(|| maybe_panic("p"));
+        assert!(caught.is_err());
+        clear();
+    }
+}

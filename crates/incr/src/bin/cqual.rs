@@ -4,7 +4,8 @@
 //! ```text
 //! cqual [--mode mono|poly|polyrec] [--annotate|--rewrite|--report]
 //!       [--verify] [--explain] [--keep-going] [--jobs N]
-//!       [--cache-dir DIR] [--cache-stats] [--max-constraints N]
+//!       [--cache-dir DIR] [--cache-stats] [--unit-deadline-ms N]
+//!       [--max-retries N] [--fault-plan SPEC] [--max-constraints N]
 //!       [--max-solver-steps N] [--max-fn-work N] FILE...
 //! ```
 //!
@@ -30,6 +31,15 @@
 //!   state; cache trouble is reported on stderr but never changes the
 //!   exit code. `--annotate`/`--rewrite`/`--explain` still use the
 //!   classic pipeline (a note says so).
+//! * `--unit-deadline-ms N`: cancel any unit still running after N
+//!   milliseconds of wall clock (cooperative — polled inside the engine
+//!   and solver loops) and exclude it like a budget-faulted unit.
+//! * `--max-retries N`: attempts after a transient cache I/O failure
+//!   (default 2).
+//! * `--fault-plan SPEC`: arm deterministic fault injection for chaos
+//!   testing (e.g. `cache.read@1=io` or `seed:42:150`); also settable
+//!   via `QUAL_FAULT_PLAN` / `QUAL_FAULT_SEED`. Injection is for
+//!   testing this tool, not for production runs.
 //!
 //! By default multiple files are concatenated and analyzed as one
 //! program, exactly as the paper handles multi-file benchmarks ("We
@@ -39,11 +49,22 @@
 //! reports whether *any* input produced diagnostics.
 //!
 //! The whole pipeline is fault-isolated: unparseable items, functions
-//! that fail sema or exhaust an analysis budget are skipped with a
-//! rendered diagnostic while counts are still produced for the rest.
-//! Exit code 0 means a completely clean run; 1 means the analysis
-//! finished but skipped something; 2 means bad usage; 3 means `--verify`
-//! found a result that failed certification.
+//! that fail sema, exhaust an analysis budget, blow their deadline, or
+//! get quarantined after a worker panic are skipped with a rendered
+//! diagnostic while counts are still produced for the rest.
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | completely clean run |
+//! | 1    | analysis finished but skipped something (including quarantined or deadline-cancelled units) |
+//! | 2    | bad usage (including a malformed `--fault-plan`) |
+//! | 3    | `--verify` found a result that failed certification |
+//!
+//! Cache infrastructure trouble (corrupt entries, store failures, an
+//! unavailable lock) is reported on stderr but never changes the exit
+//! code.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -60,6 +81,8 @@ fn usage() -> ExitCode {
         "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
          \x20            [--verify] [--explain] [--keep-going] [--jobs N]\n\
          \x20            [--cache-dir DIR] [--cache-stats]\n\
+         \x20            [--unit-deadline-ms N] [--max-retries N]\n\
+         \x20            [--fault-plan SPEC]\n\
          \x20            [--max-constraints N] [--max-solver-steps N]\n\
          \x20            [--max-fn-work N] FILE..."
     );
@@ -77,12 +100,18 @@ struct Config {
     jobs: Option<usize>,
     cache_dir: Option<PathBuf>,
     cache_stats: bool,
+    unit_deadline_ms: Option<u64>,
+    max_retries: Option<u32>,
 }
 
 impl Config {
     /// Whether any incremental-driver flag was given.
     fn incremental(&self) -> bool {
-        self.jobs.is_some() || self.cache_dir.is_some() || self.cache_stats
+        self.jobs.is_some()
+            || self.cache_dir.is_some()
+            || self.cache_stats
+            || self.unit_deadline_ms.is_some()
+            || self.max_retries.is_some()
     }
 }
 
@@ -113,7 +142,15 @@ fn main() -> ExitCode {
         jobs: None,
         cache_dir: None,
         cache_stats: false,
+        unit_deadline_ms: None,
+        max_retries: None,
     };
+    // Arm fault injection from the environment up front; an explicit
+    // `--fault-plan` below overrides it.
+    if let Err(e) = qual_faultpoint::install_from_env() {
+        eprintln!("cqual: {e}");
+        return ExitCode::from(2);
+    }
     let mut keep_going = false;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -140,6 +177,26 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--cache-stats" => cfg.cache_stats = true,
+            "--unit-deadline-ms" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => cfg.unit_deadline_ms = Some(n),
+                    _ => return usage(),
+                }
+            }
+            "--max-retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.max_retries = Some(n),
+                None => return usage(),
+            },
+            "--fault-plan" => match args.next() {
+                Some(spec) => match qual_faultpoint::FaultPlan::parse(&spec) {
+                    Ok(plan) => qual_faultpoint::install(plan),
+                    Err(e) => {
+                        eprintln!("cqual: --fault-plan: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage(),
+            },
             "--max-constraints" => {
                 match args.next().and_then(|v| v.parse().ok()) {
                     Some(n) => cfg.budgets.max_constraints = n,
@@ -359,6 +416,10 @@ fn analyze_and_print_incremental(cfg: &Config, src: &str) -> RunStats {
         budgets: cfg.budgets,
         jobs: cfg.jobs.unwrap_or(1),
         cache_dir: cfg.cache_dir.clone(),
+        unit_deadline_ms: cfg.unit_deadline_ms,
+        max_retries: cfg
+            .max_retries
+            .unwrap_or(IncrConfig::default().max_retries),
     };
     let mut out = analyze_source_incremental(src, &icfg);
     if let Some(c) = out.counts {
@@ -389,6 +450,18 @@ fn analyze_and_print_incremental(cfg: &Config, src: &str) -> RunStats {
             s.wavefronts,
             s.jobs,
             s.constraints
+        );
+        println!(
+            "cqual: cache: generation {}, {} retry(ies), {} quarantined \
+             unit(s), lock wait {} ms, {} stale lock(s) stolen",
+            s.generation, s.retries, s.quarantined, s.lock_wait_ms, s.lock_steals
+        );
+    }
+    if out.stats.quarantined > 0 {
+        eprintln!(
+            "cqual: {} unit(s) quarantined after worker fault(s); their \
+             functions are excluded from the counts",
+            out.stats.quarantined
         );
     }
     sort_diagnostics(&mut out.skipped);

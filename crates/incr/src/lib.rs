@@ -32,9 +32,10 @@
 pub mod cache;
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use qual_cfront::ast::{Item, Program};
 use qual_cfront::pretty::render_item_text;
@@ -56,7 +57,7 @@ use qual_solve::{
     SolveFailure, VarSupply,
 };
 
-use cache::{Key, KeyHasher, Load};
+use cache::{Key, KeyHasher, Load, RetryPolicy};
 
 /// Configuration for one incremental run.
 #[derive(Debug, Clone)]
@@ -74,6 +75,15 @@ pub struct IncrConfig {
     pub jobs: usize,
     /// Where to persist unit summaries; `None` disables the cache.
     pub cache_dir: Option<PathBuf>,
+    /// Wall-clock deadline per unit, in milliseconds. A unit past its
+    /// deadline is cancelled cooperatively (the engine and solver poll
+    /// between steps) and excluded like any other faulted unit. `None`
+    /// disables deadlines.
+    pub unit_deadline_ms: Option<u64>,
+    /// Additional attempts after a transient cache I/O failure
+    /// (0 = fail fast). Applies to entry reads, entry writes, and the
+    /// session generation bump.
+    pub max_retries: u32,
 }
 
 impl Default for IncrConfig {
@@ -84,6 +94,8 @@ impl Default for IncrConfig {
             budgets: Budgets::default(),
             jobs: 1,
             cache_dir: None,
+            unit_deadline_ms: None,
+            max_retries: RetryPolicy::default().max_retries,
         }
     }
 }
@@ -107,6 +119,20 @@ pub struct IncrStats {
     pub jobs: usize,
     /// Constraints in the merged global system.
     pub constraints: usize,
+    /// Units quarantined after a worker panic (analysis degraded, run
+    /// continued).
+    pub quarantined: usize,
+    /// Cache I/O retries spent across all loads, stores, and the
+    /// session open.
+    pub retries: u64,
+    /// Time spent waiting on the shared cache's advisory lock, in
+    /// milliseconds.
+    pub lock_wait_ms: u64,
+    /// Stale cache locks stolen from dead sessions.
+    pub lock_steals: u32,
+    /// This run's cache generation (0 = no cache or counter
+    /// unreachable).
+    pub generation: u64,
 }
 
 /// The result of an incremental run — the same counts, positions, and
@@ -155,6 +181,21 @@ struct Executed {
     corrupt: Option<String>,
     stored: bool,
     store_err: Option<String>,
+    /// Cache I/O retries this unit spent (load + store).
+    retries: u64,
+    /// Whether the unit was quarantined after a worker panic.
+    quarantined: bool,
+}
+
+/// Everything a worker needs to execute units, shared immutably.
+struct UnitCtx<'a> {
+    prog: &'a Program,
+    sema: &'a Sema,
+    space: &'a QualSpace,
+    cfg: &'a IncrConfig,
+    /// This session's cache generation (stamped into stored entries).
+    generation: u64,
+    policy: RetryPolicy,
 }
 
 /// Runs the incremental analysis end to end. Never panics on bad input
@@ -295,6 +336,45 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         ..IncrStats::default()
     };
     let mut cache_diags: Vec<Diagnostic> = Vec::new();
+
+    // One cache session per run: sweep crash debris, take the advisory
+    // lock, bump the shared generation. Any trouble degrades with a
+    // diagnostic; the analysis itself never depends on the session.
+    let policy = RetryPolicy {
+        max_retries: cfg.max_retries,
+    };
+    let mut generation = 0;
+    if let Some(dir) = &cfg.cache_dir {
+        // The session opens on the driver thread, outside any worker
+        // supervisor, so contain its panics (injected or real) here:
+        // a failed open degrades to a lockless, generation-0 session.
+        let session = catch_unwind(AssertUnwindSafe(|| {
+            cache::open_session(dir, policy)
+        }))
+        .unwrap_or_else(|_| cache::Session {
+            lockless: true,
+            diag: Some(
+                "cache session open panicked; proceeding without a session"
+                    .to_owned(),
+            ),
+            ..cache::Session::default()
+        });
+        generation = session.generation;
+        stats.generation = session.generation;
+        stats.lock_wait_ms = session.lock_wait_ms;
+        stats.lock_steals = session.lock_steals;
+        if let Some(msg) = session.diag {
+            cache_diags.push(Diagnostic::warning(Phase::Infer, format!("cache: {msg}")));
+        }
+    }
+    let ctx = UnitCtx {
+        prog: &program,
+        sema: &sema,
+        space: &space,
+        cfg,
+        generation,
+        policy,
+    };
     let mut summaries: Vec<Option<UnitSummary>> =
         (0..plans.len()).map(|_| None).collect();
     let mut scheme_pool: HashMap<String, CanonScheme> = HashMap::new();
@@ -312,6 +392,10 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         }
         if ex.stored {
             stats.stored += 1;
+        }
+        stats.retries += ex.retries;
+        if ex.quarantined {
+            stats.quarantined += 1;
         }
         if let Some(msg) = ex.corrupt {
             stats.corrupt += 1;
@@ -334,7 +418,7 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
 
     // The globals unit runs before every wavefront (function units may
     // reference global cells).
-    let ex = execute_one(&program, &sema, &space, cfg, &plans[0], &[], &[]);
+    let ex = run_supervised(&ctx, &plans[0], &[], &[]);
     absorb(0, ex, &mut stats, &mut cache_diags, &mut summaries);
 
     for front in &fronts {
@@ -364,46 +448,68 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
             inputs
                 .iter()
                 .map(|(idx, schemes, failed)| {
-                    (
-                        *idx,
-                        execute_one(
-                            &program, &sema, &space, cfg, &plans[*idx], schemes,
-                            failed,
-                        ),
-                    )
+                    (*idx, run_supervised(&ctx, &plans[*idx], schemes, failed))
                 })
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
             let out: Mutex<Vec<(usize, Executed)>> = Mutex::new(Vec::new());
             let plans_ref = &plans;
-            let program_ref = &program;
-            let sema_ref = &sema;
-            let space_ref = &space;
+            let ctx_ref = &ctx;
             let inputs_ref = &inputs;
             std::thread::scope(|sc| {
                 for _ in 0..jobs.min(inputs.len()) {
-                    sc.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((idx, schemes, failed)) = inputs_ref.get(i)
-                        else {
-                            break;
-                        };
-                        let ex = execute_one(
-                            program_ref,
-                            sema_ref,
-                            space_ref,
-                            cfg,
-                            &plans_ref[*idx],
-                            schemes,
-                            failed,
-                        );
-                        out.lock().expect("worker poisoned the lock").push((*idx, ex));
+                    // A worker that panics would poison `scope`'s join
+                    // and abort the whole run, so the entire worker
+                    // body sits under `catch_unwind`: a dying worker
+                    // (e.g. an injected `worker.spawn` fault) exits
+                    // cleanly, its claimed unit is simply missing from
+                    // `out`, and the sweep below re-runs it inline.
+                    sc.spawn(|| {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            qual_faultpoint::maybe_panic("worker.spawn");
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some((idx, schemes, failed)) =
+                                    inputs_ref.get(i)
+                                else {
+                                    break;
+                                };
+                                let ex = run_supervised(
+                                    ctx_ref,
+                                    &plans_ref[*idx],
+                                    schemes,
+                                    failed,
+                                );
+                                out.lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .push((*idx, ex));
+                            }
+                        }));
                     });
                 }
             });
-            out.into_inner().expect("workers joined")
+            // A lock poisoned by a worker that died mid-`push` may hold
+            // a partial batch; every unit it did record is still whole
+            // (push is all-or-nothing for our Vec), and anything lost
+            // gets re-run by the sweep.
+            out.into_inner().unwrap_or_else(PoisonError::into_inner)
         };
+
+        // Supervision sweep: any unit claimed by a worker that died
+        // before reporting is re-run inline. This guarantees every unit
+        // produces a summary no matter how many workers the fault plan
+        // kills.
+        if results.len() != inputs.len() {
+            let have: HashSet<usize> =
+                results.iter().map(|(idx, _)| *idx).collect();
+            for (idx, schemes, failed) in &inputs {
+                if !have.contains(idx) {
+                    let ex = run_supervised(&ctx, &plans[*idx], schemes, failed);
+                    results.push((*idx, ex));
+                }
+            }
+        }
 
         // Deterministic merge: absorb in SCC order regardless of which
         // worker finished first.
@@ -497,6 +603,12 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
                         ),
                     ));
                 }
+                SolveFailure::Cancelled { steps } => {
+                    skipped.push(Diagnostic::error(
+                        Phase::Solve,
+                        format!("solve cancelled by deadline after {steps} step(s)"),
+                    ));
+                }
             }
             (None, Vec::new())
         }
@@ -560,22 +672,100 @@ fn splice_qual(
     }
 }
 
-/// Executes one unit: cache probe (decode + certificate re-verification)
-/// first, cold analysis on any miss or doubt, store-back of certified
-/// cold results.
-fn execute_one(
-    prog: &Program,
-    sema: &Sema,
-    space: &QualSpace,
-    cfg: &IncrConfig,
+/// A quarantine summary for a unit whose worker panicked: the unit's
+/// members are excluded exactly like budget-faulted functions (their
+/// positions drop, dependents degrade to library-style proxies), and
+/// the run carries on.
+fn quarantine_summary(plan: &UnitPlan, reason: &str) -> UnitSummary {
+    let (members, failed) = match &plan.kind {
+        UnitKind::Globals => (Vec::new(), Vec::new()),
+        UnitKind::Scc { names, .. } => (names.clone(), names.clone()),
+    };
+    let message =
+        format!("unit `{}` quarantined: {reason}", plan.label);
+    let diagnostics = if members.is_empty() {
+        vec![Diagnostic::error(Phase::Infer, message)]
+    } else {
+        members
+            .iter()
+            .map(|m| {
+                Diagnostic::error(Phase::Infer, message.clone()).with_function(m)
+            })
+            .collect()
+    };
+    UnitSummary {
+        members,
+        failed,
+        constraints: Vec::new(),
+        schemes: Vec::new(),
+        positions: Vec::new(),
+        diagnostics,
+        cert: None,
+    }
+}
+
+/// A best-effort rendering of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Supervises one unit execution: installs the per-unit deadline (if
+/// configured) and converts a panic anywhere inside the unit —
+/// analysis, cache codec, injected fault — into a quarantine summary
+/// instead of a dead worker.
+fn run_supervised(
+    ctx: &UnitCtx<'_>,
     plan: &UnitPlan,
     schemes: &[CanonScheme],
     failed: &[String],
 ) -> Executed {
+    let _deadline = ctx
+        .cfg
+        .unit_deadline_ms
+        .map(qual_faultpoint::cancel::deadline_after_ms);
+    match catch_unwind(AssertUnwindSafe(|| {
+        execute_one(ctx, plan, schemes, failed)
+    })) {
+        Ok(ex) => ex,
+        Err(payload) => Executed {
+            summary: quarantine_summary(
+                plan,
+                &format!("worker panicked: {}", panic_message(&*payload)),
+            ),
+            reused: false,
+            corrupt: None,
+            stored: false,
+            store_err: None,
+            retries: 0,
+            quarantined: true,
+        },
+    }
+}
+
+/// Executes one unit: cache probe (decode + certificate re-verification)
+/// first, cold analysis on any miss or doubt, store-back of certified
+/// cold results.
+fn execute_one(
+    ctx: &UnitCtx<'_>,
+    plan: &UnitPlan,
+    schemes: &[CanonScheme],
+    failed: &[String],
+) -> Executed {
+    let cfg = ctx.cfg;
+    let space = ctx.space;
     let mut corrupt: Option<String> = None;
+    let mut retries: u64 = 0;
     if let Some(dir) = &cfg.cache_dir {
-        match cache::load(dir, &plan.key) {
-            Load::Payload(bytes) => match decode_summary(&bytes) {
+        let (loaded, load_retries) = cache::load(dir, &plan.key, ctx.policy);
+        retries += u64::from(load_retries);
+        match loaded {
+            Load::Payload { bytes, .. } => match decode_summary(&bytes) {
                 Ok(summary) => {
                     let members_match = match &plan.kind {
                         UnitKind::Globals => summary.members.is_empty(),
@@ -594,6 +784,8 @@ fn execute_one(
                                     corrupt: None,
                                     stored: false,
                                     store_err: None,
+                                    retries,
+                                    quarantined: false,
                                 };
                             }
                             Err(e) => {
@@ -614,8 +806,8 @@ fn execute_one(
     }
 
     let req = UnitRequest {
-        prog,
-        sema,
+        prog: ctx.prog,
+        sema: ctx.sema,
         space,
         mode: cfg.mode,
         options: cfg.options,
@@ -632,8 +824,17 @@ fn execute_one(
         // Only certified summaries are worth persisting: an entry the
         // verifier would reject on load is a guaranteed future miss.
         if summary.cert.is_some() {
-            match cache::store(dir, &plan.key, &encode_summary(&summary)) {
-                Ok(()) => stored = true,
+            match cache::store(
+                dir,
+                &plan.key,
+                &encode_summary(&summary),
+                ctx.generation,
+                ctx.policy,
+            ) {
+                Ok(store_retries) => {
+                    stored = true;
+                    retries += u64::from(store_retries);
+                }
                 Err(e) => store_err = Some(e.to_string()),
             }
         }
@@ -644,6 +845,8 @@ fn execute_one(
         corrupt,
         stored,
         store_err,
+        retries,
+        quarantined: false,
     }
 }
 

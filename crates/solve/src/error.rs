@@ -61,6 +61,14 @@ pub enum SolveFailure {
         /// The configured cap.
         limit: u64,
     },
+    /// The calling thread's cooperative deadline
+    /// ([`qual_faultpoint::cancel`]) fired mid-solve. Like a blown
+    /// budget, the partial state is discarded and no claim is made
+    /// about satisfiability.
+    Cancelled {
+        /// Steps taken before the cancellation was observed.
+        steps: u64,
+    },
 }
 
 impl fmt::Display for SolveFailure {
@@ -70,6 +78,10 @@ impl fmt::Display for SolveFailure {
             SolveFailure::BudgetExceeded { steps, limit } => write!(
                 f,
                 "solver budget exceeded: {steps} worklist steps (limit {limit})"
+            ),
+            SolveFailure::Cancelled { steps } => write!(
+                f,
+                "solve cancelled by deadline after {steps} worklist step(s)"
             ),
         }
     }

@@ -105,6 +105,9 @@ pub(crate) fn solve(
         Err(SolveFailure::BudgetExceeded { .. }) => {
             unreachable!("u64::MAX budget cannot be exhausted")
         }
+        Err(SolveFailure::Cancelled { .. }) => {
+            unreachable!("unbudgeted solves are uncancellable")
+        }
     }
 }
 
@@ -159,21 +162,33 @@ pub(crate) fn solve_budgeted(
 
     // Least solution: propagate lower bounds forward to fixpoint; then
     // greatest by propagating upper bounds backward. Both passes share
-    // one step budget.
+    // one step budget. Budgeted solves are also *cancellable*: they
+    // poll the calling thread's cooperative deadline
+    // (`qual_faultpoint::cancel`) once per step batch, so a worker
+    // whose wall clock expired mid-solve unwinds with a structured
+    // failure instead of finishing a fixpoint nobody will use.
+    // Unbudgeted (`u64::MAX`) solves never poll — they come from
+    // deadline-free contexts and must stay infallible.
+    let cancellable = max_steps != u64::MAX;
     let mut budget = max_steps;
-    let converged = propagate(top, &fwd, &mut least, PropagateDir::JoinForward, &mut budget)
-        && propagate(
-            top,
-            &bwd,
-            &mut greatest,
-            PropagateDir::MeetBackward,
-            &mut budget,
-        );
-    if !converged {
-        return Err(SolveFailure::BudgetExceeded {
-            steps: max_steps - budget,
-            limit: max_steps,
-        });
+    for (adj, val, dir) in [
+        (&fwd, &mut least, PropagateDir::JoinForward),
+        (&bwd, &mut greatest, PropagateDir::MeetBackward),
+    ] {
+        match propagate(top, adj, val, dir, &mut budget, cancellable) {
+            Propagate::Converged => {}
+            Propagate::OutOfBudget => {
+                return Err(SolveFailure::BudgetExceeded {
+                    steps: max_steps - budget,
+                    limit: max_steps,
+                });
+            }
+            Propagate::Cancelled => {
+                return Err(SolveFailure::Cancelled {
+                    steps: max_steps - budget,
+                });
+            }
+        }
     }
 
     // Satisfiability: the least solution satisfies every `L ⊑ κ` and
@@ -207,31 +222,53 @@ enum PropagateDir {
     MeetBackward,
 }
 
+/// How one propagation pass ended.
+enum Propagate {
+    Converged,
+    OutOfBudget,
+    Cancelled,
+}
+
 /// Worklist fixpoint: for each edge `v -> (w, m)` in `adj`, enforce
 /// `val[w] ⊒ val[v] ⊓ m` (join mode) or `val[w] ⊑ val[v] ⊔ ¬m` reading
 /// `adj` as the reversed graph (meet mode). Each variable re-enters the
 /// worklist only when its value strictly changes; the lattice has height
 /// ≤ 64, so the total work is `O(height · edges)`.
 ///
-/// Every edge relaxation spends one unit of `budget`; returns `false`
-/// (state unreliable) if the budget ran out before the fixpoint.
+/// Every edge relaxation spends one unit of `budget`; the pass ends
+/// `OutOfBudget` (state unreliable) if the budget runs out, and
+/// `Cancelled` if `cancellable` and the thread's cooperative deadline
+/// fires (polled once per `CANCEL_BATCH` relaxations, so the poll cost
+/// is amortized to nothing on the hot path).
 fn propagate(
     top: u64,
     adj: &[Vec<(u32, u64)>],
     val: &mut [QualSet],
     dir: PropagateDir,
     budget: &mut u64,
-) -> bool {
+    cancellable: bool,
+) -> Propagate {
+    const CANCEL_BATCH: u64 = 1024;
     let mut on_list = vec![true; val.len()];
     let mut work: Vec<u32> = (0..val.len() as u32).collect();
+    let mut until_poll = CANCEL_BATCH;
     while let Some(v) = work.pop() {
         on_list[v as usize] = false;
         let from = val[v as usize].bits();
         for &(w, m) in &adj[v as usize] {
             if *budget == 0 {
-                return false;
+                return Propagate::OutOfBudget;
             }
             *budget -= 1;
+            if cancellable {
+                until_poll -= 1;
+                if until_poll == 0 {
+                    until_poll = CANCEL_BATCH;
+                    if qual_faultpoint::cancel::expired() {
+                        return Propagate::Cancelled;
+                    }
+                }
+            }
             let cur = val[w as usize].bits();
             let next = match dir {
                 PropagateDir::JoinForward => cur | (from & m),
@@ -246,7 +283,7 @@ fn propagate(
             }
         }
     }
-    true
+    Propagate::Converged
 }
 
 #[cfg(test)]

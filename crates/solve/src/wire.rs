@@ -130,8 +130,17 @@ pub struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     /// A reader over `buf`, positioned at the start.
+    ///
+    /// Fault point `wire.decode`: a `Garbage` fault truncates the
+    /// reader's view of the buffer, simulating a torn payload that the
+    /// downstream decoder must reject with [`WireError`] — exactly the
+    /// path real bit rot takes through the cache.
     #[must_use]
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        let buf = match qual_faultpoint::hit("wire.decode") {
+            Some(qual_faultpoint::FaultKind::Garbage) => &buf[..buf.len() / 2],
+            _ => buf,
+        };
         Reader { buf, pos: 0 }
     }
 
@@ -211,7 +220,11 @@ impl<'a> Reader<'a> {
 pub fn intern_static(s: &str) -> &'static str {
     static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
     let table = TABLE.get_or_init(|| Mutex::new(BTreeSet::new()));
-    let mut guard = table.lock().expect("intern table lock");
+    // Poison-tolerant: a worker panicking elsewhere must not turn every
+    // later decode into a second panic. The set is always consistent —
+    // insertion happens after the leak, and a leaked-but-not-inserted
+    // string is only a few wasted bytes.
+    let mut guard = table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(hit) = guard.get(s) {
         return hit;
     }
