@@ -8,8 +8,6 @@
 //! cargo run -p qual-bench --bin incr-timings --release [-- --quick]
 //! ```
 
-use std::time::Instant;
-
 use qual_cgen::table1_profiles;
 use qual_incr::{analyze_source_incremental, IncrConfig, IncrOutcome};
 
@@ -43,10 +41,14 @@ fn main() {
         let cache = cache_root.join(p.name);
         let _ = std::fs::remove_dir_all(&cache);
 
+        // Timings come from the observability layer: each run is
+        // collected under a scope and its monotonic `total_ns` is the
+        // reported wall time — the same measurement `cqual --metrics`
+        // emits.
         let time = |cfg: &IncrConfig| -> (f64, IncrOutcome) {
-            let t = Instant::now();
-            let out = analyze_source_incremental(&src, cfg);
-            (t.elapsed().as_secs_f64(), out)
+            let (out, report) =
+                qual_obs::scoped(|| analyze_source_incremental(&src, cfg));
+            (report.total_ns as f64 / 1e9, out)
         };
 
         let (cold1, a) = time(&IncrConfig::default());

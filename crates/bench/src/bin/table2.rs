@@ -75,7 +75,9 @@ fn main() {
         rows.push(row);
     }
     println!();
-    // The paper's headline checks.
+    // The paper's headline checks, plus the hardware-independent size
+    // proxies (constraint counts and solver steps from the
+    // observability layer) behind each timing.
     for row in &rows {
         let ratio = row.poly_time.as_secs_f64() / row.mono_time.as_secs_f64().max(1e-9);
         let extra = row.poly as f64 / row.mono.max(1) as f64;
@@ -84,6 +86,10 @@ fn main() {
             row.name,
             (extra - 1.0) * 100.0,
             row.poly as f64 / row.declared.max(1) as f64
+        );
+        println!(
+            "{:<16} constraints mono {} / poly {}   solver steps mono {} / poly {}",
+            "", row.mono_constraints, row.poly_constraints, row.mono_steps, row.poly_steps
         );
     }
     if failed > 0 {

@@ -14,6 +14,13 @@
 //! * **Warm-cache identity** — a rerun against a freshly populated
 //!   cache re-solves **zero** units (every unit is a verified cache
 //!   hit) and is byte-identical to the cold run.
+//! * **Metrics non-perturbation and determinism** — every incremental
+//!   run here is collected under `qual_obs::scoped`, so the whole
+//!   oracle doubles as a metrics-on vs. metrics-off differential
+//!   (the serial engine runs uncollected); additionally the metrics
+//!   document's analysis fingerprint (the document modulo timing and
+//!   operational fields) must be byte-identical across 1 worker, 4
+//!   workers, cold cache, and warm cache.
 //!
 //! Case count defaults to 40 and is tunable via
 //! `QUAL_INCR_ORACLE_CASES` (CI pins `PROPTEST_SEED`).
@@ -98,20 +105,31 @@ proptest! {
             prop_assert!(serial.is_ok(), "{mode:?}: serial must analyze");
             let serial = serial.unwrap();
 
+            // Every run is collected under `qual_obs::scoped`, so the
+            // serial-agreement checks below double as a metrics-on vs.
+            // metrics-off differential (the serial engine above ran
+            // uncollected). The returned fingerprint is the metrics
+            // document modulo timing/operational fields.
             let run = |jobs: usize, cache: Option<PathBuf>| {
-                analyze_source_incremental(
-                    &src,
-                    &IncrConfig {
-                        mode,
-                        jobs,
-                        cache_dir: cache,
-                        ..IncrConfig::default()
-                    },
-                )
+                let (out, report) = qual_obs::scoped(|| {
+                    analyze_source_incremental(
+                        &src,
+                        &IncrConfig {
+                            mode,
+                            jobs,
+                            cache_dir: cache,
+                            ..IncrConfig::default()
+                        },
+                    )
+                });
+                let fp = qual_obs::analysis_fingerprint(
+                    &report.to_json("oracle", "any"),
+                );
+                (out, fp)
             };
 
             // Serial agreement: counts and position sets.
-            let one = run(1, None);
+            let (one, one_fp) = run(1, None);
             prop_assert!(
                 one.skipped.is_empty(),
                 "{mode:?}: incremental run has diagnostics: {:?}",
@@ -134,21 +152,29 @@ proptest! {
                 mode
             );
 
-            // Schedule independence: byte-identical at 4 workers.
-            let four = run(4, None);
+            // Schedule independence: byte-identical at 4 workers —
+            // both the analysis outcome and the metrics document
+            // (modulo timings).
+            let (four, four_fp) = run(4, None);
             prop_assert_eq!(
                 fingerprint(&src, &one),
                 fingerprint(&src, &four),
                 "{:?}: 4 workers diverged from 1 worker",
                 mode
             );
+            prop_assert_eq!(
+                &one_fp,
+                &four_fp,
+                "{:?}: metrics fingerprint diverged between 1 and 4 workers",
+                mode
+            );
 
             // Warm-cache identity: populate, rerun, compare.
             let dir = scratch_dir(&format!("{seed}-{base}-{lines}-{mode:?}"));
             let _ = std::fs::remove_dir_all(&dir);
-            let cold = run(1, Some(dir.clone()));
+            let (cold, cold_fp) = run(1, Some(dir.clone()));
             prop_assert_eq!(cold.stats.reused, 0, "{:?}: dir must start cold", mode);
-            let warm = run(4, Some(dir.clone()));
+            let (warm, warm_fp) = run(4, Some(dir.clone()));
             prop_assert_eq!(
                 warm.stats.analyzed, 0,
                 "{:?}: warm rerun re-solved {} of {} unit(s)",
@@ -164,6 +190,21 @@ proptest! {
                 fingerprint(&src, &one),
                 fingerprint(&src, &warm),
                 "{:?}: warm cache diverged from cold",
+                mode
+            );
+            // The metrics document's analysis view is cache-blind: a
+            // unit reconstituted from the cache carries the same
+            // analysis counters as one solved fresh.
+            prop_assert_eq!(
+                &cold_fp,
+                &warm_fp,
+                "{:?}: metrics fingerprint diverged between cold and warm cache",
+                mode
+            );
+            prop_assert_eq!(
+                &one_fp,
+                &cold_fp,
+                "{:?}: metrics fingerprint diverged between cacheless and cold-cache runs",
                 mode
             );
             let _ = std::fs::remove_dir_all(&dir);

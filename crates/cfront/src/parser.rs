@@ -22,6 +22,7 @@ use crate::types::{CTy, CTyKind, FnTy, Scalar};
 ///
 /// Returns the first [`CError`] encountered.
 pub fn parse(src: &str) -> Result<Program, CError> {
+    let _span = qual_obs::span("parse");
     let toks = lex(src)?;
     let mut p = Parser::new(toks);
     p.program()
@@ -45,6 +46,7 @@ pub struct RecoveredParse {
 /// no token stream to recover on.
 #[must_use]
 pub fn parse_with_recovery(src: &str) -> RecoveredParse {
+    let _span = qual_obs::span("parse");
     match lex(src) {
         Err(e) => RecoveredParse {
             program: Program::default(),

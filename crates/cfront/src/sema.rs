@@ -121,6 +121,7 @@ fn collect_decls(prog: &Program) -> (Sema, HashMap<String, i64>) {
 /// Returns [`CError`] for unresolved identifiers, unknown struct fields,
 /// or uses of non-struct values as structs.
 pub fn analyze(prog: &Program) -> Result<Sema, CError> {
+    let _span = qual_obs::span("sema");
     let (mut sema, enum_consts) = collect_decls(prog);
 
     // Pass 2: type every function body and global initializer.
@@ -166,6 +167,7 @@ pub struct RecoveredSema {
 /// expression typings, so the engine must not walk it.
 #[must_use]
 pub fn analyze_with_recovery(prog: &Program) -> RecoveredSema {
+    let _span = qual_obs::span("sema");
     let (mut sema, enum_consts) = collect_decls(prog);
     let mut failed_functions = Vec::new();
     let mut failed_globals = Vec::new();

@@ -172,6 +172,7 @@ pub fn run_budgeted(
     let mut skipped: Vec<Diagnostic> = Vec::new();
     let mut eng = Engine::new(sema, space, mode, budgets);
 
+    let cgen_span = qual_obs::span("cgen-constraints");
     eng.setup_globals(prog);
     // Signature templates. In monomorphic mode every function gets its
     // (single, shared) template now. In polymorphic mode templates are
@@ -203,6 +204,11 @@ pub fn run_budgeted(
             }
         }
     }
+
+    drop(cgen_span);
+    qual_obs::count("cgen.constraints", eng.cs.len() as u64);
+    qual_obs::count("cgen.qvars", eng.supply.count() as u64);
+    qual_obs::peak("arena.qtypes", eng.arena.len() as u64);
 
     let solution =
         eng.cs

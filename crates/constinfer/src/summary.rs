@@ -214,6 +214,7 @@ pub struct UnitRequest<'a> {
 /// [`UnitSummary::diagnostics`].
 #[must_use]
 pub fn analyze_unit(req: &UnitRequest<'_>) -> UnitSummary {
+    let cgen_span = qual_obs::span("cgen-constraints");
     let mut eng = Engine::new(req.sema, req.space, req.mode, req.budgets);
     let mut diags = Vec::new();
     eng.setup_globals(req.prog);
@@ -261,6 +262,11 @@ pub fn analyze_unit(req: &UnitRequest<'_>) -> UnitSummary {
             }
         }
     }
+
+    drop(cgen_span);
+    qual_obs::count("cgen.constraints", eng.cs.len() as u64);
+    qual_obs::count("cgen.qvars", eng.supply.count() as u64);
+    qual_obs::peak("arena.qtypes", eng.arena.len() as u64);
 
     let newly_failed: Vec<String> = members
         .iter()

@@ -6,7 +6,8 @@
 //!       [--verify] [--explain] [--keep-going] [--jobs N]
 //!       [--cache-dir DIR] [--cache-stats] [--unit-deadline-ms N]
 //!       [--max-retries N] [--fault-plan SPEC] [--max-constraints N]
-//!       [--max-solver-steps N] [--max-fn-work N] FILE...
+//!       [--max-solver-steps N] [--max-fn-work N]
+//!       [--metrics PATH] [--metrics-summary] FILE...
 //! ```
 //!
 //! * `--report` (default): the Table-2 style counts plus per-position
@@ -40,6 +41,14 @@
 //!   testing (e.g. `cache.read@1=io` or `seed:42:150`); also settable
 //!   via `QUAL_FAULT_PLAN` / `QUAL_FAULT_SEED`. Injection is for
 //!   testing this tool, not for production runs.
+//! * `--metrics PATH` (or `QUAL_METRICS=PATH`): write a versioned JSON
+//!   metrics document for the whole invocation — per-phase spans
+//!   (parse, sema, cgen-constraints, solve-propagate, certify,
+//!   cache-read, cache-write, merge), counters, peaks, and one entry
+//!   per analysis unit (see DESIGN.md §13). Instrumentation never
+//!   changes counts, diagnostics, or exit codes.
+//! * `--metrics-summary`: print the same data as a human-readable
+//!   table on stdout after the report.
 //!
 //! By default multiple files are concatenated and analyzed as one
 //! program, exactly as the paper handles multi-file benchmarks ("We
@@ -84,7 +93,8 @@ fn usage() -> ExitCode {
          \x20            [--unit-deadline-ms N] [--max-retries N]\n\
          \x20            [--fault-plan SPEC]\n\
          \x20            [--max-constraints N] [--max-solver-steps N]\n\
-         \x20            [--max-fn-work N] FILE..."
+         \x20            [--max-fn-work N] [--metrics PATH]\n\
+         \x20            [--metrics-summary] FILE..."
     );
     ExitCode::from(2)
 }
@@ -102,6 +112,10 @@ struct Config {
     cache_stats: bool,
     unit_deadline_ms: Option<u64>,
     max_retries: Option<u32>,
+    /// Where to write the invocation's JSON metrics document.
+    metrics: Option<PathBuf>,
+    /// Print the human metrics table after the report.
+    metrics_summary: bool,
 }
 
 impl Config {
@@ -144,6 +158,8 @@ fn main() -> ExitCode {
         cache_stats: false,
         unit_deadline_ms: None,
         max_retries: None,
+        metrics: None,
+        metrics_summary: false,
     };
     // Arm fault injection from the environment up front; an explicit
     // `--fault-plan` below overrides it.
@@ -213,6 +229,11 @@ fn main() -> ExitCode {
                 Some(n) => cfg.budgets.max_fn_work = n,
                 None => return usage(),
             },
+            "--metrics" => match args.next() {
+                Some(p) => cfg.metrics = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--metrics-summary" => cfg.metrics_summary = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -224,11 +245,47 @@ fn main() -> ExitCode {
     if files.is_empty() {
         return usage();
     }
+    if cfg.metrics.is_none() {
+        if let Ok(p) = std::env::var("QUAL_METRICS") {
+            if !p.is_empty() {
+                cfg.metrics = Some(PathBuf::from(p));
+            }
+        }
+    }
 
-    if keep_going {
-        run_batch(&cfg, &files)
-    } else {
-        run_concatenated(&cfg, &files)
+    let run = || {
+        if keep_going {
+            run_batch(&cfg, &files)
+        } else {
+            run_concatenated(&cfg, &files)
+        }
+    };
+    if cfg.metrics.is_none() && !cfg.metrics_summary {
+        return run();
+    }
+    // One collector for the whole invocation: with --keep-going every
+    // file's nested report is absorbed into it, so the document covers
+    // the batch. Metrics trouble (an unwritable path) is operational —
+    // reported on stderr, never in the exit code.
+    let (code, report) = qual_obs::scoped(run);
+    let mode = mode_name(cfg.mode);
+    if let Some(path) = &cfg.metrics {
+        let doc = report.to_json("cqual", mode);
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("cqual: cannot write metrics to {}: {e}", path.display());
+        }
+    }
+    if cfg.metrics_summary {
+        print!("{}", qual_obs::render_summary(&report, "cqual", mode));
+    }
+    code
+}
+
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Monomorphic => "mono",
+        Mode::Polymorphic => "poly",
+        Mode::PolymorphicRecursive => "polyrec",
     }
 }
 
@@ -421,7 +478,19 @@ fn analyze_and_print_incremental(cfg: &Config, src: &str) -> RunStats {
             .max_retries
             .unwrap_or(IncrConfig::default().max_retries),
     };
-    let mut out = analyze_source_incremental(src, &icfg);
+    // `--cache-stats` is served *from the metrics layer*: the run is
+    // collected into a report and the stats lines are rendered from its
+    // counters, so the human output and `--metrics` JSON are two views
+    // of one measurement and can never disagree. The nested report is
+    // absorbed into the invocation-level collector (if any) afterwards.
+    let need_report = cfg.cache_stats || qual_obs::armed();
+    let (mut out, report) = if need_report {
+        let (out, report) =
+            qual_obs::scoped(|| analyze_source_incremental(src, &icfg));
+        (out, Some(report))
+    } else {
+        (analyze_source_incremental(src, &icfg), None)
+    };
     if let Some(c) = out.counts {
         println!(
             "{} interesting positions: {} declared const, {} inferable const ({:?})",
@@ -438,24 +507,13 @@ fn analyze_and_print_incremental(cfg: &Config, src: &str) -> RunStats {
         }
     }
     if cfg.cache_stats {
-        let s = out.stats;
-        println!(
-            "cqual: cache: {} unit(s): {} analyzed, {} reused, {} corrupt, \
-             {} stored; {} wavefront(s), {} job(s), {} merged constraint(s)",
-            s.units,
-            s.analyzed,
-            s.reused,
-            s.corrupt,
-            s.stored,
-            s.wavefronts,
-            s.jobs,
-            s.constraints
-        );
-        println!(
-            "cqual: cache: generation {}, {} retry(ies), {} quarantined \
-             unit(s), lock wait {} ms, {} stale lock(s) stolen",
-            s.generation, s.retries, s.quarantined, s.lock_wait_ms, s.lock_steals
-        );
+        let report = report.as_ref().expect("collected when --cache-stats");
+        for line in qual_incr::cache_stats_lines(report) {
+            println!("cqual: cache: {line}");
+        }
+    }
+    if let Some(report) = &report {
+        qual_obs::absorb(report);
     }
     if out.stats.quarantined > 0 {
         eprintln!(

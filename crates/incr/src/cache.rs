@@ -222,6 +222,7 @@ pub fn store(
     generation: u64,
     policy: RetryPolicy,
 ) -> std::io::Result<u32> {
+    let _span = qual_obs::span("cache-write");
     let mut attempt = 0u32;
     loop {
         match store_once(dir, key, payload, generation) {
@@ -295,6 +296,7 @@ fn store_once(
 /// of retries spent.
 #[must_use]
 pub fn load(dir: &Path, key: &Key, policy: RetryPolicy) -> (Load, u32) {
+    let _span = qual_obs::span("cache-read");
     let mut attempt = 0u32;
     loop {
         match load_once(dir, key) {

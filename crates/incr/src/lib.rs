@@ -185,6 +185,10 @@ struct Executed {
     retries: u64,
     /// Whether the unit was quarantined after a worker panic.
     quarantined: bool,
+    /// Spans/counters captured on the executing worker (empty when
+    /// metrics are off). Carried back so the driver can absorb unit
+    /// reports in deterministic unit order, not completion order.
+    metrics: qual_obs::Report,
 }
 
 /// Everything a worker needs to execute units, shared immutably.
@@ -413,6 +417,31 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
                 format!("cache: unit `{}`: store failed: {msg}", plans[unit_idx].label),
             ));
         }
+        // Per-unit metrics: the `analysis.*` counters come from the
+        // summary itself, which is exactly what the cache stores — so
+        // they are identical whether the unit ran cold, was reused, or
+        // ran on any worker. Everything captured on the worker
+        // (spans, solver steps) is operational and rides along.
+        let outcome = if ex.quarantined {
+            "quarantined"
+        } else if ex.reused {
+            "reused"
+        } else {
+            "analyzed"
+        };
+        let s = &ex.summary;
+        qual_obs::unit(
+            &plans[unit_idx].label,
+            outcome,
+            &[
+                ("analysis.constraints", s.constraints.len() as u64),
+                ("analysis.schemes", s.schemes.len() as u64),
+                ("analysis.positions", s.positions.len() as u64),
+                ("analysis.diagnostics", s.diagnostics.len() as u64),
+                ("analysis.failed", s.failed.len() as u64),
+            ],
+            &ex.metrics,
+        );
         summaries[unit_idx] = Some(ex.summary);
     };
 
@@ -533,6 +562,7 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
     // Splice: one merged constraint system over shared anchor
     // variables, built in fixed unit order (globals, then SCCs in
     // reverse-topological order) — never in completion order.
+    let merge_span = qual_obs::span("merge");
     let mut supply = VarSupply::new();
     let mut cs = ConstraintSet::new();
     let mut anchors: HashMap<CanonVar, QVar> = HashMap::new();
@@ -567,6 +597,7 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         }
         unit_diags.extend(summary.diagnostics.iter().cloned());
     }
+    drop(merge_span);
     stats.constraints = cs.len();
 
     // Faulted functions drop out of the counts exactly as in the serial
@@ -643,6 +674,8 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         }
     };
 
+    record_run_metrics(&stats, counts.as_ref(), &skipped);
+
     IncrOutcome {
         counts,
         positions,
@@ -651,6 +684,68 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         cache_diags,
         stats,
     }
+}
+
+/// Records the run-level counters into the ambient collector (no-op
+/// without one). `analysis.*` keys are the deterministic subset —
+/// identical for any `jobs` value or cache state — and are the only
+/// counters [`qual_obs::analysis_fingerprint`] keeps; `cache.*` and
+/// `sched.*` describe how this particular run executed.
+fn record_run_metrics(
+    stats: &IncrStats,
+    counts: Option<&ConstCounts>,
+    skipped: &[Diagnostic],
+) {
+    qual_obs::count("analysis.units", stats.units as u64);
+    qual_obs::count("analysis.wavefronts", stats.wavefronts as u64);
+    qual_obs::count("analysis.merged_constraints", stats.constraints as u64);
+    qual_obs::count("analysis.diagnostics", skipped.len() as u64);
+    if let Some(c) = counts {
+        qual_obs::count("analysis.positions_total", c.total as u64);
+        qual_obs::count("analysis.positions_declared", c.declared as u64);
+        qual_obs::count("analysis.positions_inferred", c.inferred as u64);
+    }
+    qual_obs::peak("sched.jobs", stats.jobs as u64);
+    qual_obs::count("cache.analyzed", stats.analyzed as u64);
+    qual_obs::count("cache.reused", stats.reused as u64);
+    qual_obs::count("cache.corrupt", stats.corrupt as u64);
+    qual_obs::count("cache.stored", stats.stored as u64);
+    qual_obs::count("cache.quarantined", stats.quarantined as u64);
+    qual_obs::count("cache.retries", stats.retries);
+    qual_obs::count("cache.lock_wait_ms", stats.lock_wait_ms);
+    qual_obs::count("cache.lock_steals", u64::from(stats.lock_steals));
+    qual_obs::peak("cache.generation", stats.generation);
+}
+
+/// Renders the exact two `--cache-stats` lines from a metrics report,
+/// so the human output and the JSON document are two views of the same
+/// counters and can never disagree (the `metrics.rs` test pins this).
+#[must_use]
+pub fn cache_stats_lines(report: &qual_obs::Report) -> [String; 2] {
+    let c = |name: &str| report.counter(name);
+    [
+        format!(
+            "{} unit(s): {} analyzed, {} reused, {} corrupt, {} stored; \
+             {} wavefront(s), {} job(s), {} merged constraint(s)",
+            c("analysis.units"),
+            c("cache.analyzed"),
+            c("cache.reused"),
+            c("cache.corrupt"),
+            c("cache.stored"),
+            c("analysis.wavefronts"),
+            report.peak_value("sched.jobs"),
+            c("analysis.merged_constraints"),
+        ),
+        format!(
+            "generation {}, {} retry(ies), {} quarantined unit(s), \
+             lock wait {} ms, {} stale lock(s) stolen",
+            report.peak_value("cache.generation"),
+            c("cache.retries"),
+            c("cache.quarantined"),
+            c("cache.lock_wait_ms"),
+            c("cache.lock_steals"),
+        ),
+    ]
 }
 
 /// Maps one canonical term into the merged world: anchors resolve to
@@ -729,7 +824,7 @@ fn run_supervised(
         .cfg
         .unit_deadline_ms
         .map(qual_faultpoint::cancel::deadline_after_ms);
-    match catch_unwind(AssertUnwindSafe(|| {
+    let run = || match catch_unwind(AssertUnwindSafe(|| {
         execute_one(ctx, plan, schemes, failed)
     })) {
         Ok(ex) => ex,
@@ -744,7 +839,19 @@ fn run_supervised(
             store_err: None,
             retries: 0,
             quarantined: true,
+            metrics: qual_obs::Report::default(),
         },
+    };
+    // Metrics on: capture this unit's spans/counters on whatever thread
+    // is executing it. The report travels back in `Executed` and is
+    // absorbed on the driver in unit order, so worker scheduling can
+    // never reorder the document.
+    if qual_obs::armed() {
+        let (mut ex, report) = qual_obs::scoped(run);
+        ex.metrics = report;
+        ex
+    } else {
+        run()
     }
 }
 
@@ -786,6 +893,7 @@ fn execute_one(
                                     store_err: None,
                                     retries,
                                     quarantined: false,
+                                    metrics: qual_obs::Report::default(),
                                 };
                             }
                             Err(e) => {
@@ -847,6 +955,7 @@ fn execute_one(
         store_err,
         retries,
         quarantined: false,
+        metrics: qual_obs::Report::default(),
     }
 }
 

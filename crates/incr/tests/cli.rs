@@ -296,3 +296,83 @@ fn bad_jobs_value_is_a_usage_error() {
     let out = cqual(&["--jobs", "many", "x.c"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn metrics_flag_writes_schema_valid_document_without_changing_output() {
+    use qual_obs::json::Json;
+
+    let dir = TempDir::new("metrics");
+    dir.write(
+        "m.c",
+        "int leaf(const char *s) { return *s; }\nint use(char *p) { return leaf(p); }\n",
+    );
+    let src = dir.0.join("m.c");
+    let out_path = dir.0.join("metrics.json");
+
+    let plain = cqual(&[src.to_str().unwrap()]);
+    let with_metrics = cqual(&[
+        "--jobs",
+        "2",
+        "--metrics",
+        out_path.to_str().unwrap(),
+        "--metrics-summary",
+        src.to_str().unwrap(),
+    ]);
+    assert_eq!(with_metrics.status.code(), Some(0));
+    // The analysis report on stdout is unchanged by collection; only
+    // the summary table is appended after it.
+    let plain_out = String::from_utf8_lossy(&plain.stdout);
+    let metrics_out = String::from_utf8_lossy(&with_metrics.stdout);
+    assert!(
+        metrics_out.starts_with(plain_out.as_ref()),
+        "metrics run altered the analysis output:\n--- plain\n{plain_out}\n--- metrics\n{metrics_out}"
+    );
+    assert!(metrics_out.contains("cqual metrics (poly)"), "{metrics_out}");
+
+    let text = std::fs::read_to_string(&out_path).expect("metrics file written");
+    let doc = qual_obs::json::parse(&text).expect("metrics file parses");
+    qual_obs::schema::validate_metrics(&doc).expect("metrics file validates");
+    assert_eq!(doc.get("tool").and_then(Json::as_str), Some("cqual"));
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("poly"));
+    let counter = |name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+    };
+    assert_eq!(counter("analysis.units"), Some(3), "globals + two SCCs");
+    assert!(counter("cgen.constraints").unwrap_or(0) > 0);
+    assert!(
+        doc.get("units").and_then(Json::as_arr).is_some_and(|u| u.len() == 3),
+        "per-unit reports present"
+    );
+}
+
+#[test]
+fn qual_metrics_env_var_is_a_fallback_for_the_flag() {
+    let dir = TempDir::new("metrics-env");
+    dir.write("e.c", "int f(const char *s) { return *s; }\n");
+    let out_path = dir.0.join("env-metrics.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_cqual"))
+        .arg(dir.0.join("e.c"))
+        .env("QUAL_METRICS", &out_path)
+        .output()
+        .expect("spawn cqual");
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&out_path).expect("env var routed metrics");
+    let doc = qual_obs::json::parse(&text).unwrap();
+    qual_obs::schema::validate_metrics(&doc).expect("valid");
+}
+
+#[test]
+fn unwritable_metrics_path_warns_but_does_not_change_exit_code() {
+    let dir = TempDir::new("metrics-unwritable");
+    dir.write("w.c", "int f(const char *s) { return *s; }\n");
+    let out = cqual(&[
+        "--metrics",
+        "/nonexistent-dir/metrics.json",
+        dir.0.join("w.c").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "metrics IO must not fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("metrics"), "{stderr}");
+}

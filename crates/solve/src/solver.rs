@@ -121,6 +121,8 @@ pub(crate) fn solve_budgeted(
     constraints: &[Constraint],
     max_steps: u64,
 ) -> Result<Solution, SolveFailure> {
+    let _span = qual_obs::span("solve-propagate");
+    qual_obs::peak("solve.vars", var_count as u64);
     // Adjacency with per-edge masks: fwd[v] = (w, m) pairs with
     // `v ⊓ m ⊑ w ⊔ ¬m`; bwd is the reverse.
     let top = space.top().bits();
@@ -178,18 +180,21 @@ pub(crate) fn solve_budgeted(
         match propagate(top, adj, val, dir, &mut budget, cancellable) {
             Propagate::Converged => {}
             Propagate::OutOfBudget => {
+                qual_obs::count("solve.steps", max_steps - budget);
                 return Err(SolveFailure::BudgetExceeded {
                     steps: max_steps - budget,
                     limit: max_steps,
                 });
             }
             Propagate::Cancelled => {
+                qual_obs::count("solve.steps", max_steps - budget);
                 return Err(SolveFailure::Cancelled {
                     steps: max_steps - budget,
                 });
             }
         }
     }
+    qual_obs::count("solve.steps", max_steps - budget);
 
     // Satisfiability: the least solution satisfies every `L ⊑ κ` and
     // `κ ⊑ κ′` constraint by construction, so the system is solvable iff

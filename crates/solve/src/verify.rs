@@ -226,6 +226,7 @@ pub fn verify_solution(
     constraints: &[Constraint],
     sol: &Solution,
 ) -> Result<(), CertificateError> {
+    let _span = qual_obs::span("certify");
     let top = space.top().bits();
     for i in 0..sol.var_count() {
         let var = QVar::from_index(i);
@@ -306,6 +307,7 @@ pub fn verify_explanation(
     space: &QualSpace,
     exp: &Explanation,
 ) -> Result<(), CertificateError> {
+    let _span = qual_obs::span("certify");
     let steps = &exp.steps;
     if steps.is_empty() {
         return Err(CertificateError::EmptyPath);
