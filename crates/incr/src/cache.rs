@@ -93,6 +93,13 @@ impl Key {
     pub fn hex(&self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
     }
+
+    /// The key folded to 64 bits — for digests over key *sets* (e.g.
+    /// the coordinator/worker plan cross-check), not for addressing.
+    #[must_use]
+    pub fn fold(&self) -> u64 {
+        self.hi.rotate_left(32) ^ self.lo
+    }
 }
 
 /// An incremental hasher producing a [`Key`]. Inputs are framed

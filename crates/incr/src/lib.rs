@@ -30,6 +30,10 @@
 //! DESIGN.md §11.
 
 pub mod cache;
+pub mod proto;
+mod shard;
+
+pub use shard::worker_main;
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,6 +88,27 @@ pub struct IncrConfig {
     /// (0 = fail fast). Applies to entry reads, entry writes, and the
     /// session generation bump.
     pub max_retries: u32,
+    /// Worker *processes* to shard wavefronts across (`0` = in-process
+    /// only). Units are handed to workers over pipes; results are
+    /// byte-identical to any in-process configuration. Worker trouble
+    /// (spawn failure, crash, hang) degrades back to in-process
+    /// execution with a structured diagnostic — never a panic or hang.
+    pub workers: usize,
+    /// The worker executable. `None` resolves `QUAL_WORKER_EXE`, then
+    /// the current executable (when it is `cqual` itself), then a
+    /// sibling `cqual` binary. Unresolvable ⇒ degrade to in-process.
+    pub worker_exe: Option<PathBuf>,
+    /// A worker whose heartbeat stays silent this long (ms) is declared
+    /// dead: killed, its claimed unit reassigned, the process respawned
+    /// while the respawn budget lasts.
+    pub worker_deadline_ms: u64,
+    /// A busy unit older than this (ms) may be speculatively duplicated
+    /// onto an idle worker (work stealing for straggler SCCs); the first
+    /// result wins — summaries are deterministic, so both are identical.
+    pub steal_after_ms: u64,
+    /// Total worker respawns allowed per run (with exponential backoff)
+    /// before the pool gives up and the run degrades to in-process.
+    pub max_worker_respawns: u32,
 }
 
 impl Default for IncrConfig {
@@ -96,6 +121,11 @@ impl Default for IncrConfig {
             cache_dir: None,
             unit_deadline_ms: None,
             max_retries: RetryPolicy::default().max_retries,
+            workers: 0,
+            worker_exe: None,
+            worker_deadline_ms: 1000,
+            steal_after_ms: 200,
+            max_worker_respawns: 4,
         }
     }
 }
@@ -133,6 +163,20 @@ pub struct IncrStats {
     /// This run's cache generation (0 = no cache or counter
     /// unreachable).
     pub generation: u64,
+    /// Worker processes requested (0 = in-process only).
+    pub workers: usize,
+    /// Worker processes spawned, initial spawns and respawns included.
+    pub workers_spawned: u64,
+    /// Workers killed by the coordinator (silent heartbeat, plan
+    /// mismatch, or pool shutdown with the worker still alive).
+    pub workers_killed: u64,
+    /// Workers respawned after dying or being declared dead.
+    pub workers_respawned: u64,
+    /// Units reassigned after the worker holding them was lost.
+    pub units_reassigned: u64,
+    /// Speculative duplicate dispatches of straggler units (work
+    /// stealing); the first finished copy wins.
+    pub steals: u64,
 }
 
 /// The result of an incremental run — the same counts, positions, and
@@ -166,54 +210,174 @@ impl IncrOutcome {
 }
 
 /// One planned unit.
-struct UnitPlan {
-    kind: UnitKind,
-    key: Key,
-    proxies: Vec<String>,
+pub(crate) struct UnitPlan {
+    pub(crate) kind: UnitKind,
+    pub(crate) key: Key,
+    pub(crate) proxies: Vec<String>,
     /// Human-readable name for diagnostics ("globals" or the members).
-    label: String,
+    pub(crate) label: String,
 }
 
 /// What executing one unit produced.
-struct Executed {
-    summary: UnitSummary,
-    reused: bool,
-    corrupt: Option<String>,
-    stored: bool,
-    store_err: Option<String>,
+pub(crate) struct Executed {
+    pub(crate) summary: UnitSummary,
+    pub(crate) reused: bool,
+    pub(crate) corrupt: Option<String>,
+    pub(crate) stored: bool,
+    pub(crate) store_err: Option<String>,
     /// Cache I/O retries this unit spent (load + store).
-    retries: u64,
+    pub(crate) retries: u64,
     /// Whether the unit was quarantined after a worker panic.
-    quarantined: bool,
+    pub(crate) quarantined: bool,
     /// Spans/counters captured on the executing worker (empty when
     /// metrics are off). Carried back so the driver can absorb unit
     /// reports in deterministic unit order, not completion order.
-    metrics: qual_obs::Report,
+    pub(crate) metrics: qual_obs::Report,
 }
 
 /// Everything a worker needs to execute units, shared immutably.
-struct UnitCtx<'a> {
-    prog: &'a Program,
-    sema: &'a Sema,
-    space: &'a QualSpace,
-    cfg: &'a IncrConfig,
+pub(crate) struct UnitCtx<'a> {
+    pub(crate) prog: &'a Program,
+    pub(crate) sema: &'a Sema,
+    pub(crate) space: &'a QualSpace,
+    pub(crate) cfg: &'a IncrConfig,
     /// This session's cache generation (stamped into stored entries).
-    generation: u64,
-    policy: RetryPolicy,
+    pub(crate) generation: u64,
+    pub(crate) policy: RetryPolicy,
 }
 
-/// Runs the incremental analysis end to end. Never panics on bad input
-/// or bad cache state; every fault is a structured diagnostic.
-#[must_use]
-pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
+/// One unit's dispatch record for a wavefront: the global plan index
+/// plus the callee schemes and failed-function names it imports from
+/// earlier fronts.
+pub(crate) type FrontInput = (usize, Vec<CanonScheme>, Vec<String>);
+
+/// Executes one wavefront's units, preferring the worker-process pool
+/// and falling back in-process for everything the pool did not
+/// complete (no pool configured, pool degraded, or individual units
+/// lost to dead workers). Always returns exactly one result per input,
+/// sorted by unit index — no matter how many processes or threads the
+/// fault plan kills along the way.
+fn execute_front(
+    pool: &mut Option<shard::Pool>,
+    ctx: &UnitCtx<'_>,
+    plans: &[UnitPlan],
+    inputs: &[FrontInput],
+    jobs: usize,
+    cache_diags: &mut Vec<Diagnostic>,
+) -> Vec<(usize, Executed)> {
+    let mut results: Vec<(usize, Executed)> = Vec::new();
+    if let Some(p) = pool.as_mut() {
+        results = p.run_front(inputs);
+        cache_diags.extend(p.drain_diags());
+    }
+
+    let have: HashSet<usize> = results.iter().map(|(idx, _)| *idx).collect();
+    let missing: Vec<&FrontInput> = inputs
+        .iter()
+        .filter(|(idx, _, _)| !have.contains(idx))
+        .collect();
+    if missing.len() > 1 && jobs > 1 {
+        let next = AtomicUsize::new(0);
+        let out: Mutex<Vec<(usize, Executed)>> = Mutex::new(Vec::new());
+        let missing_ref = &missing;
+        std::thread::scope(|sc| {
+            for _ in 0..jobs.min(missing.len()) {
+                // A worker that panics would poison `scope`'s join and
+                // abort the whole run, so the entire worker body sits
+                // under `catch_unwind`: a dying worker (e.g. an
+                // injected `worker.spawn` fault) exits cleanly, its
+                // claimed unit is simply missing from `out`, and the
+                // sweep below re-runs it inline.
+                sc.spawn(|| {
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        qual_faultpoint::maybe_panic("worker.spawn");
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((idx, schemes, failed)) =
+                                missing_ref.get(i).map(|t| &**t)
+                            else {
+                                break;
+                            };
+                            let ex = run_supervised(
+                                ctx,
+                                &plans[*idx],
+                                schemes,
+                                failed,
+                            );
+                            out.lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push((*idx, ex));
+                        }
+                    }));
+                });
+            }
+        });
+        // A lock poisoned by a worker that died mid-`push` may hold a
+        // partial batch; every unit it did record is still whole (push
+        // is all-or-nothing for our Vec), and anything lost gets re-run
+        // by the sweep.
+        results.extend(
+            out.into_inner().unwrap_or_else(PoisonError::into_inner),
+        );
+    } else {
+        for (idx, schemes, failed) in missing.iter().map(|t| &**t) {
+            results.push((*idx, run_supervised(ctx, &plans[*idx], schemes, failed)));
+        }
+    }
+
+    // Supervision sweep: any unit claimed by a worker (process or
+    // thread) that died before reporting is re-run inline. This
+    // guarantees every unit produces a summary no matter how many
+    // workers the fault plan kills.
+    if results.len() != inputs.len() {
+        let have: HashSet<usize> = results.iter().map(|(idx, _)| *idx).collect();
+        for (idx, schemes, failed) in inputs {
+            if !have.contains(idx) {
+                let ex = run_supervised(ctx, &plans[*idx], schemes, failed);
+                results.push((*idx, ex));
+            }
+        }
+    }
+
+    results.sort_by_key(|(idx, _)| *idx);
+    results
+}
+
+/// The deterministic unit plan for one source + configuration. The
+/// coordinator and every worker process compute this independently from
+/// identical inputs and must agree exactly; the process protocol
+/// cross-checks unit count and [`plan_digest`] before any unit is
+/// dispatched.
+pub(crate) struct Planned {
+    pub(crate) program: Program,
+    pub(crate) sema: Sema,
+    pub(crate) skipped: Vec<Diagnostic>,
+    pub(crate) space: QualSpace,
+    pub(crate) plans: Vec<UnitPlan>,
+    /// FDG wavefronts; entries index `fdg.sccs`, i.e. `plans[1 + s]`.
+    pub(crate) fronts: Vec<Vec<usize>>,
+}
+
+/// Folds every planned unit key into one digest for the
+/// coordinator/worker plan cross-check.
+pub(crate) fn plan_digest(plans: &[UnitPlan]) -> u64 {
+    let mut h = KeyHasher::new();
+    for p in plans {
+        h.key(&p.key);
+    }
+    h.finish().fold()
+}
+
+/// Plans the unit decomposition: front end recovery, FDG, content keys,
+/// wavefront schedule — everything up to (but not including) execution.
+pub(crate) fn plan_units(src: &str, cfg: &IncrConfig) -> Planned {
     let RecoveredUnit {
-        mut program,
+        program,
         sema,
-        mut skipped,
+        skipped,
     } = recover_front_end(src);
     let space = QualSpace::const_only();
     let fdg = Fdg::build(&program);
-    let jobs = cfg.jobs.max(1);
 
     // Pretty-printed text per defined function: the content half of
     // every unit key.
@@ -332,11 +496,35 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         });
     }
 
-    let fronts = fdg.wavefronts();
+    Planned {
+        fronts: fdg.wavefronts(),
+        program,
+        sema,
+        skipped,
+        space,
+        plans,
+    }
+}
+
+/// Runs the incremental analysis end to end. Never panics on bad input
+/// or bad cache state; every fault is a structured diagnostic.
+#[must_use]
+pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
+    let Planned {
+        mut program,
+        sema,
+        mut skipped,
+        space,
+        plans,
+        fronts,
+    } = plan_units(src, cfg);
+    let jobs = cfg.jobs.max(1);
+
     let mut stats = IncrStats {
         units: plans.len(),
         wavefronts: fronts.len(),
         jobs,
+        workers: cfg.workers,
         ..IncrStats::default()
     };
     let mut cache_diags: Vec<Diagnostic> = Vec::new();
@@ -379,6 +567,23 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         generation,
         policy,
     };
+
+    // Process sharding: spawn the worker pool up front so workers can
+    // plan while the coordinator starts on the globals unit. Pool-level
+    // trouble — unresolvable worker executable, spawn failures, a plan
+    // mismatch, every worker dead with the respawn budget spent —
+    // degrades to in-process execution with a structured diagnostic; it
+    // never changes analysis results, exit codes, or output bytes.
+    let mut pool: Option<shard::Pool> = None;
+    if cfg.workers > 0 {
+        match shard::Pool::start(src, cfg, generation, plans.len(), plan_digest(&plans)) {
+            Ok(p) => pool = Some(p),
+            Err(msg) => cache_diags.push(Diagnostic::warning(
+                Phase::Infer,
+                format!("workers: {msg}; running in-process"),
+            )),
+        }
+    }
     let mut summaries: Vec<Option<UnitSummary>> =
         (0..plans.len()).map(|_| None).collect();
     let mut scheme_pool: HashMap<String, CanonScheme> = HashMap::new();
@@ -447,13 +652,17 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
 
     // The globals unit runs before every wavefront (function units may
     // reference global cells).
-    let ex = run_supervised(&ctx, &plans[0], &[], &[]);
-    absorb(0, ex, &mut stats, &mut cache_diags, &mut summaries);
+    let globals_inputs: Vec<FrontInput> = vec![(0, Vec::new(), Vec::new())];
+    for (idx, ex) in
+        execute_front(&mut pool, &ctx, &plans, &globals_inputs, jobs, &mut cache_diags)
+    {
+        absorb(idx, ex, &mut stats, &mut cache_diags, &mut summaries);
+    }
 
     for front in &fronts {
         // Inputs each unit needs from earlier wavefronts, gathered up
         // front so workers share them immutably.
-        let inputs: Vec<(usize, Vec<CanonScheme>, Vec<String>)> = front
+        let inputs: Vec<FrontInput> = front
             .iter()
             .map(|&s| {
                 let plan = &plans[1 + s];
@@ -472,78 +681,11 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
             })
             .collect();
 
-        let mut results: Vec<(usize, Executed)> = if jobs == 1 || inputs.len() <= 1
-        {
-            inputs
-                .iter()
-                .map(|(idx, schemes, failed)| {
-                    (*idx, run_supervised(&ctx, &plans[*idx], schemes, failed))
-                })
-                .collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let out: Mutex<Vec<(usize, Executed)>> = Mutex::new(Vec::new());
-            let plans_ref = &plans;
-            let ctx_ref = &ctx;
-            let inputs_ref = &inputs;
-            std::thread::scope(|sc| {
-                for _ in 0..jobs.min(inputs.len()) {
-                    // A worker that panics would poison `scope`'s join
-                    // and abort the whole run, so the entire worker
-                    // body sits under `catch_unwind`: a dying worker
-                    // (e.g. an injected `worker.spawn` fault) exits
-                    // cleanly, its claimed unit is simply missing from
-                    // `out`, and the sweep below re-runs it inline.
-                    sc.spawn(|| {
-                        let _ = catch_unwind(AssertUnwindSafe(|| {
-                            qual_faultpoint::maybe_panic("worker.spawn");
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some((idx, schemes, failed)) =
-                                    inputs_ref.get(i)
-                                else {
-                                    break;
-                                };
-                                let ex = run_supervised(
-                                    ctx_ref,
-                                    &plans_ref[*idx],
-                                    schemes,
-                                    failed,
-                                );
-                                out.lock()
-                                    .unwrap_or_else(PoisonError::into_inner)
-                                    .push((*idx, ex));
-                            }
-                        }));
-                    });
-                }
-            });
-            // A lock poisoned by a worker that died mid-`push` may hold
-            // a partial batch; every unit it did record is still whole
-            // (push is all-or-nothing for our Vec), and anything lost
-            // gets re-run by the sweep.
-            out.into_inner().unwrap_or_else(PoisonError::into_inner)
-        };
-
-        // Supervision sweep: any unit claimed by a worker that died
-        // before reporting is re-run inline. This guarantees every unit
-        // produces a summary no matter how many workers the fault plan
-        // kills.
-        if results.len() != inputs.len() {
-            let have: HashSet<usize> =
-                results.iter().map(|(idx, _)| *idx).collect();
-            for (idx, schemes, failed) in &inputs {
-                if !have.contains(idx) {
-                    let ex = run_supervised(&ctx, &plans[*idx], schemes, failed);
-                    results.push((*idx, ex));
-                }
-            }
-        }
-
         // Deterministic merge: absorb in SCC order regardless of which
-        // worker finished first.
-        results.sort_by_key(|(idx, _)| *idx);
-        for (idx, ex) in results {
+        // worker (process or thread) finished first.
+        for (idx, ex) in
+            execute_front(&mut pool, &ctx, &plans, &inputs, jobs, &mut cache_diags)
+        {
             absorb(idx, ex, &mut stats, &mut cache_diags, &mut summaries);
         }
         // Publish this front's schemes and failures for later fronts,
@@ -557,6 +699,18 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
                 failed_set.insert(f.clone());
             }
         }
+    }
+
+    // Retire the pool and fold its accounting into the run's stats.
+    if let Some(mut p) = pool.take() {
+        p.shutdown();
+        cache_diags.extend(p.drain_diags());
+        let w = p.stats();
+        stats.workers_spawned = w.spawned;
+        stats.workers_killed = w.killed;
+        stats.workers_respawned = w.respawned;
+        stats.units_reassigned = w.reassigned;
+        stats.steals = w.steals;
     }
 
     // Splice: one merged constraint system over shared anchor
@@ -706,6 +860,12 @@ fn record_run_metrics(
         qual_obs::count("analysis.positions_inferred", c.inferred as u64);
     }
     qual_obs::peak("sched.jobs", stats.jobs as u64);
+    qual_obs::peak("worker.processes", stats.workers as u64);
+    qual_obs::count("worker.spawned", stats.workers_spawned);
+    qual_obs::count("worker.killed", stats.workers_killed);
+    qual_obs::count("worker.respawned", stats.workers_respawned);
+    qual_obs::count("worker.reassigned", stats.units_reassigned);
+    qual_obs::count("worker.steals", stats.steals);
     qual_obs::count("cache.analyzed", stats.analyzed as u64);
     qual_obs::count("cache.reused", stats.reused as u64);
     qual_obs::count("cache.corrupt", stats.corrupt as u64);
@@ -717,11 +877,11 @@ fn record_run_metrics(
     qual_obs::peak("cache.generation", stats.generation);
 }
 
-/// Renders the exact two `--cache-stats` lines from a metrics report,
+/// Renders the exact three `--cache-stats` lines from a metrics report,
 /// so the human output and the JSON document are two views of the same
 /// counters and can never disagree (the `metrics.rs` test pins this).
 #[must_use]
-pub fn cache_stats_lines(report: &qual_obs::Report) -> [String; 2] {
+pub fn cache_stats_lines(report: &qual_obs::Report) -> [String; 3] {
     let c = |name: &str| report.counter(name);
     [
         format!(
@@ -744,6 +904,16 @@ pub fn cache_stats_lines(report: &qual_obs::Report) -> [String; 2] {
             c("cache.quarantined"),
             c("cache.lock_wait_ms"),
             c("cache.lock_steals"),
+        ),
+        format!(
+            "{} worker process(es): {} spawned, {} killed, {} respawned; \
+             {} unit(s) reassigned, {} steal(s)",
+            report.peak_value("worker.processes"),
+            c("worker.spawned"),
+            c("worker.killed"),
+            c("worker.respawned"),
+            c("worker.reassigned"),
+            c("worker.steals"),
         ),
     ]
 }
@@ -814,7 +984,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// configured) and converts a panic anywhere inside the unit —
 /// analysis, cache codec, injected fault — into a quarantine summary
 /// instead of a dead worker.
-fn run_supervised(
+pub(crate) fn run_supervised(
     ctx: &UnitCtx<'_>,
     plan: &UnitPlan,
     schemes: &[CanonScheme],

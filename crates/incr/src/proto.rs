@@ -1,0 +1,726 @@
+//! The coordinator/worker wire protocol for process-sharded analysis.
+//!
+//! `cqual --workers N` forks N worker processes (the same executable,
+//! re-entered through a hidden `--worker-mode` flag) and talks to each
+//! over its stdin/stdout pipes in self-checking, length-prefixed
+//! frames:
+//!
+//! ```text
+//! "QSP1"  magic (4 bytes)
+//! u32 LE  frame kind
+//! u64 LE  payload length
+//! u64 LE  FNV-1a checksum of kind, length, and payload
+//! bytes   payload
+//! ```
+//!
+//! The checksum makes a torn or corrupted pipe read a *detected*
+//! failure — the reader reports [`ProtoError`] and the supervisor
+//! declares the peer bad — never silently trusted bytes. Payload
+//! length is bounded ([`MAX_FRAME`]) so garbage in the length field
+//! cannot provoke an absurd allocation.
+//!
+//! Frame kinds (coordinator → worker, then worker → coordinator):
+//!
+//! | kind | name      | payload |
+//! |------|-----------|---------|
+//! | 1    | Hello     | protocol version, source text, analysis config, cache session generation, heartbeat interval |
+//! | 2    | Exec      | unit index + an encoded [`UnitSummary`] carrying the callee schemes and failed-function list the unit imports |
+//! | 3    | Shutdown  | empty — the worker exits cleanly |
+//! | 4    | Ready     | the worker's planned unit count and plan digest (the coordinator cross-checks both) |
+//! | 5    | Heartbeat | empty — sent on a timer from a dedicated worker thread |
+//! | 6    | Done      | unit index, execution flags (reused/stored/retries/quarantined/corrupt), and the encoded result summary |
+//!
+//! Schemes and results ride in the same certified
+//! [`qual_constinfer::summary`] wire codec the on-disk cache uses, so
+//! a corrupted Exec or Done payload is rejected by the same decoder
+//! the chaos suite already hammers. Workers additionally exchange
+//! solved summaries through the shared QINC v2 cache when one is
+//! configured; the frames are the authoritative channel, the cache the
+//! fast path for reruns.
+//!
+//! Fault points (`qual-faultpoint`): `proto.read`, `proto.write` —
+//! `io` fails the operation, `garbage` corrupts the payload in flight
+//! (the checksum must catch it), `panic` kills the calling thread
+//! (the supervisor must contain it). Disabled cost is one relaxed
+//! atomic load per frame, like every other point.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use qual_constinfer::summary::{decode_summary, encode_summary, UnitSummary};
+use qual_constinfer::Mode;
+
+/// Protocol version, negotiated via [`Hello`]; a worker built from a
+/// different source tree refuses to serve.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (64 MiB) — far above any real
+/// summary, low enough that a garbled length field cannot provoke an
+/// absurd allocation.
+pub const MAX_FRAME: u64 = 64 << 20;
+
+const MAGIC: &[u8; 4] = b"QSP1";
+/// magic + kind + len + checksum.
+const HEADER: usize = 4 + 4 + 8 + 8;
+
+/// A protocol failure: any of these means the peer (or the pipe) can
+/// no longer be trusted and the supervisor takes over.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The pipe failed or closed (EOF mid-frame included).
+    Io(std::io::Error),
+    /// The bytes are structurally wrong: bad magic, checksum mismatch,
+    /// oversized length, truncated or malformed payload.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "pipe I/O failed: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn frame_checksum(kind: u32, payload: &[u8]) -> u64 {
+    let h = fnv1a(FNV_OFFSET, &kind.to_le_bytes());
+    let h = fnv1a(h, &(payload.len() as u64).to_le_bytes());
+    fnv1a(h, payload)
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives (plain byte ops; summaries reuse the certified
+// cache codec).
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u64(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            put_bool(buf, true);
+            put_str(buf, s);
+        }
+        None => put_bool(buf, false),
+    }
+}
+
+/// A bounds-checked payload reader.
+struct Take<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Take<'a> {
+    fn new(buf: &'a [u8]) -> Take<'a> {
+        Take { buf, pos: 0 }
+    }
+
+    fn slice(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtoError::Malformed("payload truncated".to_owned()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.slice(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.slice(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        Ok(self.slice(1)?[0] != 0)
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], ProtoError> {
+        let n = self.u64()?;
+        if n > MAX_FRAME {
+            return Err(ProtoError::Malformed(format!("field length {n} too large")));
+        }
+        self.slice(n as usize)
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| ProtoError::Malformed("non-UTF-8 string".to_owned()))
+    }
+
+    fn opt_str(&mut self) -> Result<Option<String>, ProtoError> {
+        Ok(if self.bool()? { Some(self.str()?) } else { None })
+    }
+
+    fn at_end(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes in payload".to_owned()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Messages.
+// ---------------------------------------------------------------------
+
+/// Everything a worker needs to re-create the coordinator's exact unit
+/// plan and execute units on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Must equal [`PROTO_VERSION`].
+    pub version: u32,
+    /// The (already concatenated) source text.
+    pub src: String,
+    /// Analysis mode.
+    pub mode: Mode,
+    /// `Options::simplify_schemes`.
+    pub simplify_schemes: bool,
+    /// `Options::verify_solutions`.
+    pub verify_solutions: bool,
+    /// Resource budgets, per unit.
+    pub max_constraints: u64,
+    /// Solver-step budget.
+    pub max_solver_steps: u64,
+    /// Per-function work budget.
+    pub max_fn_work: u64,
+    /// Shared summary cache, when configured.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-unit wall-clock deadline.
+    pub unit_deadline_ms: Option<u64>,
+    /// Cache I/O retry budget.
+    pub max_retries: u32,
+    /// The coordinator's cache session generation (stamped into entries
+    /// this worker stores).
+    pub generation: u64,
+    /// How often the worker must emit Heartbeat frames, in ms.
+    pub heartbeat_ms: u64,
+}
+
+/// One frame, decoded.
+#[derive(Debug)]
+pub enum Frame {
+    /// Coordinator → worker: session setup.
+    Hello(Box<Hello>),
+    /// Coordinator → worker: execute `unit` with the given imports.
+    Exec {
+        /// Index into the deterministic unit plan.
+        unit: u32,
+        /// Callee schemes and failed-function list, packed as a
+        /// [`UnitSummary`] (only `schemes` and `failed` are used).
+        imports: UnitSummary,
+    },
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+    /// Worker → coordinator: planning finished and cross-checkable.
+    Ready {
+        /// Planned unit count (must match the coordinator's).
+        units: u32,
+        /// Digest over every planned unit key (must match too).
+        plan_digest: u64,
+    },
+    /// Worker → coordinator: liveness.
+    Heartbeat,
+    /// Worker → coordinator: one unit's result.
+    Done(Box<DoneFrame>),
+}
+
+/// The payload of a Done frame — mirrors the driver's per-unit
+/// `Executed` accounting plus the summary itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoneFrame {
+    /// Index into the deterministic unit plan.
+    pub unit: u32,
+    /// The cache served this unit (certificate re-verified).
+    pub reused: bool,
+    /// A cache entry existed but could not be trusted.
+    pub corrupt: Option<String>,
+    /// The summary was (re)written to the shared cache.
+    pub stored: bool,
+    /// The store failed with this error.
+    pub store_err: Option<String>,
+    /// Cache I/O retries spent.
+    pub retries: u64,
+    /// The unit was quarantined after a panic inside the worker.
+    pub quarantined: bool,
+    /// The unit's canonical summary.
+    pub summary: UnitSummary,
+}
+
+const KIND_HELLO: u32 = 1;
+const KIND_EXEC: u32 = 2;
+const KIND_SHUTDOWN: u32 = 3;
+const KIND_READY: u32 = 4;
+const KIND_HEARTBEAT: u32 = 5;
+const KIND_DONE: u32 = 6;
+
+fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
+    let mut buf = Vec::new();
+    match frame {
+        Frame::Hello(h) => {
+            put_u32(&mut buf, h.version);
+            put_str(&mut buf, &h.src);
+            buf.push(match h.mode {
+                Mode::Monomorphic => 0,
+                Mode::Polymorphic => 1,
+                Mode::PolymorphicRecursive => 2,
+            });
+            put_bool(&mut buf, h.simplify_schemes);
+            put_bool(&mut buf, h.verify_solutions);
+            put_u64(&mut buf, h.max_constraints);
+            put_u64(&mut buf, h.max_solver_steps);
+            put_u64(&mut buf, h.max_fn_work);
+            put_opt_str(
+                &mut buf,
+                h.cache_dir.as_ref().and_then(|p| p.to_str()),
+            );
+            match h.unit_deadline_ms {
+                Some(ms) => {
+                    put_bool(&mut buf, true);
+                    put_u64(&mut buf, ms);
+                }
+                None => put_bool(&mut buf, false),
+            }
+            put_u32(&mut buf, h.max_retries);
+            put_u64(&mut buf, h.generation);
+            put_u64(&mut buf, h.heartbeat_ms);
+            (KIND_HELLO, buf)
+        }
+        Frame::Exec { unit, imports } => {
+            put_u32(&mut buf, *unit);
+            put_bytes(&mut buf, &encode_summary(imports));
+            (KIND_EXEC, buf)
+        }
+        Frame::Shutdown => (KIND_SHUTDOWN, buf),
+        Frame::Ready { units, plan_digest } => {
+            put_u32(&mut buf, *units);
+            put_u64(&mut buf, *plan_digest);
+            (KIND_READY, buf)
+        }
+        Frame::Heartbeat => (KIND_HEARTBEAT, buf),
+        Frame::Done(d) => {
+            put_u32(&mut buf, d.unit);
+            put_bool(&mut buf, d.reused);
+            put_opt_str(&mut buf, d.corrupt.as_deref());
+            put_bool(&mut buf, d.stored);
+            put_opt_str(&mut buf, d.store_err.as_deref());
+            put_u64(&mut buf, d.retries);
+            put_bool(&mut buf, d.quarantined);
+            put_bytes(&mut buf, &encode_summary(&d.summary));
+            (KIND_DONE, buf)
+        }
+    }
+}
+
+fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
+    let mut t = Take::new(payload);
+    let frame = match kind {
+        KIND_HELLO => {
+            let version = t.u32()?;
+            let src = t.str()?;
+            let mode = match t.slice(1)?[0] {
+                0 => Mode::Monomorphic,
+                1 => Mode::Polymorphic,
+                2 => Mode::PolymorphicRecursive,
+                m => {
+                    return Err(ProtoError::Malformed(format!("bad mode tag {m}")));
+                }
+            };
+            let simplify_schemes = t.bool()?;
+            let verify_solutions = t.bool()?;
+            let max_constraints = t.u64()?;
+            let max_solver_steps = t.u64()?;
+            let max_fn_work = t.u64()?;
+            let cache_dir = t.opt_str()?.map(PathBuf::from);
+            let unit_deadline_ms = if t.bool()? { Some(t.u64()?) } else { None };
+            let max_retries = t.u32()?;
+            let generation = t.u64()?;
+            let heartbeat_ms = t.u64()?;
+            Frame::Hello(Box::new(Hello {
+                version,
+                src,
+                mode,
+                simplify_schemes,
+                verify_solutions,
+                max_constraints,
+                max_solver_steps,
+                max_fn_work,
+                cache_dir,
+                unit_deadline_ms,
+                max_retries,
+                generation,
+                heartbeat_ms,
+            }))
+        }
+        KIND_EXEC => {
+            let unit = t.u32()?;
+            let imports = decode_summary(t.bytes()?)
+                .map_err(|e| ProtoError::Malformed(format!("exec imports: {e}")))?;
+            Frame::Exec { unit, imports }
+        }
+        KIND_SHUTDOWN => Frame::Shutdown,
+        KIND_READY => Frame::Ready {
+            units: t.u32()?,
+            plan_digest: t.u64()?,
+        },
+        KIND_HEARTBEAT => Frame::Heartbeat,
+        KIND_DONE => {
+            let unit = t.u32()?;
+            let reused = t.bool()?;
+            let corrupt = t.opt_str()?;
+            let stored = t.bool()?;
+            let store_err = t.opt_str()?;
+            let retries = t.u64()?;
+            let quarantined = t.bool()?;
+            let summary = decode_summary(t.bytes()?)
+                .map_err(|e| ProtoError::Malformed(format!("done summary: {e}")))?;
+            Frame::Done(Box::new(DoneFrame {
+                unit,
+                reused,
+                corrupt,
+                stored,
+                store_err,
+                retries,
+                quarantined,
+                summary,
+            }))
+        }
+        k => return Err(ProtoError::Malformed(format!("unknown frame kind {k}"))),
+    };
+    t.at_end()?;
+    Ok(frame)
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Pipe I/O failure, or an injected `proto.write` fault.
+///
+/// # Panics
+///
+/// When the installed fault plan arms a `panic` at `proto.write` —
+/// that is the simulated fault; supervisors contain it.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), ProtoError> {
+    let (kind, mut payload) = encode_payload(frame);
+    // Checksum describes what the writer *means* to send; an injected
+    // `garbage` fault below corrupts the bytes after checksumming,
+    // exactly like bit rot on the pipe, so the reader must reject.
+    let checksum = frame_checksum(kind, &payload);
+    match qual_faultpoint::hit("proto.write") {
+        Some(qual_faultpoint::FaultKind::Io | qual_faultpoint::FaultKind::ShortWrite) => {
+            return Err(ProtoError::Io(std::io::Error::other(
+                "injected fault at proto.write",
+            )));
+        }
+        Some(qual_faultpoint::FaultKind::Panic) => {
+            panic!("injected panic at proto.write")
+        }
+        Some(qual_faultpoint::FaultKind::Garbage) => {
+            for (i, b) in payload.iter_mut().enumerate() {
+                if i % 5 == 2 {
+                    *b ^= 0x5a;
+                }
+            }
+            if payload.is_empty() {
+                // Nothing to garble in the payload: corrupt the header
+                // checksum itself instead so the fault always bites.
+                return write_raw(w, kind, checksum ^ 0x5a5a, &payload);
+            }
+        }
+        _ => {}
+    }
+    write_raw(w, kind, checksum, &payload)
+}
+
+fn write_raw(
+    w: &mut impl Write,
+    kind: u32,
+    checksum: u64,
+    payload: &[u8],
+) -> Result<(), ProtoError> {
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(payload);
+    w.write_all(&out)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, verifying magic, size bound, and checksum.
+///
+/// # Errors
+///
+/// Pipe I/O failure (including clean EOF, which is `Io` with
+/// `UnexpectedEof`), a malformed or corrupted frame, or an injected
+/// `proto.read` fault.
+///
+/// # Panics
+///
+/// When the installed fault plan arms a `panic` at `proto.read`.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
+    let fault = qual_faultpoint::hit("proto.read");
+    match fault {
+        Some(qual_faultpoint::FaultKind::Io | qual_faultpoint::FaultKind::ShortWrite) => {
+            return Err(ProtoError::Io(std::io::Error::other(
+                "injected fault at proto.read",
+            )));
+        }
+        Some(qual_faultpoint::FaultKind::Panic) => {
+            panic!("injected panic at proto.read")
+        }
+        _ => {}
+    }
+    let mut header = [0u8; HEADER];
+    r.read_exact(&mut header)?;
+    if &header[0..4] != MAGIC {
+        return Err(ProtoError::Malformed("bad frame magic".to_owned()));
+    }
+    let kind = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    if len > MAX_FRAME {
+        return Err(ProtoError::Malformed(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte bound"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if fault == Some(qual_faultpoint::FaultKind::Garbage) {
+        // Simulated bit rot between the peer's write and our read: the
+        // checksum below must catch it, empty payloads included.
+        if payload.is_empty() {
+            return Err(ProtoError::Malformed(
+                "frame failed its checksum".to_owned(),
+            ));
+        }
+        for (i, b) in payload.iter_mut().enumerate() {
+            if i % 5 == 2 {
+                *b ^= 0x5a;
+            }
+        }
+    }
+    if frame_checksum(kind, &payload) != checksum {
+        return Err(ProtoError::Malformed(
+            "frame failed its checksum".to_owned(),
+        ));
+    }
+    decode_payload(kind, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, frame).expect("write");
+        read_frame(&mut buf.as_slice()).expect("read")
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        assert!(matches!(round_trip(&Frame::Shutdown), Frame::Shutdown));
+        assert!(matches!(round_trip(&Frame::Heartbeat), Frame::Heartbeat));
+        match round_trip(&Frame::Ready {
+            units: 7,
+            plan_digest: 0xdead_beef,
+        }) {
+            Frame::Ready { units, plan_digest } => {
+                assert_eq!(units, 7);
+                assert_eq!(plan_digest, 0xdead_beef);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_every_field() {
+        let hello = Hello {
+            version: PROTO_VERSION,
+            src: "int f(const char *s) { return *s; }".to_owned(),
+            mode: Mode::PolymorphicRecursive,
+            simplify_schemes: true,
+            verify_solutions: true,
+            max_constraints: 123,
+            max_solver_steps: 456,
+            max_fn_work: 789,
+            cache_dir: Some(PathBuf::from("/tmp/qinc")),
+            unit_deadline_ms: Some(250),
+            max_retries: 3,
+            generation: 42,
+            heartbeat_ms: 50,
+        };
+        match round_trip(&Frame::Hello(Box::new(hello.clone()))) {
+            Frame::Hello(h) => assert_eq!(*h, hello),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_and_done_round_trip_summaries() {
+        let imports = UnitSummary {
+            failed: vec!["gone".to_owned()],
+            ..UnitSummary::default()
+        };
+        match round_trip(&Frame::Exec { unit: 3, imports: imports.clone() }) {
+            Frame::Exec { unit, imports: back } => {
+                assert_eq!(unit, 3);
+                assert_eq!(back, imports);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        let done = DoneFrame {
+            unit: 9,
+            reused: true,
+            corrupt: Some("was garbled".to_owned()),
+            stored: false,
+            store_err: Some("disk full".to_owned()),
+            retries: 2,
+            quarantined: false,
+            summary: UnitSummary {
+                members: vec!["f".to_owned()],
+                ..UnitSummary::default()
+            },
+        };
+        match round_trip(&Frame::Done(Box::new(done.clone()))) {
+            Frame::Done(d) => assert_eq!(*d, done),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected_never_trusted() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Ready {
+                units: 5,
+                plan_digest: 1234,
+            },
+        )
+        .unwrap();
+        // Flip every byte in turn; reading must error (or, for bytes in
+        // the length field that shrink the frame, error on truncation)
+        // — never panic, never return a wrong frame silently.
+        for i in 0..buf.len() {
+            let mut b = buf.clone();
+            b[i] ^= 0x5a;
+            match read_frame(&mut b.as_slice()) {
+                Err(_) => {}
+                Ok(Frame::Ready { units, plan_digest }) => {
+                    panic!(
+                        "flipped byte {i} survived the checksum: \
+                         units={units} digest={plan_digest}"
+                    );
+                }
+                Ok(other) => panic!("flipped byte {i} decoded as {other:?}"),
+            }
+        }
+        // Truncation at every length is detected too.
+        for cut in 0..buf.len() {
+            assert!(read_frame(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_bounded_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&KIND_HEARTBEAT.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        match read_frame(&mut buf.as_slice()) {
+            Err(ProtoError::Malformed(m)) => assert!(m.contains("bound"), "{m}"),
+            other => panic!("oversized frame must be rejected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_stream_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Heartbeat).unwrap();
+        write_frame(
+            &mut buf,
+            &Frame::Ready {
+                units: 1,
+                plan_digest: 2,
+            },
+        )
+        .unwrap();
+        write_frame(&mut buf, &Frame::Shutdown).unwrap();
+        let mut r = buf.as_slice();
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Heartbeat));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Ready { .. }));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Shutdown));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn injected_garbage_on_the_wire_is_detected() {
+        let _g = qual_faultpoint::test_lock();
+        qual_faultpoint::install(
+            qual_faultpoint::FaultPlan::parse("proto.write@1=garbage").unwrap(),
+        );
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Ready {
+                units: 3,
+                plan_digest: 77,
+            },
+        )
+        .unwrap();
+        qual_faultpoint::clear();
+        assert!(
+            read_frame(&mut buf.as_slice()).is_err(),
+            "garbled payload must fail its checksum"
+        );
+    }
+}

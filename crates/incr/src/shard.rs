@@ -1,0 +1,866 @@
+//! Process-sharded wavefront execution: a coordinator-side worker pool
+//! and the worker-side entry point behind `cqual --worker-mode`.
+//!
+//! The coordinator re-executes its own binary (`--worker-mode`) N
+//! times, sends each worker one [`proto::Hello`] carrying the source
+//! and analysis configuration, and the worker independently re-plans
+//! the exact unit decomposition (same [`crate::plan_units`], same
+//! content keys). A [`proto::Frame::Ready`] handshake cross-checks unit
+//! count and plan digest before any unit is dispatched, so executable
+//! skew can never silently mix two different plans.
+//!
+//! Supervision model (DESIGN.md §15):
+//!
+//! * every worker heartbeats on a timer thread; a worker silent for
+//!   `worker_deadline_ms` is declared dead, killed, and its claimed
+//!   unit reassigned;
+//! * a worker whose pipe closes (crash, SIGKILL) is detected
+//!   immediately through reader-thread EOF — no deadline wait;
+//! * dead workers are respawned with exponential backoff while the
+//!   pool-wide respawn budget lasts;
+//! * straggler units older than `steal_after_ms` are speculatively
+//!   duplicated onto idle workers (summaries are deterministic, so the
+//!   first answer wins and the loser is discarded);
+//! * any terminal pool failure — nothing spawnable, plan mismatch,
+//!   every worker dead with the budget spent, a stalled wavefront —
+//!   degrades the run to in-process execution with one structured
+//!   diagnostic. Units the pool never completed are re-run inline by
+//!   the driver's supervision sweep, so results are byte-identical to
+//!   a serial run no matter what the processes did.
+//!
+//! The shared QINC cache stays the summary exchange between *runs*;
+//! within a run, results travel back in [`proto::Frame::Done`] frames
+//! (workers still probe and populate the cache exactly like in-process
+//! execution, so warm reruns reuse every unit regardless of which
+//! process solved it).
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use qual_constinfer::summary::UnitSummary;
+use qual_constinfer::{Budgets, Options};
+use qual_solve::{Diagnostic, Phase};
+
+use crate::cache::RetryPolicy;
+use crate::proto::{self, DoneFrame, Frame};
+use crate::{
+    plan_digest, plan_units, run_supervised, Executed, FrontInput, IncrConfig,
+    UnitCtx,
+};
+
+/// Worker-mode protocol failure exit code (documented in cqual's
+/// exit-code table; only ever seen by the coordinator).
+pub const WORKER_PROTOCOL_EXIT: i32 = 4;
+
+/// Pool-level accounting, folded into [`crate::IncrStats`] at the end
+/// of the run.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WorkerStats {
+    pub(crate) spawned: u64,
+    pub(crate) killed: u64,
+    pub(crate) respawned: u64,
+    pub(crate) reassigned: u64,
+    pub(crate) steals: u64,
+}
+
+enum EventKind {
+    Ready { units: u32, digest: u64 },
+    Beat,
+    Done(Box<DoneFrame>),
+    Gone(String),
+}
+
+/// One event from a worker's reader/writer thread, tagged with the
+/// slot's incarnation so events from a killed-and-replaced worker are
+/// recognizably stale.
+struct Event {
+    slot: usize,
+    incarnation: u64,
+    kind: EventKind,
+}
+
+struct Slot {
+    child: Option<Child>,
+    /// Command channel to the writer thread that owns the child's
+    /// stdin. Unbounded, so dispatch never blocks on a wedged pipe.
+    tx: Option<mpsc::Sender<Frame>>,
+    incarnation: u64,
+    /// Passed the Ready cross-check; assignable.
+    ready: bool,
+    /// `(global unit index, dispatched at)` for the unit currently
+    /// claimed. Global, not per-front: a stolen duplicate can still be
+    /// running when its front completes, and its late Done (arriving
+    /// during the *next* front) must be recognizable as harmless.
+    busy: Option<(u32, Instant)>,
+    last_beat: Instant,
+    /// Spawn attempts on this slot, for respawn backoff.
+    attempts: u32,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            child: None,
+            tx: None,
+            incarnation: 0,
+            ready: false,
+            busy: None,
+            last_beat: Instant::now(),
+            attempts: 0,
+        }
+    }
+}
+
+/// The coordinator's worker-process pool.
+pub(crate) struct Pool {
+    exe: PathBuf,
+    hello: proto::Hello,
+    expected_units: u32,
+    expected_digest: u64,
+    deadline: Duration,
+    steal_after: Duration,
+    respawns_left: u32,
+    slots: Vec<Slot>,
+    rx: mpsc::Receiver<Event>,
+    tx: mpsc::Sender<Event>,
+    stats: WorkerStats,
+    diags: Vec<Diagnostic>,
+    /// Terminal failure: set once, after which `run_front` returns
+    /// nothing and the driver runs everything in-process.
+    failure: Option<String>,
+}
+
+/// Finds the executable that understands `--worker-mode`. Only `cqual`
+/// itself does; a test binary must never be re-executed (it would run a
+/// test suite, not a worker), so unknown executables resolve through
+/// `QUAL_WORKER_EXE` or a sibling `cqual` build, or not at all.
+fn resolve_worker_exe(cfg: &IncrConfig) -> Option<PathBuf> {
+    if let Some(p) = &cfg.worker_exe {
+        return Some(p.clone());
+    }
+    if let Ok(p) = std::env::var("QUAL_WORKER_EXE") {
+        if !p.is_empty() {
+            return Some(PathBuf::from(p));
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = exe.file_name()?.to_str()?;
+    if name == "cqual" {
+        return Some(exe);
+    }
+    let dir = exe.parent()?;
+    [dir.join("cqual"), dir.parent()?.join("cqual")]
+        .into_iter()
+        .find(|cand| cand.is_file())
+}
+
+/// Appends a spawned worker's pid to the file named by
+/// `QUAL_WORKER_PIDS` (used by the kill -9 chaos harness to find
+/// victims; a no-op otherwise).
+fn record_worker_pid(pid: u32) {
+    let Ok(path) = std::env::var("QUAL_WORKER_PIDS") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(f, "{pid}");
+    }
+}
+
+fn executed_from(d: DoneFrame) -> Executed {
+    Executed {
+        summary: d.summary,
+        reused: d.reused,
+        corrupt: d.corrupt,
+        stored: d.stored,
+        store_err: d.store_err,
+        retries: d.retries,
+        quarantined: d.quarantined,
+        metrics: qual_obs::Report::default(),
+    }
+}
+
+impl Pool {
+    /// Spawns the pool. `Err` means no worker could be started at all
+    /// (the caller degrades to in-process with a diagnostic); partial
+    /// spawn failures are diagnostics plus respawn attempts later.
+    pub(crate) fn start(
+        src: &str,
+        cfg: &IncrConfig,
+        generation: u64,
+        unit_count: usize,
+        digest: u64,
+    ) -> Result<Pool, String> {
+        let exe = resolve_worker_exe(cfg).ok_or_else(|| {
+            "no worker executable found (set QUAL_WORKER_EXE or run via cqual)"
+                .to_owned()
+        })?;
+        let deadline_ms = cfg.worker_deadline_ms.max(50);
+        let hello = proto::Hello {
+            version: proto::PROTO_VERSION,
+            src: src.to_owned(),
+            mode: cfg.mode,
+            simplify_schemes: cfg.options.simplify_schemes,
+            verify_solutions: cfg.options.verify_solutions,
+            max_constraints: cfg.budgets.max_constraints as u64,
+            max_solver_steps: cfg.budgets.max_solver_steps,
+            max_fn_work: cfg.budgets.max_fn_work,
+            cache_dir: cfg.cache_dir.clone(),
+            unit_deadline_ms: cfg.unit_deadline_ms,
+            max_retries: cfg.max_retries,
+            generation,
+            heartbeat_ms: (deadline_ms / 8).clamp(5, 250),
+        };
+        let (tx, rx) = mpsc::channel();
+        let mut pool = Pool {
+            exe,
+            hello,
+            expected_units: u32::try_from(unit_count).unwrap_or(u32::MAX),
+            expected_digest: digest,
+            deadline: Duration::from_millis(deadline_ms),
+            steal_after: Duration::from_millis(cfg.steal_after_ms.max(10)),
+            respawns_left: cfg.max_worker_respawns,
+            slots: (0..cfg.workers.max(1)).map(|_| Slot::new()).collect(),
+            rx,
+            tx,
+            stats: WorkerStats::default(),
+            diags: Vec::new(),
+            failure: None,
+        };
+        let mut ok = 0;
+        for i in 0..pool.slots.len() {
+            match pool.spawn_slot(i) {
+                Ok(()) => ok += 1,
+                Err(e) => pool.diags.push(Diagnostic::warning(
+                    Phase::Infer,
+                    format!("workers: spawn failed: {e}"),
+                )),
+            }
+        }
+        if ok == 0 {
+            return Err("could not spawn any worker process".to_owned());
+        }
+        Ok(pool)
+    }
+
+    /// Launches (or relaunches) the worker for slot `i` and wires up
+    /// its writer and reader threads.
+    fn spawn_slot(&mut self, i: usize) -> Result<(), String> {
+        qual_faultpoint::maybe_io("worker.exec")
+            .map_err(|e| format!("{}: {e}", self.exe.display()))?;
+        let mut child = Command::new(&self.exe)
+            .arg("--worker-mode")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("{}: {e}", self.exe.display()))?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| "no stdin pipe".to_owned())?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| "no stdout pipe".to_owned())?;
+        self.stats.spawned += 1;
+        record_worker_pid(child.id());
+
+        let slot = &mut self.slots[i];
+        slot.incarnation += 1;
+        slot.attempts += 1;
+        let inc = slot.incarnation;
+
+        // Writer thread: owns the child's stdin. An unbounded channel
+        // in front of it means `assign` never blocks on a full pipe to
+        // a wedged worker — the frame queues, and the heartbeat
+        // deadline deals with the worker.
+        let (wtx, wrx) = mpsc::channel::<Frame>();
+        let etx = self.tx.clone();
+        std::thread::spawn(move || {
+            let mut stdin = stdin;
+            for frame in wrx {
+                if proto::write_frame(&mut stdin, &frame).is_err() {
+                    let _ = etx.send(Event {
+                        slot: i,
+                        incarnation: inc,
+                        kind: EventKind::Gone(
+                            "command pipe write failed".to_owned(),
+                        ),
+                    });
+                    return;
+                }
+            }
+        });
+
+        // Reader thread: a SIGKILLed worker closes this pipe, so death
+        // is one EOF away — no deadline wait on the common crash path.
+        let etx = self.tx.clone();
+        std::thread::spawn(move || {
+            let mut stdout = stdout;
+            loop {
+                let kind = match proto::read_frame(&mut stdout) {
+                    Ok(Frame::Ready { units, plan_digest }) => EventKind::Ready {
+                        units,
+                        digest: plan_digest,
+                    },
+                    Ok(Frame::Heartbeat) => EventKind::Beat,
+                    Ok(Frame::Done(d)) => EventKind::Done(d),
+                    Ok(_) => EventKind::Gone(
+                        "worker sent a coordinator-only frame".to_owned(),
+                    ),
+                    Err(e) => EventKind::Gone(format!("result pipe: {e}")),
+                };
+                let terminal = matches!(kind, EventKind::Gone(_));
+                if etx
+                    .send(Event {
+                        slot: i,
+                        incarnation: inc,
+                        kind,
+                    })
+                    .is_err()
+                    || terminal
+                {
+                    return;
+                }
+            }
+        });
+
+        let _ = wtx.send(Frame::Hello(Box::new(self.hello.clone())));
+        slot.child = Some(child);
+        slot.tx = Some(wtx);
+        slot.ready = false;
+        slot.busy = None;
+        slot.last_beat = Instant::now();
+        Ok(())
+    }
+
+    fn live_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.child.is_some()).count()
+    }
+
+    /// Declares the whole pool unusable: one diagnostic, everything
+    /// killed, all later `run_front` calls return nothing.
+    fn fail(&mut self, reason: &str) {
+        if self.failure.is_none() {
+            self.failure = Some(reason.to_owned());
+            self.diags.push(Diagnostic::warning(
+                Phase::Infer,
+                format!(
+                    "workers: degraded to in-process execution: {reason}"
+                ),
+            ));
+        }
+        for i in 0..self.slots.len() {
+            self.kill_slot(i);
+        }
+    }
+
+    /// Kills slot `i`'s process (if any) and bumps its incarnation so
+    /// in-flight events from it are recognizably stale.
+    fn kill_slot(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        slot.tx = None;
+        slot.ready = false;
+        slot.busy = None;
+        slot.incarnation += 1;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Handles the loss of slot `i`'s worker however it died: requeues
+    /// its claimed unit (unless a steal duplicate still runs it, or the
+    /// unit belongs to an already-finished front), records the kill
+    /// when the coordinator did it, and leaves respawn to
+    /// `ensure_workers`.
+    #[allow(clippy::too_many_arguments)] // the front's shared dispatch state
+    fn lose_slot(
+        &mut self,
+        i: usize,
+        reason: &str,
+        killed_by_us: bool,
+        by_unit: &HashMap<u32, usize>,
+        pending: &mut VecDeque<usize>,
+        running: &mut [u32],
+        done: &HashMap<usize, Executed>,
+    ) {
+        if self.slots[i].child.is_none() {
+            return;
+        }
+        if killed_by_us {
+            self.stats.killed += 1;
+        }
+        let busy = self.slots[i].busy;
+        self.kill_slot(i);
+        if let Some((unit, _)) = busy {
+            if let Some(&j) = by_unit.get(&unit) {
+                running[j] = running[j].saturating_sub(1);
+                if running[j] == 0 && !done.contains_key(&j) {
+                    pending.push_front(j);
+                    self.stats.reassigned += 1;
+                }
+            }
+        }
+        self.diags.push(Diagnostic::warning(
+            Phase::Infer,
+            format!("workers: worker {i} lost: {reason}"),
+        ));
+    }
+
+    /// Respawns dead slots while the budget lasts, with per-slot
+    /// exponential backoff.
+    fn ensure_workers(&mut self) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].child.is_some() || self.respawns_left == 0 {
+                continue;
+            }
+            self.respawns_left -= 1;
+            let shift = self.slots[i].attempts.min(5);
+            std::thread::sleep(Duration::from_millis(5u64 << shift));
+            match self.spawn_slot(i) {
+                Ok(()) => self.stats.respawned += 1,
+                Err(e) => self.diags.push(Diagnostic::warning(
+                    Phase::Infer,
+                    format!("workers: respawn failed: {e}"),
+                )),
+            }
+        }
+    }
+
+    /// Declares workers whose heartbeat has been silent past the
+    /// deadline dead (covers hangs; crashes are caught by pipe EOF).
+    fn reap_silent(
+        &mut self,
+        by_unit: &HashMap<u32, usize>,
+        pending: &mut VecDeque<usize>,
+        running: &mut [u32],
+        done: &HashMap<usize, Executed>,
+    ) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].child.is_some()
+                && self.slots[i].last_beat.elapsed() > self.deadline
+            {
+                self.lose_slot(
+                    i,
+                    "heartbeat silent past the deadline",
+                    true,
+                    by_unit,
+                    pending,
+                    running,
+                    done,
+                );
+            }
+        }
+    }
+
+    /// Hands pending units to idle ready workers; with nothing pending,
+    /// speculatively duplicates the oldest straggler unit instead
+    /// (work stealing).
+    fn assign(
+        &mut self,
+        inputs: &[FrontInput],
+        by_unit: &HashMap<u32, usize>,
+        pending: &mut VecDeque<usize>,
+        running: &mut [u32],
+        done: &HashMap<usize, Executed>,
+    ) {
+        while let Some(i) = self.slots.iter().position(|s| {
+            s.child.is_some() && s.ready && s.busy.is_none() && s.tx.is_some()
+        }) {
+            let (j, stolen) = match pending.pop_front() {
+                Some(j) => (j, false),
+                None => {
+                    // Steal: the longest-running unit nobody has
+                    // duplicated yet, old enough to look like a
+                    // straggler.
+                    let mut best: Option<(usize, Instant)> = None;
+                    for s in &self.slots {
+                        let Some((unit, since)) = s.busy else {
+                            continue;
+                        };
+                        let Some(&bj) = by_unit.get(&unit) else {
+                            continue; // a straggler from an earlier front
+                        };
+                        let dup_worthy = running[bj] == 1
+                            && !done.contains_key(&bj)
+                            && since.elapsed() >= self.steal_after;
+                        let older = match best {
+                            None => true,
+                            Some((_, b)) => since < b,
+                        };
+                        if dup_worthy && older {
+                            best = Some((bj, since));
+                        }
+                    }
+                    match best {
+                        Some((bj, _)) => (bj, true),
+                        None => break,
+                    }
+                }
+            };
+            let (idx, schemes, failed) = &inputs[j];
+            let unit = u32::try_from(*idx).unwrap_or(u32::MAX);
+            let imports = UnitSummary {
+                schemes: schemes.clone(),
+                failed: failed.clone(),
+                ..UnitSummary::default()
+            };
+            let sent = self.slots[i]
+                .tx
+                .as_ref()
+                .is_some_and(|tx| tx.send(Frame::Exec { unit, imports }).is_ok());
+            if sent {
+                self.slots[i].busy = Some((unit, Instant::now()));
+                running[j] += 1;
+                if stolen {
+                    self.stats.steals += 1;
+                }
+            } else {
+                if !stolen {
+                    pending.push_front(j);
+                }
+                self.lose_slot(
+                    i,
+                    "command channel closed",
+                    false,
+                    by_unit,
+                    pending,
+                    running,
+                    done,
+                );
+            }
+        }
+    }
+
+    /// Applies one worker event. Returns whether a new unit completed.
+    fn handle_event(
+        &mut self,
+        ev: Event,
+        by_unit: &HashMap<u32, usize>,
+        pending: &mut VecDeque<usize>,
+        running: &mut [u32],
+        done: &mut HashMap<usize, Executed>,
+    ) -> bool {
+        let i = ev.slot;
+        if self.slots[i].incarnation != ev.incarnation {
+            return false; // stale: from a worker already replaced
+        }
+        match ev.kind {
+            EventKind::Beat => {
+                self.slots[i].last_beat = Instant::now();
+                false
+            }
+            EventKind::Ready { units, digest } => {
+                self.slots[i].last_beat = Instant::now();
+                if units != self.expected_units || digest != self.expected_digest
+                {
+                    // Executable skew: a respawn would disagree again,
+                    // so this is terminal for the whole pool.
+                    self.fail(
+                        "a worker computed a different unit plan \
+                         (worker executable out of sync?)",
+                    );
+                } else {
+                    self.slots[i].ready = true;
+                }
+                false
+            }
+            EventKind::Done(d) => {
+                self.slots[i].last_beat = Instant::now();
+                let freed = self.slots[i].busy.take();
+                match freed {
+                    Some((unit, _)) if unit == d.unit => {}
+                    _ => {
+                        // Unasked-for or mismatched answer: the worker
+                        // can no longer be trusted.
+                        self.lose_slot(
+                            i,
+                            "worker answered for a unit it was not assigned",
+                            true,
+                            by_unit,
+                            pending,
+                            running,
+                            done,
+                        );
+                        return false;
+                    }
+                }
+                let Some(&j) = by_unit.get(&d.unit) else {
+                    // A late straggler from an earlier front (its
+                    // result was already absorbed via the winning
+                    // copy); the worker is simply idle again.
+                    return false;
+                };
+                running[j] = running[j].saturating_sub(1);
+                if done.contains_key(&j) {
+                    return false; // a steal's loser — first answer won
+                }
+                done.insert(j, executed_from(*d));
+                true
+            }
+            EventKind::Gone(reason) => {
+                self.lose_slot(i, &reason, false, by_unit, pending, running, done);
+                false
+            }
+        }
+    }
+
+    /// Executes one wavefront on the pool. Returns whatever completed
+    /// — on a healthy pool that is every input; after degradation it
+    /// may be partial or empty, and the caller re-runs the rest
+    /// in-process. Never blocks indefinitely: worker death is detected
+    /// by pipe EOF and heartbeat deadline, and a wavefront that stops
+    /// progressing entirely trips a fail-safe that degrades the pool.
+    pub(crate) fn run_front(
+        &mut self,
+        inputs: &[FrontInput],
+    ) -> Vec<(usize, Executed)> {
+        if self.failure.is_some() || inputs.is_empty() {
+            return Vec::new();
+        }
+        let by_unit: HashMap<u32, usize> = inputs
+            .iter()
+            .enumerate()
+            .map(|(j, (idx, _, _))| (u32::try_from(*idx).unwrap_or(u32::MAX), j))
+            .collect();
+        let mut pending: VecDeque<usize> = (0..inputs.len()).collect();
+        let mut running: Vec<u32> = vec![0; inputs.len()];
+        let mut done: HashMap<usize, Executed> = HashMap::new();
+        let mut last_progress = Instant::now();
+        let stall = self.deadline.max(Duration::from_millis(1000)) * 10;
+
+        while done.len() < inputs.len() {
+            self.reap_silent(&by_unit, &mut pending, &mut running, &done);
+            self.ensure_workers();
+            if self.live_slots() == 0 {
+                self.fail(
+                    "every worker process is dead and the respawn budget \
+                     is spent",
+                );
+                break;
+            }
+            self.assign(inputs, &by_unit, &mut pending, &mut running, &done);
+            match self.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(ev) => {
+                    if self.handle_event(
+                        ev,
+                        &by_unit,
+                        &mut pending,
+                        &mut running,
+                        &mut done,
+                    ) {
+                        last_progress = Instant::now();
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    self.fail("worker event channel closed");
+                    break;
+                }
+            }
+            if self.failure.is_some() {
+                break;
+            }
+            if last_progress.elapsed() > stall {
+                self.fail(
+                    "wavefront stalled: no unit completed within the \
+                     fail-safe deadline",
+                );
+                break;
+            }
+        }
+
+        let mut out: Vec<(usize, Executed)> = done
+            .into_iter()
+            .map(|(j, ex)| (inputs[j].0, ex))
+            .collect();
+        out.sort_by_key(|(idx, _)| *idx);
+        out
+    }
+
+    /// Structured diagnostics accumulated since the last drain.
+    pub(crate) fn drain_diags(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.diags)
+    }
+
+    pub(crate) fn stats(&self) -> WorkerStats {
+        self.stats
+    }
+
+    /// Asks live workers to exit, then reaps them — killing any that
+    /// linger (e.g. one still chewing on a stolen duplicate).
+    pub(crate) fn shutdown(&mut self) {
+        for slot in &self.slots {
+            if let Some(tx) = &slot.tx {
+                let _ = tx.send(Frame::Shutdown);
+            }
+        }
+        for slot in &mut self.slots {
+            slot.tx = None;
+            let Some(mut child) = slot.child.take() else {
+                continue;
+            };
+            let grace = Instant::now();
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if grace.elapsed() < Duration::from_millis(500) => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        self.stats.killed += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            slot.tx = None;
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// The worker half: `cqual --worker-mode` calls this and nothing else.
+/// Speaks the frame protocol on stdin/stdout; analysis configuration
+/// arrives in the Hello, the unit plan is recomputed locally and
+/// cross-checked by digest. Returns the process exit code: 0 for a
+/// clean shutdown, [`WORKER_PROTOCOL_EXIT`] when the protocol breaks
+/// (coordinator gone, malformed frame, version skew).
+#[must_use]
+pub fn worker_main() -> i32 {
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let hello = match proto::read_frame(&mut input) {
+        Ok(Frame::Hello(h)) => h,
+        _ => return WORKER_PROTOCOL_EXIT,
+    };
+    if hello.version != proto::PROTO_VERSION {
+        return WORKER_PROTOCOL_EXIT;
+    }
+
+    // Heartbeats start before planning so a worker grinding through a
+    // large source never looks dead. The stdout mutex keeps heartbeat
+    // and Done frames from interleaving.
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    {
+        let out = Arc::clone(&out);
+        let period = Duration::from_millis(hello.heartbeat_ms.max(1));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(period);
+            match qual_faultpoint::hit("worker.heartbeat") {
+                Some(
+                    qual_faultpoint::FaultKind::Io
+                    | qual_faultpoint::FaultKind::ShortWrite,
+                ) => continue, // one beat skipped
+                Some(qual_faultpoint::FaultKind::Panic) => {
+                    // Kills this thread only: the worker falls silent
+                    // and the coordinator's deadline must catch it.
+                    panic!("injected panic at worker.heartbeat");
+                }
+                _ => {}
+            }
+            let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+            if proto::write_frame(&mut *w, &Frame::Heartbeat).is_err() {
+                return;
+            }
+        });
+    }
+
+    let cfg = IncrConfig {
+        mode: hello.mode,
+        options: Options {
+            simplify_schemes: hello.simplify_schemes,
+            verify_solutions: hello.verify_solutions,
+        },
+        budgets: Budgets {
+            max_constraints: usize::try_from(hello.max_constraints)
+                .unwrap_or(usize::MAX),
+            max_solver_steps: hello.max_solver_steps,
+            max_fn_work: hello.max_fn_work,
+        },
+        jobs: 1,
+        cache_dir: hello.cache_dir.clone(),
+        unit_deadline_ms: hello.unit_deadline_ms,
+        max_retries: hello.max_retries,
+        ..IncrConfig::default()
+    };
+    let planned = plan_units(&hello.src, &cfg);
+    {
+        let ready = Frame::Ready {
+            units: u32::try_from(planned.plans.len()).unwrap_or(u32::MAX),
+            plan_digest: plan_digest(&planned.plans),
+        };
+        let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+        if proto::write_frame(&mut *w, &ready).is_err() {
+            return WORKER_PROTOCOL_EXIT;
+        }
+    }
+
+    let ctx = UnitCtx {
+        prog: &planned.program,
+        sema: &planned.sema,
+        space: &planned.space,
+        cfg: &cfg,
+        generation: hello.generation,
+        policy: RetryPolicy {
+            max_retries: hello.max_retries,
+        },
+    };
+    loop {
+        match proto::read_frame(&mut input) {
+            Ok(Frame::Exec { unit, imports }) => {
+                let Some(plan) = planned.plans.get(unit as usize) else {
+                    return WORKER_PROTOCOL_EXIT;
+                };
+                // `run_supervised` contains unit panics (quarantine
+                // summaries) and installs the per-unit deadline, so a
+                // poisoned unit degrades exactly like in-process
+                // execution instead of killing the worker.
+                let ex =
+                    run_supervised(&ctx, plan, &imports.schemes, &imports.failed);
+                let done = DoneFrame {
+                    unit,
+                    reused: ex.reused,
+                    corrupt: ex.corrupt,
+                    stored: ex.stored,
+                    store_err: ex.store_err,
+                    retries: ex.retries,
+                    quarantined: ex.quarantined,
+                    summary: ex.summary,
+                };
+                let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+                if proto::write_frame(&mut *w, &Frame::Done(Box::new(done)))
+                    .is_err()
+                {
+                    return WORKER_PROTOCOL_EXIT;
+                }
+            }
+            Ok(Frame::Shutdown) => return 0,
+            _ => return WORKER_PROTOCOL_EXIT,
+        }
+    }
+}

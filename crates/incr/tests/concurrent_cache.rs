@@ -84,7 +84,12 @@ fn threads_sharing_one_cache_dir_agree_and_corrupt_nothing() {
 }
 
 #[test]
-fn two_processes_sharing_one_cache_dir() {
+fn n_processes_sharing_one_cache_dir() {
+    // Five racing cold processes — two of them themselves sharded into
+    // worker subprocesses — all pounding one cache directory. However
+    // the writes interleave, no entry may tear, every process must
+    // report identically, and locked generations must stay unique.
+    const N: usize = 5;
     let dir = scratch("procs");
     let src_file = std::env::temp_dir().join(format!(
         "qinc-concurrent-src-{}.c",
@@ -92,26 +97,29 @@ fn two_processes_sharing_one_cache_dir() {
     ));
     std::fs::write(&src_file, SRC).expect("write source file");
 
-    let spawn = || {
-        Command::new(env!("CARGO_BIN_EXE_cqual"))
-            .args([
-                "--jobs",
-                "2",
-                "--cache-dir",
-                dir.to_str().unwrap(),
-                "--cache-stats",
-                src_file.to_str().unwrap(),
-            ])
-            .output()
+    let spawn = |workers: usize| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_cqual"));
+        cmd.args(["--jobs", "2"]);
+        if workers > 0 {
+            cmd.args(["--workers".to_string(), workers.to_string()]);
+        }
+        cmd.args([
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--cache-stats",
+            src_file.to_str().unwrap(),
+        ])
+        .output()
     };
-    // Two racing cold runs...
-    let (a, b) = std::thread::scope(|s| {
-        let ha = s.spawn(spawn);
-        let hb = s.spawn(spawn);
-        (
-            ha.join().unwrap().expect("spawn cqual"),
-            hb.join().unwrap().expect("spawn cqual"),
-        )
+    // N racing cold runs (process i gets i % 3 worker subprocesses, so
+    // the race mixes plain and sharded coordinators).
+    let outs: Vec<std::process::Output> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            (0..N).map(|i| s.spawn(move || spawn(i % 3))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap().expect("spawn cqual"))
+            .collect()
     });
     let report = |out: &std::process::Output| -> String {
         String::from_utf8_lossy(&out.stdout)
@@ -120,31 +128,52 @@ fn two_processes_sharing_one_cache_dir() {
             .collect::<Vec<_>>()
             .join("\n")
     };
-    for (name, out) in [("a", &a), ("b", &b)] {
+    for (i, out) in outs.iter().enumerate() {
         assert_eq!(
             out.status.code(),
             Some(0),
-            "{name}: stderr: {}",
+            "process {i}: stderr: {}",
             String::from_utf8_lossy(&out.stderr)
         );
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
             !stderr.contains("re-analyzed cold"),
-            "{name}: a racing writer corrupted an entry: {stderr}"
+            "process {i}: a racing writer corrupted an entry: {stderr}"
+        );
+        assert_eq!(
+            report(out),
+            report(&outs[0]),
+            "process {i} reports differently"
         );
     }
-    assert_eq!(report(&a), report(&b), "both processes report identically");
+    // Generation accounting stays stable under the stampede: each
+    // locked session took a distinct generation (degraded lockless
+    // sessions report generation 0 and are exempt, but never collide).
+    let mut gens: Vec<u64> = outs
+        .iter()
+        .filter_map(|out| {
+            String::from_utf8_lossy(&out.stdout).lines().find_map(|l| {
+                let rest = l.strip_prefix("cqual: cache: generation ")?;
+                rest.split(',').next()?.trim().parse::<u64>().ok()
+            })
+        })
+        .filter(|&g| g != 0)
+        .collect();
+    gens.sort_unstable();
+    let n_locked = gens.len();
+    gens.dedup();
+    assert_eq!(gens.len(), n_locked, "locked generations are unique");
 
     // ...then a warm run re-solves nothing: whatever interleaving the
-    // two writers had, every published entry is whole and certified.
-    let warm = spawn().expect("spawn cqual");
+    // writers had, every published entry is whole and certified.
+    let warm = spawn(0).expect("spawn cqual");
     assert_eq!(warm.status.code(), Some(0));
     let stats = String::from_utf8_lossy(&warm.stdout);
     assert!(
         stats.contains("0 analyzed"),
         "warm rerun after the race must reuse everything: {stats}"
     );
-    assert_eq!(report(&a), report(&warm));
+    assert_eq!(report(&outs[0]), report(&warm));
 
     let _ = std::fs::remove_file(&src_file);
     let _ = std::fs::remove_dir_all(&dir);

@@ -155,7 +155,7 @@ fn cache_stats_lines_agree_with_json_counters() {
     for _ in 0..2 {
         let (out, report) =
             qual_obs::scoped(|| analyze_source_incremental(src, &cfg));
-        let [units_line, session_line] = cache_stats_lines(&report);
+        let [units_line, session_line, worker_line] = cache_stats_lines(&report);
         // The human lines must carry exactly the run's stats...
         let s = out.stats;
         assert_eq!(
@@ -179,6 +179,19 @@ fn cache_stats_lines_agree_with_json_counters() {
                 "generation {}, {} retry(ies), {} quarantined unit(s), \
                  lock wait {} ms, {} stale lock(s) stolen",
                 s.generation, s.retries, s.quarantined, s.lock_wait_ms, s.lock_steals
+            )
+        );
+        assert_eq!(
+            worker_line,
+            format!(
+                "{} worker process(es): {} spawned, {} killed, {} respawned; \
+                 {} unit(s) reassigned, {} steal(s)",
+                s.workers,
+                s.workers_spawned,
+                s.workers_killed,
+                s.workers_respawned,
+                s.units_reassigned,
+                s.steals
             )
         );
         // ...and every number in them must equal the JSON counter it

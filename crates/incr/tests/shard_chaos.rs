@@ -1,0 +1,450 @@
+//! kill -9 chaos for the multi-process sharded driver.
+//!
+//! The contracts under fire, from DESIGN.md §15: whatever happens to a
+//! worker process — SIGKILL mid-wavefront, a starved heartbeat,
+//! injected pipe faults, an executable that will not even spawn — the
+//! coordinator **never panics**, **never hangs**, and **never
+//! miscertifies**. The analysis output stays byte-identical to a
+//! serial run, or the pool degrades to in-process with a structured
+//! diagnostic. And after any such run, a fault-free rerun against the
+//! same cache directory is byte-identical to a clean reference: chaos
+//! must not poison what was published.
+//!
+//! All schedules are pinned (explicit fault plans, fixed kill delays,
+//! a fixed seed for the seeded sweep) so failures replay exactly.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use qual_incr::{analyze_source_incremental, IncrConfig};
+
+/// Coordinator wall-clock bound: generous, but a hang still fails the
+/// test instead of wedging the suite.
+const NEVER_HANG: Duration = Duration::from_secs(120);
+
+/// A corpus with enough units and wavefronts that a SIGKILL lands
+/// mid-run (deterministic cgen profile).
+fn corpus() -> String {
+    qual_cgen::generate(&qual_cgen::table1_profiles()[0].scaled(300))
+}
+
+/// Worker-pool width under test; CI sweeps this via its process-kill
+/// matrix (`QUAL_CHAOS_WORKERS` ∈ {2, 4}).
+fn chaos_workers() -> usize {
+    std::env::var("QUAL_CHAOS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+/// Seed for the seeded sweep; pinned here, rotated by the CI matrix
+/// (`QUAL_CHAOS_SEED`).
+fn chaos_seed() -> u64 {
+    std::env::var("QUAL_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_260_807)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir()
+        .join(format!("qinc-shard-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    let _ = std::fs::remove_file(&d);
+    d
+}
+
+struct Run {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+/// Analysis-visible stdout: everything but the `--cache-stats` footer,
+/// which legitimately differs between serial and sharded runs.
+fn analysis(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| !l.starts_with("cqual: cache:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn slurp<R: Read + Send + 'static>(mut r: R) -> std::thread::JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = r.read_to_end(&mut buf);
+        String::from_utf8_lossy(&buf).into_owned()
+    })
+}
+
+/// Waits for the coordinator under a hard deadline; on overrun it is
+/// SIGKILLed and the test fails — that *is* the never-hang assertion.
+fn wait_bounded(mut child: Child, what: &str) -> Run {
+    let out_t = slurp(child.stdout.take().expect("stdout piped"));
+    let err_t = slurp(child.stderr.take().expect("stderr piped"));
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("wait on coordinator") {
+            Some(status) => {
+                return Run {
+                    code: status.code(),
+                    stdout: out_t.join().expect("stdout collector"),
+                    stderr: err_t.join().expect("stderr collector"),
+                }
+            }
+            None if start.elapsed() > NEVER_HANG => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!(
+                    "{what}: coordinator hung past {NEVER_HANG:?}: {}",
+                    err_t.join().expect("stderr collector")
+                );
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// A configured coordinator invocation: `cqual [--workers N] [extra]
+/// --cache-dir CACHE --cache-stats SRC` with the given environment.
+fn coordinator(
+    src_file: &Path,
+    cache: &Path,
+    workers: usize,
+    extra: &[&str],
+    env: &[(&str, &str)],
+) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cqual"));
+    if workers > 0 {
+        cmd.args(["--workers".to_string(), workers.to_string()]);
+    }
+    cmd.args(extra)
+        .args([
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--cache-stats",
+            src_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn cqual")
+}
+
+fn write_corpus(tag: &str, src: &str) -> PathBuf {
+    let f = std::env::temp_dir()
+        .join(format!("qinc-shard-chaos-{tag}-{}.c", std::process::id()));
+    std::fs::write(&f, src).expect("write corpus");
+    f
+}
+
+/// SIGKILLs a worker mid-wavefront at three pinned delays; the run
+/// must complete with byte-identical output (reassignment + respawn),
+/// and a fault-free rerun on the survivor cache must match a clean
+/// reference exactly — nothing torn, nothing miscertified.
+#[test]
+fn sigkilled_worker_mid_wavefront_stays_correct() {
+    let src = corpus();
+    let src_file = write_corpus("kill", &src);
+    // Every unit sleeps a little in whoever executes it, holding the
+    // wavefront open long enough for the kill to land mid-run. A
+    // delay fault alters timing only, never results.
+    let slow = ("QUAL_FAULT_PLAN", "unit.solve@*=delay:10");
+
+    let ref_dir = scratch("kill-ref");
+    let reference = wait_bounded(
+        coordinator(&src_file, &ref_dir, 0, &[], &[]),
+        "serial reference",
+    );
+    assert!(
+        reference.code.is_some(),
+        "reference run must reach a verdict: {}",
+        reference.stderr
+    );
+
+    for (round, kill_after_ms) in [0u64, 45, 140].into_iter().enumerate() {
+        let what = format!("kill round {round} (delay {kill_after_ms} ms)");
+        let dir = scratch(&format!("kill-{round}"));
+        let pidfile = scratch(&format!("kill-pids-{round}"));
+        let child = coordinator(
+            &src_file,
+            &dir,
+            chaos_workers(),
+            &[],
+            &[slow, ("QUAL_WORKER_PIDS", pidfile.to_str().unwrap())],
+        );
+
+        // The coordinator records worker pids as it spawns them; grab
+        // the first and SIGKILL it at the pinned offset.
+        let t0 = Instant::now();
+        let victim = loop {
+            if let Ok(pids) = std::fs::read_to_string(&pidfile) {
+                if let Some(first) = pids.lines().next() {
+                    break first.trim().to_owned();
+                }
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "{what}: no worker pid ever recorded"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        std::thread::sleep(Duration::from_millis(kill_after_ms));
+        let killed = Command::new("kill")
+            .args(["-9", &victim])
+            .status()
+            .expect("run kill");
+        // The worker may have already exited cleanly (fine: then this
+        // round degenerates to the plain differential case).
+        let _ = killed;
+
+        let run = wait_bounded(child, &what);
+        assert_eq!(
+            run.code, reference.code,
+            "{what}: exit code diverged: {}",
+            run.stderr
+        );
+        assert_eq!(
+            analysis(&run.stdout),
+            analysis(&reference.stdout),
+            "{what}: analysis output diverged"
+        );
+        assert!(
+            !run.stderr.contains("panicked"),
+            "{what}: coordinator panicked: {}",
+            run.stderr
+        );
+
+        // Fault-free serial rerun over whatever the chaotic run left
+        // in the cache: byte-identical, and nothing re-analyzed as
+        // corrupt.
+        let rerun = wait_bounded(
+            coordinator(&src_file, &dir, 0, &[], &[]),
+            &format!("{what}: fault-free rerun"),
+        );
+        assert_eq!(rerun.code, reference.code, "{what}: rerun exit code");
+        assert_eq!(
+            analysis(&rerun.stdout),
+            analysis(&reference.stdout),
+            "{what}: fault-free rerun diverged — the killed run \
+             published a poisoned entry"
+        );
+        assert!(
+            rerun.stdout.contains(" 0 corrupt,"),
+            "{what}: rerun found torn entries: {}",
+            rerun.stdout
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&pidfile);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_file(&src_file);
+}
+
+/// Pinned explicit fault plans over the process-level points. Every
+/// one of these is survivable by reassignment, respawn, or
+/// degradation, so the analysis output must not move at all.
+#[test]
+fn pinned_fault_plans_on_proto_and_worker_points_stay_correct() {
+    let src = corpus();
+    let src_file = write_corpus("plans", &src);
+
+    let ref_dir = scratch("plans-ref");
+    let reference = wait_bounded(
+        coordinator(&src_file, &ref_dir, 0, &[], &[]),
+        "serial reference",
+    );
+
+    let plans = [
+        "proto.read@2=io",
+        "proto.read@4=garbage",
+        "proto.write@3=io",
+        "proto.write@2=garbage",
+        "worker.exec@1=io",
+        "worker.heartbeat@1=io",
+        "worker.heartbeat@2=short-write",
+    ];
+    for plan in plans {
+        let what = format!("plan {plan:?}");
+        let dir = scratch("plans-run");
+        let run = wait_bounded(
+            coordinator(
+                &src_file,
+                &dir,
+                chaos_workers(),
+                &["--worker-deadline-ms", "400"],
+                &[("QUAL_FAULT_PLAN", plan)],
+            ),
+            &what,
+        );
+        assert_eq!(
+            run.code, reference.code,
+            "{what}: exit code diverged: {}",
+            run.stderr
+        );
+        assert_eq!(
+            analysis(&run.stdout),
+            analysis(&reference.stdout),
+            "{what}: analysis output diverged"
+        );
+        assert!(
+            !run.stderr.contains("panicked"),
+            "{what}: coordinator panicked: {}",
+            run.stderr
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_file(&src_file);
+}
+
+/// The seeded sweep: a pinned seed sprays faults — panics included —
+/// across *every* point in coordinator and workers alike. Outcomes may
+/// legitimately include quarantines and degraded pools, so the oracle
+/// here is the hard floor: a real verdict (no abort), no hang, and a
+/// fault-free rerun on the same cache that is byte-identical to clean.
+#[test]
+fn seeded_chaos_sweep_never_aborts_and_never_poisons_the_cache() {
+    let src = corpus();
+    let src_file = write_corpus("seeded", &src);
+
+    let ref_dir = scratch("seeded-ref");
+    let reference = wait_bounded(
+        coordinator(&src_file, &ref_dir, 0, &[], &[]),
+        "serial reference",
+    );
+
+    let dir = scratch("seeded-run");
+    let plan = format!("seed:{}:25", chaos_seed());
+    let run = wait_bounded(
+        coordinator(
+            &src_file,
+            &dir,
+            chaos_workers(),
+            &["--worker-deadline-ms", "300", "--max-worker-respawns", "2"],
+            &[("QUAL_FAULT_PLAN", &plan)],
+        ),
+        "seeded sweep",
+    );
+    // A verdict, not an abort: success, qualifier errors, or
+    // certification failures — never a crash (101) or a protocol leak
+    // (4, which only worker-mode itself may return).
+    assert!(
+        matches!(run.code, Some(0 | 1 | 3)),
+        "seeded sweep: coordinator aborted (code {:?}): {}",
+        run.code,
+        run.stderr
+    );
+
+    // Whatever the chaos did, the published cache must replay clean.
+    let rerun = wait_bounded(
+        coordinator(&src_file, &dir, 0, &[], &[]),
+        "seeded sweep: fault-free rerun",
+    );
+    assert_eq!(rerun.code, reference.code, "rerun exit code");
+    assert_eq!(
+        analysis(&rerun.stdout),
+        analysis(&reference.stdout),
+        "fault-free rerun diverged — the seeded run poisoned the cache"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_file(&src_file);
+}
+
+/// Starved heartbeats: every worker's heartbeat thread dies at birth
+/// and every unit outlasts the deadline, so each busy worker is
+/// declared dead mid-unit. With the respawn budget exhausted the pool
+/// degrades to in-process — with a structured diagnostic, a correct
+/// result, and no panic.
+#[test]
+fn heartbeat_starvation_degrades_to_in_process_with_diagnostic() {
+    // Tiny source: the degraded path re-executes in-process under the
+    // same delay plan, so every unit costs ~120 ms.
+    let src = "int leaf(const char *s) { return *s; }
+               int mid(char *p) { return leaf(p); }
+               int top(char *q) { return mid(q); }
+               int lone(int *r) { return *r; }";
+    let src_file = write_corpus("starve", src);
+
+    let ref_dir = scratch("starve-ref");
+    let reference = wait_bounded(
+        coordinator(&src_file, &ref_dir, 0, &[], &[]),
+        "serial reference",
+    );
+
+    let dir = scratch("starve-run");
+    let run = wait_bounded(
+        coordinator(
+            &src_file,
+            &dir,
+            chaos_workers(),
+            &["--worker-deadline-ms", "100", "--max-worker-respawns", "1"],
+            &[(
+                "QUAL_FAULT_PLAN",
+                "worker.heartbeat@*=panic;unit.solve@*=delay:120",
+            )],
+        ),
+        "heartbeat starvation",
+    );
+    assert_eq!(
+        run.code, reference.code,
+        "starved pool changed the verdict: {}",
+        run.stderr
+    );
+    assert_eq!(
+        analysis(&run.stdout),
+        analysis(&reference.stdout),
+        "starved pool changed the analysis output"
+    );
+    assert!(
+        !run.stderr.contains("panicked"),
+        "coordinator panicked: {}",
+        run.stderr
+    );
+    assert!(
+        run.stderr.contains("worker") || run.stderr.contains("in-process"),
+        "degradation must be loud — a structured diagnostic, not \
+         silence: {}",
+        run.stderr
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_file(&src_file);
+}
+
+/// An unspawnable worker executable degrades at pool construction:
+/// in-process execution, a structured diagnostic, identical results.
+/// (Library-level, so the outcome is compared field-by-field.)
+#[test]
+fn unspawnable_worker_exe_degrades_in_process_with_diagnostic() {
+    let src = "int f(const char *s) { return *s; }
+               int g(char *p) { return f(p); }";
+    let serial = analyze_source_incremental(src, &IncrConfig::default());
+    let degraded = analyze_source_incremental(
+        src,
+        &IncrConfig {
+            workers: 2,
+            worker_exe: Some(PathBuf::from("/nonexistent/cqual-missing")),
+            ..IncrConfig::default()
+        },
+    );
+    assert_eq!(degraded.counts, serial.counts);
+    assert_eq!(degraded.stats.units, serial.stats.units);
+    assert_eq!(degraded.stats.constraints, serial.stats.constraints);
+    assert_eq!(degraded.stats.workers_spawned, 0);
+    assert!(
+        format!("{:?}", degraded.cache_diags).contains("running in-process"),
+        "degradation must carry a structured diagnostic: {:?}",
+        degraded.cache_diags
+    );
+}

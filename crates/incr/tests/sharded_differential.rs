@@ -1,0 +1,191 @@
+//! Differential oracle for the multi-process sharded driver: for any
+//! `--workers N` and any cache temperature, `cqual`'s analysis output
+//! must be byte-identical to the serial in-process run. The worker
+//! pool is pure mechanism — it may never show up in the results.
+//!
+//! Two layers are pinned here:
+//!
+//! * **process level** — the real `cqual` binary, coordinator
+//!   re-exec'ing itself, over `--workers {2, 4}` × {cold, warm};
+//! * **library level** — `analyze_source_incremental` with an explicit
+//!   `worker_exe`, so the sharded outcome (counts, positions, stats)
+//!   is compared field-by-field against serial, not just as text.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use qual_incr::{analyze_source_incremental, IncrConfig, IncrOutcome};
+
+/// A corpus big enough for several wavefronts and a non-trivial
+/// cross-unit qualifier flow (deterministic cgen profile).
+fn corpus() -> String {
+    qual_cgen::generate(&qual_cgen::table1_profiles()[0].scaled(200))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir()
+        .join(format!("qinc-shard-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn cqual(src_file: &Path, cache: &Path, workers: usize) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cqual"));
+    if workers > 0 {
+        cmd.args(["--workers".to_string(), workers.to_string()]);
+    }
+    cmd.args([
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--cache-stats",
+        src_file.to_str().unwrap(),
+    ])
+    .output()
+    .expect("spawn cqual")
+}
+
+/// Analysis-visible stdout: everything except the `--cache-stats`
+/// footer, whose worker line legitimately differs between a serial and
+/// a sharded run.
+fn analysis(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| !l.starts_with("cqual: cache:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The unit-accounting stats line — identical across serial and
+/// sharded runs of the same temperature: sharding moves work between
+/// processes, never changes what is analyzed, reused, or stored.
+fn units_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.contains("unit(s):"))
+        .expect("cache-stats units line present")
+        .to_owned()
+}
+
+#[test]
+fn workers_2_and_4_cold_and_warm_match_serial_byte_for_byte() {
+    let src = corpus();
+    let src_file = std::env::temp_dir()
+        .join(format!("qinc-shard-diff-src-{}.c", std::process::id()));
+    std::fs::write(&src_file, &src).expect("write corpus");
+
+    let serial_dir = scratch("serial");
+    let serial_cold = cqual(&src_file, &serial_dir, 0);
+    let serial_warm = cqual(&src_file, &serial_dir, 0);
+    assert_eq!(
+        analysis(&serial_cold),
+        analysis(&serial_warm),
+        "serial cold and warm must agree before sharding enters at all"
+    );
+
+    for workers in [2usize, 4] {
+        let dir = scratch(&format!("w{workers}"));
+        let cold = cqual(&src_file, &dir, workers);
+        let warm = cqual(&src_file, &dir, workers);
+        for (temp, run, reference) in
+            [("cold", &cold, &serial_cold), ("warm", &warm, &serial_warm)]
+        {
+            assert_eq!(
+                run.status.code(),
+                reference.status.code(),
+                "--workers {workers} {temp}: exit code diverged; stderr: {}",
+                String::from_utf8_lossy(&run.stderr)
+            );
+            assert_eq!(
+                analysis(run),
+                analysis(reference),
+                "--workers {workers} {temp}: analysis output diverged"
+            );
+            assert_eq!(
+                units_line(run),
+                units_line(reference),
+                "--workers {workers} {temp}: unit accounting diverged"
+            );
+            let stderr = String::from_utf8_lossy(&run.stderr);
+            assert!(
+                !stderr.contains("running in-process"),
+                "--workers {workers} {temp}: pool silently degraded: {stderr}"
+            );
+            assert!(
+                !stderr.contains("panicked"),
+                "--workers {workers} {temp}: {stderr}"
+            );
+        }
+        // The sharded run really used its workers.
+        let stats = String::from_utf8_lossy(&cold.stdout);
+        assert!(
+            stats.contains(&format!(
+                "{workers} worker process(es): {workers} spawned"
+            )),
+            "--workers {workers}: pool never started: {stats}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_file(&src_file);
+}
+
+#[test]
+fn library_level_sharded_outcome_equals_serial_field_by_field() {
+    let src = corpus();
+    let outcome = |workers: usize, dir: Option<&Path>| -> IncrOutcome {
+        analyze_source_incremental(
+            &src,
+            &IncrConfig {
+                workers,
+                worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_cqual"))),
+                cache_dir: dir.map(Path::to_path_buf),
+                ..IncrConfig::default()
+            },
+        )
+    };
+    let serial = outcome(0, None);
+    assert!(serial.counts.is_some());
+
+    let dir = scratch("lib");
+    for (pass, temp) in [(0, "cold"), (1, "warm")] {
+        let sharded = outcome(2, Some(&dir));
+        assert_eq!(sharded.counts, serial.counts, "{temp}: counts diverged");
+        assert_eq!(
+            sharded.positions.len(),
+            serial.positions.len(),
+            "{temp}: position classes diverged"
+        );
+        for (s, r) in sharded.positions.iter().zip(&serial.positions) {
+            assert_eq!(s.label(), r.label(), "{temp}");
+            assert_eq!(s.class, r.class, "{temp}: {}", s.label());
+        }
+        assert_eq!(sharded.stats.units, serial.stats.units, "{temp}");
+        assert_eq!(
+            sharded.stats.constraints, serial.stats.constraints,
+            "{temp}: merged constraint count diverged"
+        );
+        assert_eq!(sharded.stats.corrupt, 0, "{temp}");
+        assert_eq!(sharded.stats.quarantined, 0, "{temp}");
+        assert_eq!(sharded.stats.workers, 2, "{temp}");
+        assert_eq!(sharded.stats.workers_spawned, 2, "{temp}");
+        assert_eq!(sharded.stats.workers_killed, 0, "{temp}");
+        if pass == 0 {
+            assert_eq!(
+                sharded.stats.analyzed, sharded.stats.units,
+                "cold: every unit analyzed (by some worker)"
+            );
+        } else {
+            assert_eq!(
+                sharded.stats.reused, sharded.stats.units,
+                "warm: every unit reused from the shared cache"
+            );
+        }
+        assert!(
+            sharded.cache_diags.is_empty(),
+            "{temp}: {:?}",
+            sharded.cache_diags
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
