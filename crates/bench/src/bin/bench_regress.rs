@@ -190,6 +190,79 @@ fn main() -> ExitCode {
         let (dist_cold, rdc) = run(&dist_cfg);
         let (dist_warm, rdw) = run(&dist_cfg);
         let _ = std::fs::remove_dir_all(&dist_cache);
+        // Served pass: the same corpus through a resident analysis
+        // server (the `cquald` session, hosted in-process) over its
+        // unix socket — a cold request into the fresh session, then a
+        // memo-warm repeat. The roundtrip wall clocks bound the
+        // daemon's framing/dispatch overhead; the served report must
+        // carry exactly the in-process counts.
+        let sock = cache_root.join(format!("{}-serve.sock", p.name));
+        let (serve_report, serve_cold_ns, serve_warm_ns) =
+            match qual_incr::serve::serve(qual_incr::serve::ServeConfig::for_socket(
+                sock.clone(),
+            )) {
+                Ok(handle) => {
+                    let conn = qual_incr::serve::Connect::new(sock.clone());
+                    let req = qual_incr::proto::AnalyzeReq {
+                        version: qual_incr::proto::PROTO_VERSION,
+                        src: src.clone(),
+                        mode: IncrConfig::default().mode,
+                        verify: false,
+                        deadline_ms: None,
+                    };
+                    let t = std::time::Instant::now();
+                    let cold = qual_incr::serve::request_analyze(&conn, &req);
+                    let cold_ns = t.elapsed().as_nanos() as u64;
+                    let t = std::time::Instant::now();
+                    let rewarm = qual_incr::serve::request_analyze(&conn, &req);
+                    let warm_ns = t.elapsed().as_nanos() as u64;
+                    let _ = handle.stop();
+                    match (cold, rewarm) {
+                        (Ok(c), Ok(w)) if w.warm => (Some(c), cold_ns, warm_ns),
+                        (Ok(_), Ok(_)) => {
+                            eprintln!(
+                                "bench-regress: `{}`: served repeat was not memo-warm",
+                                p.name
+                            );
+                            (None, cold_ns, warm_ns)
+                        }
+                        (c, w) => {
+                            eprintln!(
+                                "bench-regress: `{}`: served pass failed: {:?} / {:?}",
+                                p.name,
+                                c.err(),
+                                w.err()
+                            );
+                            (None, cold_ns, warm_ns)
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "bench-regress: `{}`: cannot start analysis server: {e}",
+                        p.name
+                    );
+                    (None, 0, 0)
+                }
+            };
+        let served_counts = match &serve_report {
+            Some(rep) => rep
+                .counts
+                .map(|[t, d, i]| qual_constinfer::ConstCounts {
+                    total: t as usize,
+                    declared: d as usize,
+                    inferred: i as usize,
+                }),
+            None => None,
+        };
+        if serve_report.is_none() || cold1.counts != served_counts {
+            eprintln!(
+                "bench-regress: `{}`: served counts differ from the in-process run",
+                p.name
+            );
+            bench_failed = true;
+            continue;
+        }
         if cold1.counts != coldn.counts
             || cold1.counts != warm.counts
             || cold1.counts != dist_cold.counts
@@ -224,6 +297,8 @@ fn main() -> ExitCode {
             ("warm_ns".to_owned(), Json::num(rw.total_ns)),
             ("dist_cold_ns".to_owned(), Json::num(rdc.total_ns)),
             ("dist_warm_ns".to_owned(), Json::num(rdw.total_ns)),
+            ("serve_cold_ns".to_owned(), Json::num(serve_cold_ns)),
+            ("serve_warm_ns".to_owned(), Json::num(serve_warm_ns)),
         ]));
     }
     let _ = std::fs::remove_dir_all(&cache_root);

@@ -252,6 +252,18 @@ pub fn certify_solution(
             debug_assert!(false, "{message}");
         }
     };
+    // Fault point: `verify.cert` (garbage) forges a certification
+    // failure, making the exit-3 path testable end to end without a
+    // solver bug. Armed only when verification was requested, so a
+    // debug build inheriting a broad plan cannot debug_assert-panic.
+    if options.verify_solutions
+        && qual_faultpoint::hit("verify.cert")
+            == Some(qual_faultpoint::FaultKind::Garbage)
+    {
+        report("solution failed certification: injected fault at verify.cert"
+            .to_owned());
+        return;
+    }
     match solution {
         Ok(sol) => {
             if let Err(e) = qual_solve::verify_solution(space, cs.constraints(), sol) {

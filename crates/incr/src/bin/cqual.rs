@@ -7,7 +7,7 @@
 //!       [--worker-deadline-ms N] [--max-worker-respawns N]
 //!       [--cache-dir DIR] [--cache-stats] [--unit-deadline-ms N]
 //!       [--max-retries N] [--fault-plan SPEC] [--max-constraints N]
-//!       [--max-solver-steps N] [--max-fn-work N]
+//!       [--max-solver-steps N] [--max-fn-work N] [--connect SOCKET]
 //!       [--metrics PATH] [--metrics-summary] FILE...
 //! ```
 //!
@@ -62,6 +62,14 @@
 //!   cache-read, cache-write, merge), counters, peaks, and one entry
 //!   per analysis unit (see DESIGN.md §13). Instrumentation never
 //!   changes counts, diagnostics, or exit codes.
+//! * `--connect SOCKET`: send the `--report` analysis to a resident
+//!   `cquald` daemon on SOCKET instead of analyzing in process. The
+//!   client retries an `Overloaded` reply up to 3 times, honoring the
+//!   daemon's retry hint capped at 250 ms per sleep; if the daemon is
+//!   unreachable, still overloaded, or answers with an error, the run
+//!   *degrades to an in-process analysis* with a note on stderr. The
+//!   printed report and the exit code are byte-identical to a local
+//!   run either way — `--connect` is purely an execution venue.
 //! * `--metrics-summary`: print the same data as a human-readable
 //!   table on stdout after the report.
 //!
@@ -81,15 +89,16 @@
 //!
 //! | code | meaning |
 //! |------|---------|
-//! | 0    | completely clean run |
-//! | 1    | analysis finished but skipped something (including quarantined or deadline-cancelled units) |
-//! | 2    | bad usage (including a malformed `--fault-plan`) |
+//! | 0    | completely clean run (also `--help`, which prints usage on stdout) |
+//! | 1    | analysis finished but skipped something (including quarantined or deadline-cancelled units), solving failed, or an input could not be read |
+//! | 2    | bad usage (unknown flag, missing argument, no input files, malformed `--fault-plan`); usage goes to stderr |
 //! | 3    | `--verify` found a result that failed certification |
 //! | 4    | worker-mode protocol failure (internal: only a coordinator ever sees it, and reacts by reassigning the worker's units) |
 //!
 //! Cache infrastructure trouble (corrupt entries, store failures, an
 //! unavailable lock) is reported on stderr but never changes the exit
-//! code.
+//! code, and neither does `--connect` daemon trouble (the run degrades
+//! in process instead).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -98,22 +107,26 @@ use qual_constinfer::{
     analyze_source_with_options, rewrite_source, AnalysisOutcome, Budgets, Mode,
     Options, PositionClass,
 };
-use qual_incr::{analyze_source_incremental, IncrConfig};
-use qual_solve::{sort_diagnostics, Phase, SolveFailure};
+use qual_incr::proto::{AnalyzeReq, ReportFrame, PROTO_VERSION};
+use qual_incr::{analyze_source_incremental, serve, IncrConfig};
+use qual_solve::{Phase, SolveFailure};
 
+const USAGE: &str = "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
+                     \x20            [--verify] [--explain] [--keep-going] [--jobs N]\n\
+                     \x20            [--workers N] [--worker-deadline-ms N]\n\
+                     \x20            [--max-worker-respawns N]\n\
+                     \x20            [--cache-dir DIR] [--cache-stats]\n\
+                     \x20            [--unit-deadline-ms N] [--max-retries N]\n\
+                     \x20            [--fault-plan SPEC]\n\
+                     \x20            [--max-constraints N] [--max-solver-steps N]\n\
+                     \x20            [--max-fn-work N] [--connect SOCKET]\n\
+                     \x20            [--metrics PATH]\n\
+                     \x20            [--metrics-summary] FILE...";
+
+/// Bad usage: the synopsis goes to stderr and the exit code is 2.
+/// (`--help` prints the same text to stdout and exits 0.)
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
-         \x20            [--verify] [--explain] [--keep-going] [--jobs N]\n\
-         \x20            [--workers N] [--worker-deadline-ms N]\n\
-         \x20            [--max-worker-respawns N]\n\
-         \x20            [--cache-dir DIR] [--cache-stats]\n\
-         \x20            [--unit-deadline-ms N] [--max-retries N]\n\
-         \x20            [--fault-plan SPEC]\n\
-         \x20            [--max-constraints N] [--max-solver-steps N]\n\
-         \x20            [--max-fn-work N] [--metrics PATH]\n\
-         \x20            [--metrics-summary] FILE..."
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -138,6 +151,9 @@ struct Config {
     metrics: Option<PathBuf>,
     /// Print the human metrics table after the report.
     metrics_summary: bool,
+    /// A `cquald` socket to send `--report` analyses to; unreachable
+    /// daemons degrade to an in-process run.
+    connect: Option<PathBuf>,
 }
 
 impl Config {
@@ -203,6 +219,7 @@ fn main() -> ExitCode {
         max_retries: None,
         metrics: None,
         metrics_summary: false,
+        connect: None,
     };
     let mut keep_going = false;
     let mut files = Vec::new();
@@ -287,8 +304,14 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--metrics-summary" => cfg.metrics_summary = true,
+            "--connect" => match args.next() {
+                Some(s) => cfg.connect = Some(PathBuf::from(s)),
+                None => return usage(),
+            },
             "--help" | "-h" => {
-                usage();
+                // Requested help is not an error: usage on *stdout*,
+                // exit 0 (the table in the module docs pins this).
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ if a.starts_with('-') => return usage(),
@@ -445,8 +468,19 @@ fn run_batch(cfg: &Config, files: &[String]) -> ExitCode {
 /// healthy part plus rendered diagnostics for everything skipped, and
 /// returns the diagnostic tallies.
 fn analyze_and_print(cfg: &Config, src: &str) -> RunStats {
-    if cfg.incremental() && cfg.action == Action::Report {
-        return analyze_and_print_incremental(cfg, src);
+    if cfg.action == Action::Report {
+        if cfg.connect.is_some() {
+            return analyze_and_print_connect(cfg, src);
+        }
+        if cfg.incremental() {
+            return analyze_and_print_incremental(cfg, src);
+        }
+    }
+    if cfg.connect.is_some() {
+        eprintln!(
+            "cqual: note: --annotate/--rewrite use the classic in-process \
+             pipeline; --connect applies to --report only"
+        );
     }
     if cfg.incremental() {
         eprintln!(
@@ -517,8 +551,39 @@ fn analyze_and_print_incremental(cfg: &Config, src: &str) -> RunStats {
              ignored under --jobs/--cache-dir"
         );
     }
+    let icfg = incr_config(cfg);
+    // `--cache-stats` is served *from the metrics layer*: the run is
+    // collected into a report and the stats lines are rendered from its
+    // counters, so the human output and `--metrics` JSON are two views
+    // of one measurement and can never disagree. The nested report is
+    // absorbed into the invocation-level collector (if any) afterwards.
+    let need_report = cfg.cache_stats || qual_obs::armed();
+    let (out, report) = if need_report {
+        let (out, report) =
+            qual_obs::scoped(|| analyze_source_incremental(src, &icfg));
+        (out, Some(report))
+    } else {
+        (analyze_source_incremental(src, &icfg), None)
+    };
+    let frame = serve::report_from_outcome(&out, src, cfg.mode, cfg.verify);
+    let cache_lines: Vec<String> = if cfg.cache_stats {
+        let report = report.as_ref().expect("collected when --cache-stats");
+        qual_incr::cache_stats_lines(report).into()
+    } else {
+        Vec::new()
+    };
+    if let Some(report) = &report {
+        qual_obs::absorb(report);
+    }
+    print_frame(&frame, &cache_lines)
+}
+
+/// The incremental-driver configuration a `Config` asks for — shared by
+/// the local incremental path and the `--connect` fallback, so both
+/// venues analyze identically.
+fn incr_config(cfg: &Config) -> IncrConfig {
     let defaults = IncrConfig::default();
-    let icfg = IncrConfig {
+    IncrConfig {
         mode: cfg.mode,
         options: Options {
             verify_solutions: cfg.verify,
@@ -537,76 +602,107 @@ fn analyze_and_print_incremental(cfg: &Config, src: &str) -> RunStats {
             .max_worker_respawns
             .unwrap_or(defaults.max_worker_respawns),
         ..defaults
-    };
-    // `--cache-stats` is served *from the metrics layer*: the run is
-    // collected into a report and the stats lines are rendered from its
-    // counters, so the human output and `--metrics` JSON are two views
-    // of one measurement and can never disagree. The nested report is
-    // absorbed into the invocation-level collector (if any) afterwards.
-    let need_report = cfg.cache_stats || qual_obs::armed();
-    let (mut out, report) = if need_report {
-        let (out, report) =
-            qual_obs::scoped(|| analyze_source_incremental(src, &icfg));
-        (out, Some(report))
-    } else {
-        (analyze_source_incremental(src, &icfg), None)
-    };
-    if let Some(c) = out.counts {
-        println!(
-            "{} interesting positions: {} declared const, {} inferable const ({:?})",
-            c.total, c.declared, c.inferred, cfg.mode
+    }
+}
+
+/// `--connect`: route the report through a resident `cquald`. Any
+/// daemon trouble — unreachable socket, persistent overload, a server
+/// error — degrades to the in-process incremental analysis with a note
+/// on stderr; the printed report and the exit code never depend on the
+/// venue (both sides print through [`print_frame`] from the same
+/// [`ReportFrame`] shape).
+fn analyze_and_print_connect(cfg: &Config, src: &str) -> RunStats {
+    let socket = cfg.connect.clone().expect("checked by the caller");
+    if cfg.explain {
+        eprintln!(
+            "cqual: note: --explain uses the classic pipeline and is \
+             ignored under --connect"
         );
-        for p in &out.positions {
-            let class = match p.class {
-                PositionClass::MustConst => "must be const",
-                PositionClass::MustNotConst => "cannot be const",
-                PositionClass::Either => "could be const",
-            };
-            let declared = if p.declared { " [declared]" } else { "" };
-            println!("  {:<32} {class}{declared}", p.label());
-        }
     }
     if cfg.cache_stats {
-        let report = report.as_ref().expect("collected when --cache-stats");
-        for line in qual_incr::cache_stats_lines(report) {
-            println!("cqual: cache: {line}");
+        eprintln!(
+            "cqual: note: --cache-stats describes a local session and is \
+             ignored under --connect (the daemon owns the cache session)"
+        );
+    }
+    let req = AnalyzeReq {
+        version: PROTO_VERSION,
+        src: src.to_owned(),
+        mode: cfg.mode,
+        verify: cfg.verify,
+        deadline_ms: None,
+    };
+    let conn = serve::Connect::new(socket);
+    let frame = match serve::request_analyze(&conn, &req) {
+        Ok(frame) => frame,
+        Err(e) => {
+            eprintln!("cqual: {e}; analyzing in process instead");
+            qual_obs::count("serve.fallback", 1);
+            serve::local_report(&incr_config(cfg), &req)
+        }
+    };
+    print_frame(&frame, &[])
+}
+
+/// Prints one analysis report — served by a daemon or produced locally,
+/// the bytes are the same because both venues render through one
+/// [`ReportFrame`]. `cache_lines` carries the `--cache-stats` lines of
+/// a local run (empty otherwise).
+fn print_frame(frame: &ReportFrame, cache_lines: &[String]) -> RunStats {
+    if let Some([total, declared, inferred]) = frame.counts {
+        println!(
+            "{} interesting positions: {} declared const, {} inferable const ({:?})",
+            total, declared, inferred, frame.mode
+        );
+        for p in &frame.positions {
+            let class = match serve::class_from_tag(p.class) {
+                Some(PositionClass::MustConst) => "must be const",
+                Some(PositionClass::MustNotConst) => "cannot be const",
+                _ => "could be const",
+            };
+            let declared = if p.declared { " [declared]" } else { "" };
+            let label = qual_constinfer::Position {
+                function: p.function.clone(),
+                param: p.param.map(|i| i as usize),
+                level: p.level as usize,
+                declared: p.declared,
+                class: serve::class_from_tag(p.class)
+                    .unwrap_or(PositionClass::Either),
+            }
+            .label();
+            println!("  {label:<32} {class}{declared}");
         }
     }
-    if let Some(report) = &report {
-        qual_obs::absorb(report);
+    for line in cache_lines {
+        println!("cqual: cache: {line}");
     }
-    if out.stats.quarantined > 0 {
+    if frame.quarantined > 0 {
         eprintln!(
             "cqual: {} unit(s) quarantined after worker fault(s); their \
              functions are excluded from the counts",
-            out.stats.quarantined
+            frame.quarantined
         );
     }
-    sort_diagnostics(&mut out.skipped);
-    for d in &out.skipped {
-        eprint!("{}", d.render(Some(src)));
+    for d in &frame.skipped {
+        eprint!("{d}");
     }
     // Cache trouble is operational, not analytical: report it, but keep
     // it out of the diagnostic tally that drives the exit code.
-    for d in &out.cache_diags {
-        eprint!("{}", d.render(None));
+    for d in &frame.cache_notes {
+        eprint!("{d}");
     }
-    if out.counts.is_none() {
+    if frame.counts.is_none() {
         eprintln!("cqual: constraint solving failed; counts are unavailable");
     }
-    let cert_failures = out
-        .skipped
-        .iter()
-        .filter(|d| d.phase == Phase::Verify)
-        .count();
-    if cfg.verify && cert_failures == 0 && out.counts.is_some() {
+    let cert_failures = frame.cert_failures as usize;
+    if frame.verify && cert_failures == 0 && frame.counts.is_some() {
         println!(
             "cqual: certified: solution satisfies all {} constraint(s)",
-            out.stats.constraints
+            frame.constraints
         );
     }
     RunStats {
-        diags: out.skipped.len(),
+        diags: frame.skipped.len(),
         cert_failures,
     }
 }

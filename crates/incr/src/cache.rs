@@ -387,6 +387,17 @@ fn load_once(dir: &Path, key: &Key) -> Load {
 /// How long a lock file may sit unchanged before another session
 /// declares its owner dead and steals it.
 const LOCK_STALE_AFTER: Duration = Duration::from_secs(5);
+
+/// The staleness bound, with a test override: `QUAL_LOCK_STALE_MS`
+/// shrinks the window so suites can exercise the stealing path without
+/// multi-second waits. Read per probe — the bound only matters on the
+/// contended path, where a file stat dwarfs an env lookup.
+fn lock_stale_after() -> Duration {
+    std::env::var("QUAL_LOCK_STALE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(LOCK_STALE_AFTER, Duration::from_millis)
+}
 /// Total bounded wait for the advisory lock before degrading to a
 /// lockless session. Generations are observability, not integrity, so
 /// waiting forever would be the wrong trade.
@@ -408,6 +419,15 @@ pub struct Session {
     pub lockless: bool,
     /// A human-readable note when anything degraded.
     pub diag: Option<String>,
+}
+
+/// Appends a degradation note to the session, preserving any earlier
+/// one (a stolen lock followed by an unwritable counter reports both).
+fn add_diag(session: &mut Session, note: String) {
+    session.diag = Some(match session.diag.take() {
+        Some(prev) => format!("{prev}; {note}"),
+        None => note,
+    });
 }
 
 fn lock_path(dir: &Path) -> PathBuf {
@@ -460,10 +480,21 @@ fn acquire_lock(dir: &Path, session: &mut Session) -> Option<LockGuard> {
                     .and_then(|m| m.modified())
                     .ok()
                     .and_then(|t| t.elapsed().ok())
-                    .is_some_and(|age| age > LOCK_STALE_AFTER);
+                    .is_some_and(|age| age > lock_stale_after());
                 if stale {
                     let _ = fs::remove_file(&path);
                     session.lock_steals += 1;
+                    // A steal means some session died (or wedged) while
+                    // holding the lock — worth one counter and one
+                    // structured note, never a silent event.
+                    qual_obs::count("cache.lock_stolen", 1);
+                    add_diag(
+                        session,
+                        format!(
+                            "stole stale advisory lock {} (unchanged past its staleness bound)",
+                            path.display()
+                        ),
+                    );
                     continue;
                 }
                 if started.elapsed() >= LOCK_MAX_WAIT {
@@ -522,7 +553,8 @@ pub fn open_session(dir: &Path, policy: RetryPolicy) -> Session {
     let guard = acquire_lock(dir, &mut session);
     if guard.is_none() {
         session.lockless = true;
-        session.diag = Some(
+        add_diag(
+            &mut session,
             "cache lock unavailable; proceeding lockless (generation not bumped)".to_owned(),
         );
         return session;
@@ -553,9 +585,12 @@ pub fn open_session(dir: &Path, policy: RetryPolicy) -> Session {
             }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
-                session.diag = Some(format!(
-                    "cache generation counter unwritable ({e}); entries will carry generation 0"
-                ));
+                add_diag(
+                    &mut session,
+                    format!(
+                        "cache generation counter unwritable ({e}); entries will carry generation 0"
+                    ),
+                );
                 break;
             }
         }

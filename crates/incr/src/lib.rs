@@ -31,6 +31,7 @@
 
 pub mod cache;
 pub mod proto;
+pub mod serve;
 mod shard;
 
 pub use shard::worker_main;
@@ -508,8 +509,105 @@ pub(crate) fn plan_units(src: &str, cfg: &IncrConfig) -> Planned {
 
 /// Runs the incremental analysis end to end. Never panics on bad input
 /// or bad cache state; every fault is a structured diagnostic.
+///
+/// Opens a fresh cache [session](Driver) per call; a long-lived process
+/// serving many analyses (the `cquald` daemon) keeps one [`Driver`]
+/// instead so the session — the advisory lock accounting and the
+/// generation stamped into stored entries — is opened once.
 #[must_use]
 pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
+    Driver::new(cfg).analyze(src)
+}
+
+/// A resident analysis session: the QINC cache session opened once
+/// (crash-debris sweep, advisory lock, generation bump), then reused
+/// across any number of analyses. Scheduling is session-independent —
+/// every [`Driver::analyze_with`] call plans and executes its own units
+/// against the shared session, so concurrent callers (the daemon's
+/// worker threads) only share immutable state.
+#[derive(Debug)]
+pub struct Driver {
+    cfg: IncrConfig,
+    generation: u64,
+    lock_wait_ms: u64,
+    lock_steals: u32,
+    session_diag: Option<String>,
+}
+
+impl Driver {
+    /// Opens the cache session (when `cfg.cache_dir` is set) and fixes
+    /// the session-level knobs. Never fails: session trouble degrades
+    /// to a lockless generation-0 session with a diagnostic that every
+    /// subsequent analysis reports.
+    #[must_use]
+    pub fn new(cfg: &IncrConfig) -> Driver {
+        let policy = RetryPolicy {
+            max_retries: cfg.max_retries,
+        };
+        let mut driver = Driver {
+            cfg: cfg.clone(),
+            generation: 0,
+            lock_wait_ms: 0,
+            lock_steals: 0,
+            session_diag: None,
+        };
+        if let Some(dir) = &cfg.cache_dir {
+            // The session opens on the driver thread, outside any worker
+            // supervisor, so contain its panics (injected or real) here:
+            // a failed open degrades to a lockless, generation-0 session.
+            let session = catch_unwind(AssertUnwindSafe(|| {
+                cache::open_session(dir, policy)
+            }))
+            .unwrap_or_else(|_| cache::Session {
+                lockless: true,
+                diag: Some(
+                    "cache session open panicked; proceeding without a session"
+                        .to_owned(),
+                ),
+                ..cache::Session::default()
+            });
+            driver.generation = session.generation;
+            driver.lock_wait_ms = session.lock_wait_ms;
+            driver.lock_steals = session.lock_steals;
+            driver.session_diag = session.diag;
+        }
+        driver
+    }
+
+    /// This session's cache generation (0 = no cache or counter
+    /// unreachable).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Analyzes one source under the session's own configuration.
+    #[must_use]
+    pub fn analyze(&self, src: &str) -> IncrOutcome {
+        self.analyze_with(src, &self.cfg)
+    }
+
+    /// Analyzes one source with per-request knob overrides (mode,
+    /// options, budgets, jobs, deadlines). The cache session itself —
+    /// directory, retry policy, generation — always comes from the
+    /// `Driver`, so a per-request `cfg` cannot detach an analysis from
+    /// the resident session.
+    #[must_use]
+    pub fn analyze_with(&self, src: &str, overrides: &IncrConfig) -> IncrOutcome {
+        let cfg = IncrConfig {
+            cache_dir: self.cfg.cache_dir.clone(),
+            max_retries: self.cfg.max_retries,
+            ..overrides.clone()
+        };
+        analyze_in_session(self, src, &cfg)
+    }
+}
+
+/// The session-independent analysis body: plans, schedules, and merges
+/// one source against an already-open session. Every piece of mutable
+/// state lives in this call frame, so any number of these can run
+/// concurrently over one [`Driver`].
+fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutcome {
     let Planned {
         mut program,
         sema,
@@ -525,40 +623,19 @@ pub fn analyze_source_incremental(src: &str, cfg: &IncrConfig) -> IncrOutcome {
         wavefronts: fronts.len(),
         jobs,
         workers: cfg.workers,
+        generation: driver.generation,
+        lock_wait_ms: driver.lock_wait_ms,
+        lock_steals: driver.lock_steals,
         ..IncrStats::default()
     };
     let mut cache_diags: Vec<Diagnostic> = Vec::new();
-
-    // One cache session per run: sweep crash debris, take the advisory
-    // lock, bump the shared generation. Any trouble degrades with a
-    // diagnostic; the analysis itself never depends on the session.
+    if let Some(msg) = &driver.session_diag {
+        cache_diags.push(Diagnostic::warning(Phase::Infer, format!("cache: {msg}")));
+    }
     let policy = RetryPolicy {
         max_retries: cfg.max_retries,
     };
-    let mut generation = 0;
-    if let Some(dir) = &cfg.cache_dir {
-        // The session opens on the driver thread, outside any worker
-        // supervisor, so contain its panics (injected or real) here:
-        // a failed open degrades to a lockless, generation-0 session.
-        let session = catch_unwind(AssertUnwindSafe(|| {
-            cache::open_session(dir, policy)
-        }))
-        .unwrap_or_else(|_| cache::Session {
-            lockless: true,
-            diag: Some(
-                "cache session open panicked; proceeding without a session"
-                    .to_owned(),
-            ),
-            ..cache::Session::default()
-        });
-        generation = session.generation;
-        stats.generation = session.generation;
-        stats.lock_wait_ms = session.lock_wait_ms;
-        stats.lock_steals = session.lock_steals;
-        if let Some(msg) = session.diag {
-            cache_diags.push(Diagnostic::warning(Phase::Infer, format!("cache: {msg}")));
-        }
-    }
+    let generation = driver.generation;
     let ctx = UnitCtx {
         prog: &program,
         sema: &sema,

@@ -30,6 +30,25 @@
 //! | 5    | Heartbeat | empty — sent on a timer from a dedicated worker thread |
 //! | 6    | Done      | unit index, execution flags (reused/stored/retries/quarantined/corrupt), and the encoded result summary |
 //!
+//! The `cquald` analysis server (DESIGN.md §16) extends the same wire
+//! format with request/reply kinds — client → daemon, then daemon →
+//! client:
+//!
+//! | kind | name         | payload |
+//! |------|--------------|---------|
+//! | 7    | Analyze      | protocol version, source text, mode, verify flag, optional request deadline |
+//! | 8    | Reanalyze    | same as Analyze, but bypasses (and replaces) the daemon's memoized result |
+//! | 9    | QueryQual    | function name, optional parameter index, pointer level |
+//! | 10   | Explain      | empty — render the resident session's diagnostics |
+//! | 11   | Stats        | empty — daemon counters snapshot |
+//! | 3    | Shutdown     | empty — reused: a client asks the daemon to drain (acked with Shutdown) |
+//! | 12   | Report       | the full analysis result (counts, positions, rendered diagnostics, cache notes, warm/reuse accounting) |
+//! | 13   | QualReply    | found flag, position class tag, declared flag, rendered label |
+//! | 14   | ExplainReply | rendered explanation text |
+//! | 15   | StatsReply   | name/value counter pairs |
+//! | 16   | Overloaded   | retry-after hint (ms), queue depth, in-flight count — the structured load-shed reply |
+//! | 17   | ErrorReply   | a rendered error message |
+//!
 //! Schemes and results ride in the same certified
 //! [`qual_constinfer::summary`] wire codec the on-disk cache uses, so
 //! a corrupted Exec or Done payload is rejected by the same decoder
@@ -194,6 +213,10 @@ impl<'a> Take<'a> {
         Ok(if self.bool()? { Some(self.str()?) } else { None })
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn at_end(&self) -> Result<(), ProtoError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -240,6 +263,71 @@ pub struct Hello {
     pub heartbeat_ms: u64,
 }
 
+/// An Analyze/Reanalyze request: everything the daemon needs to run
+/// one analysis on behalf of a `cqual --connect` client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeReq {
+    /// Must equal [`PROTO_VERSION`].
+    pub version: u32,
+    /// The source text to analyze.
+    pub src: String,
+    /// Analysis mode.
+    pub mode: Mode,
+    /// Run the independent certifier over the solution.
+    pub verify: bool,
+    /// Per-request wall-clock deadline, in ms; `None` uses the
+    /// daemon's default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One interesting position, flattened for the wire (the daemon and
+/// the client rebuild `qual_constinfer::Position` from it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePosition {
+    /// Owning function (or object) name.
+    pub function: String,
+    /// Parameter index, when the position is a parameter.
+    pub param: Option<u32>,
+    /// Pointer depth of the qualified level.
+    pub level: u32,
+    /// The qualifier was declared in the source.
+    pub declared: bool,
+    /// Class tag: 0 must-const, 1 must-not-const, 2 either.
+    pub class: u8,
+}
+
+/// The payload of a Report frame — a complete analysis result, carrying
+/// enough for the client to print byte-identically to a local run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportFrame {
+    /// The mode the daemon actually ran.
+    pub mode: Mode,
+    /// Certification was requested and ran.
+    pub verify: bool,
+    /// `[total, declared, inferred]` position counts; `None` when
+    /// constraint solving failed.
+    pub counts: Option<[u64; 3]>,
+    /// Every interesting position, in report order.
+    pub positions: Vec<WirePosition>,
+    /// Rendered diagnostics (sorted), one string per diagnostic.
+    pub skipped: Vec<String>,
+    /// Rendered cache-infrastructure notes.
+    pub cache_notes: Vec<String>,
+    /// Diagnostics that are certification failures (drives exit 3).
+    pub cert_failures: u64,
+    /// Merged constraint count (for the `certified:` line).
+    pub constraints: u64,
+    /// Units quarantined after an analysis panic.
+    pub quarantined: u64,
+    /// The reply was served without fresh analysis (memoized, or every
+    /// unit reused from the QINC cache).
+    pub warm: bool,
+    /// Units served from the cache.
+    pub reused: u64,
+    /// Units analyzed fresh.
+    pub analyzed: u64,
+}
+
 /// One frame, decoded.
 #[derive(Debug)]
 pub enum Frame {
@@ -266,6 +354,60 @@ pub enum Frame {
     Heartbeat,
     /// Worker → coordinator: one unit's result.
     Done(Box<DoneFrame>),
+    /// Client → daemon: analyze this source (memoized results allowed).
+    Analyze(Box<AnalyzeReq>),
+    /// Client → daemon: analyze afresh, replacing any memoized result.
+    Reanalyze(Box<AnalyzeReq>),
+    /// Client → daemon: query one position of the resident session.
+    QueryQual {
+        /// Owning function name.
+        function: String,
+        /// Parameter index, when querying a parameter position.
+        param: Option<u32>,
+        /// Pointer depth of the qualified level.
+        level: u32,
+    },
+    /// Client → daemon: render the resident session's diagnostics.
+    Explain,
+    /// Client → daemon: snapshot the daemon's counters.
+    Stats,
+    /// Daemon → client: a complete analysis result.
+    Report(Box<ReportFrame>),
+    /// Daemon → client: one position's classification.
+    QualReply {
+        /// The resident session knows this position.
+        found: bool,
+        /// Class tag: 0 must-const, 1 must-not-const, 2 either.
+        class: u8,
+        /// The qualifier was declared in the source.
+        declared: bool,
+        /// The position's rendered label (empty when not found).
+        label: String,
+    },
+    /// Daemon → client: rendered explanation text.
+    ExplainReply {
+        /// Concatenated rendered diagnostics (empty when clean).
+        text: String,
+    },
+    /// Daemon → client: counter snapshot.
+    StatsReply {
+        /// Name/value pairs in a fixed, deterministic order.
+        pairs: Vec<(String, u64)>,
+    },
+    /// Daemon → client: load shed — retry later or fall back.
+    Overloaded {
+        /// Suggested client back-off before retrying, in ms.
+        retry_after_ms: u64,
+        /// Queued requests at shed time.
+        queue_depth: u32,
+        /// Requests being analyzed at shed time.
+        inflight: u32,
+    },
+    /// Daemon → client: the request failed; the message says why.
+    ErrorReply {
+        /// Rendered error message.
+        message: String,
+    },
 }
 
 /// The payload of a Done frame — mirrors the driver's per-unit
@@ -296,6 +438,90 @@ const KIND_SHUTDOWN: u32 = 3;
 const KIND_READY: u32 = 4;
 const KIND_HEARTBEAT: u32 = 5;
 const KIND_DONE: u32 = 6;
+const KIND_ANALYZE: u32 = 7;
+const KIND_REANALYZE: u32 = 8;
+const KIND_QUERY_QUAL: u32 = 9;
+const KIND_EXPLAIN: u32 = 10;
+const KIND_STATS: u32 = 11;
+const KIND_REPORT: u32 = 12;
+const KIND_QUAL_REPLY: u32 = 13;
+const KIND_EXPLAIN_REPLY: u32 = 14;
+const KIND_STATS_REPLY: u32 = 15;
+const KIND_OVERLOADED: u32 = 16;
+const KIND_ERROR_REPLY: u32 = 17;
+
+fn put_mode(buf: &mut Vec<u8>, mode: Mode) {
+    buf.push(match mode {
+        Mode::Monomorphic => 0,
+        Mode::Polymorphic => 1,
+        Mode::PolymorphicRecursive => 2,
+    });
+}
+
+fn take_mode(t: &mut Take<'_>) -> Result<Mode, ProtoError> {
+    match t.slice(1)?[0] {
+        0 => Ok(Mode::Monomorphic),
+        1 => Ok(Mode::Polymorphic),
+        2 => Ok(Mode::PolymorphicRecursive),
+        m => Err(ProtoError::Malformed(format!("bad mode tag {m}"))),
+    }
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(n) => {
+            put_bool(buf, true);
+            put_u64(buf, n);
+        }
+        None => put_bool(buf, false),
+    }
+}
+
+fn take_opt_u64(t: &mut Take<'_>) -> Result<Option<u64>, ProtoError> {
+    Ok(if t.bool()? { Some(t.u64()?) } else { None })
+}
+
+fn take_param(t: &mut Take<'_>) -> Result<Option<u32>, ProtoError> {
+    take_opt_u64(t)?
+        .map(|v| {
+            u32::try_from(v).map_err(|_| {
+                ProtoError::Malformed(format!("parameter index {v} out of range"))
+            })
+        })
+        .transpose()
+}
+
+fn put_analyze_req(buf: &mut Vec<u8>, req: &AnalyzeReq) {
+    put_u32(buf, req.version);
+    put_str(buf, &req.src);
+    put_mode(buf, req.mode);
+    put_bool(buf, req.verify);
+    put_opt_u64(buf, req.deadline_ms);
+}
+
+fn take_analyze_req(t: &mut Take<'_>) -> Result<AnalyzeReq, ProtoError> {
+    Ok(AnalyzeReq {
+        version: t.u32()?,
+        src: t.str()?,
+        mode: take_mode(t)?,
+        verify: t.bool()?,
+        deadline_ms: take_opt_u64(t)?,
+    })
+}
+
+/// Reads an element count and bounds it: each element consumes at
+/// least one payload byte, so any count beyond the remaining bytes is
+/// structurally impossible and rejected before allocation.
+fn take_count(t: &mut Take<'_>) -> Result<usize, ProtoError> {
+    let n = t.u64()?;
+    let remaining = t.remaining() as u64;
+    if n > remaining {
+        return Err(ProtoError::Malformed(format!(
+            "element count {n} exceeds the {remaining} payload bytes left"
+        )));
+    }
+    Ok(n as usize)
+}
 
 fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
     let mut buf = Vec::new();
@@ -303,11 +529,7 @@ fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
         Frame::Hello(h) => {
             put_u32(&mut buf, h.version);
             put_str(&mut buf, &h.src);
-            buf.push(match h.mode {
-                Mode::Monomorphic => 0,
-                Mode::Polymorphic => 1,
-                Mode::PolymorphicRecursive => 2,
-            });
+            put_mode(&mut buf, h.mode);
             put_bool(&mut buf, h.simplify_schemes);
             put_bool(&mut buf, h.verify_solutions);
             put_u64(&mut buf, h.max_constraints);
@@ -317,13 +539,7 @@ fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
                 &mut buf,
                 h.cache_dir.as_ref().and_then(|p| p.to_str()),
             );
-            match h.unit_deadline_ms {
-                Some(ms) => {
-                    put_bool(&mut buf, true);
-                    put_u64(&mut buf, ms);
-                }
-                None => put_bool(&mut buf, false),
-            }
+            put_opt_u64(&mut buf, h.unit_deadline_ms);
             put_u32(&mut buf, h.max_retries);
             put_u64(&mut buf, h.generation);
             put_u64(&mut buf, h.heartbeat_ms);
@@ -352,6 +568,85 @@ fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
             put_bytes(&mut buf, &encode_summary(&d.summary));
             (KIND_DONE, buf)
         }
+        Frame::Analyze(req) => {
+            put_analyze_req(&mut buf, req);
+            (KIND_ANALYZE, buf)
+        }
+        Frame::Reanalyze(req) => {
+            put_analyze_req(&mut buf, req);
+            (KIND_REANALYZE, buf)
+        }
+        Frame::QueryQual { function, param, level } => {
+            put_str(&mut buf, function);
+            put_opt_u64(&mut buf, param.map(u64::from));
+            put_u32(&mut buf, *level);
+            (KIND_QUERY_QUAL, buf)
+        }
+        Frame::Explain => (KIND_EXPLAIN, buf),
+        Frame::Stats => (KIND_STATS, buf),
+        Frame::Report(rep) => {
+            put_mode(&mut buf, rep.mode);
+            put_bool(&mut buf, rep.verify);
+            match rep.counts {
+                Some([t, d, i]) => {
+                    put_bool(&mut buf, true);
+                    put_u64(&mut buf, t);
+                    put_u64(&mut buf, d);
+                    put_u64(&mut buf, i);
+                }
+                None => put_bool(&mut buf, false),
+            }
+            put_u64(&mut buf, rep.positions.len() as u64);
+            for p in &rep.positions {
+                put_str(&mut buf, &p.function);
+                put_opt_u64(&mut buf, p.param.map(u64::from));
+                put_u32(&mut buf, p.level);
+                put_bool(&mut buf, p.declared);
+                buf.push(p.class);
+            }
+            for list in [&rep.skipped, &rep.cache_notes] {
+                put_u64(&mut buf, list.len() as u64);
+                for s in list {
+                    put_str(&mut buf, s);
+                }
+            }
+            put_u64(&mut buf, rep.cert_failures);
+            put_u64(&mut buf, rep.constraints);
+            put_u64(&mut buf, rep.quarantined);
+            put_bool(&mut buf, rep.warm);
+            put_u64(&mut buf, rep.reused);
+            put_u64(&mut buf, rep.analyzed);
+            (KIND_REPORT, buf)
+        }
+        Frame::QualReply { found, class, declared, label } => {
+            put_bool(&mut buf, *found);
+            buf.push(*class);
+            put_bool(&mut buf, *declared);
+            put_str(&mut buf, label);
+            (KIND_QUAL_REPLY, buf)
+        }
+        Frame::ExplainReply { text } => {
+            put_str(&mut buf, text);
+            (KIND_EXPLAIN_REPLY, buf)
+        }
+        Frame::StatsReply { pairs } => {
+            put_u64(&mut buf, pairs.len() as u64);
+            for (name, value) in pairs {
+                put_str(&mut buf, name);
+                put_u64(&mut buf, *value);
+            }
+            (KIND_STATS_REPLY, buf)
+        }
+        Frame::Overloaded { retry_after_ms, queue_depth, inflight } => {
+            put_u64(&mut buf, *retry_after_ms);
+            put_u32(&mut buf, *queue_depth);
+            put_u32(&mut buf, *inflight);
+            (KIND_OVERLOADED, buf)
+        }
+        Frame::ErrorReply { message } => {
+            put_str(&mut buf, message);
+            (KIND_ERROR_REPLY, buf)
+        }
     }
 }
 
@@ -361,21 +656,14 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
         KIND_HELLO => {
             let version = t.u32()?;
             let src = t.str()?;
-            let mode = match t.slice(1)?[0] {
-                0 => Mode::Monomorphic,
-                1 => Mode::Polymorphic,
-                2 => Mode::PolymorphicRecursive,
-                m => {
-                    return Err(ProtoError::Malformed(format!("bad mode tag {m}")));
-                }
-            };
+            let mode = take_mode(&mut t)?;
             let simplify_schemes = t.bool()?;
             let verify_solutions = t.bool()?;
             let max_constraints = t.u64()?;
             let max_solver_steps = t.u64()?;
             let max_fn_work = t.u64()?;
             let cache_dir = t.opt_str()?.map(PathBuf::from);
-            let unit_deadline_ms = if t.bool()? { Some(t.u64()?) } else { None };
+            let unit_deadline_ms = take_opt_u64(&mut t)?;
             let max_retries = t.u32()?;
             let generation = t.u64()?;
             let heartbeat_ms = t.u64()?;
@@ -428,6 +716,81 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
                 summary,
             }))
         }
+        KIND_ANALYZE => Frame::Analyze(Box::new(take_analyze_req(&mut t)?)),
+        KIND_REANALYZE => Frame::Reanalyze(Box::new(take_analyze_req(&mut t)?)),
+        KIND_QUERY_QUAL => {
+            let function = t.str()?;
+            let param = take_param(&mut t)?;
+            let level = t.u32()?;
+            Frame::QueryQual { function, param, level }
+        }
+        KIND_EXPLAIN => Frame::Explain,
+        KIND_STATS => Frame::Stats,
+        KIND_REPORT => {
+            let mode = take_mode(&mut t)?;
+            let verify = t.bool()?;
+            let counts = if t.bool()? {
+                Some([t.u64()?, t.u64()?, t.u64()?])
+            } else {
+                None
+            };
+            let n = take_count(&mut t)?;
+            let mut positions = Vec::new();
+            for _ in 0..n {
+                positions.push(WirePosition {
+                    function: t.str()?,
+                    param: take_param(&mut t)?,
+                    level: t.u32()?,
+                    declared: t.bool()?,
+                    class: t.slice(1)?[0],
+                });
+            }
+            let mut lists = [Vec::new(), Vec::new()];
+            for list in &mut lists {
+                let n = take_count(&mut t)?;
+                for _ in 0..n {
+                    list.push(t.str()?);
+                }
+            }
+            let [skipped, cache_notes] = lists;
+            Frame::Report(Box::new(ReportFrame {
+                mode,
+                verify,
+                counts,
+                positions,
+                skipped,
+                cache_notes,
+                cert_failures: t.u64()?,
+                constraints: t.u64()?,
+                quarantined: t.u64()?,
+                warm: t.bool()?,
+                reused: t.u64()?,
+                analyzed: t.u64()?,
+            }))
+        }
+        KIND_QUAL_REPLY => Frame::QualReply {
+            found: t.bool()?,
+            class: t.slice(1)?[0],
+            declared: t.bool()?,
+            label: t.str()?,
+        },
+        KIND_EXPLAIN_REPLY => Frame::ExplainReply { text: t.str()? },
+        KIND_STATS_REPLY => {
+            let n = take_count(&mut t)?;
+            let mut pairs = Vec::new();
+            for _ in 0..n {
+                let name = t.str()?;
+                let value = t.u64()?;
+                pairs.push((name, value));
+            }
+            Frame::StatsReply { pairs }
+        }
+        KIND_OVERLOADED => Frame::Overloaded {
+            retry_after_ms: t.u64()?,
+            queue_depth: t.u32()?,
+            inflight: t.u32()?,
+        },
+        KIND_ERROR_REPLY => Frame::ErrorReply { message: t.str()? },
         k => return Err(ProtoError::Malformed(format!("unknown frame kind {k}"))),
     };
     t.at_end()?;
@@ -700,6 +1063,211 @@ mod tests {
         assert!(matches!(read_frame(&mut r).unwrap(), Frame::Ready { .. }));
         assert!(matches!(read_frame(&mut r).unwrap(), Frame::Shutdown));
         assert!(r.is_empty());
+    }
+
+    fn sample_report() -> ReportFrame {
+        ReportFrame {
+            mode: Mode::Polymorphic,
+            verify: true,
+            counts: Some([5, 2, 3]),
+            positions: vec![
+                WirePosition {
+                    function: "strlen".to_owned(),
+                    param: Some(0),
+                    level: 1,
+                    declared: true,
+                    class: 0,
+                },
+                WirePosition {
+                    function: "g".to_owned(),
+                    param: None,
+                    level: 2,
+                    declared: false,
+                    class: 2,
+                },
+            ],
+            skipped: vec!["warning: skipped region\n".to_owned()],
+            cache_notes: vec!["cache: note\n".to_owned()],
+            cert_failures: 0,
+            constraints: 41,
+            quarantined: 0,
+            warm: true,
+            reused: 3,
+            analyzed: 0,
+        }
+    }
+
+    fn sample_analyze() -> AnalyzeReq {
+        AnalyzeReq {
+            version: PROTO_VERSION,
+            src: "int f(char *p) { return *p; }".to_owned(),
+            mode: Mode::PolymorphicRecursive,
+            verify: true,
+            deadline_ms: Some(750),
+        }
+    }
+
+    /// One representative of every frame kind, server kinds included.
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Box::new(Hello {
+                version: PROTO_VERSION,
+                src: "int g(void);".to_owned(),
+                mode: Mode::Monomorphic,
+                simplify_schemes: false,
+                verify_solutions: true,
+                max_constraints: 9,
+                max_solver_steps: 8,
+                max_fn_work: 7,
+                cache_dir: None,
+                unit_deadline_ms: None,
+                max_retries: 1,
+                generation: 6,
+                heartbeat_ms: 40,
+            })),
+            Frame::Exec {
+                unit: 2,
+                imports: UnitSummary {
+                    failed: vec!["lost".to_owned()],
+                    ..UnitSummary::default()
+                },
+            },
+            Frame::Shutdown,
+            Frame::Ready { units: 4, plan_digest: 0xfeed },
+            Frame::Heartbeat,
+            Frame::Done(Box::new(DoneFrame {
+                unit: 1,
+                reused: false,
+                corrupt: None,
+                stored: true,
+                store_err: None,
+                retries: 0,
+                quarantined: false,
+                summary: UnitSummary::default(),
+            })),
+            Frame::Analyze(Box::new(sample_analyze())),
+            Frame::Reanalyze(Box::new(sample_analyze())),
+            Frame::QueryQual {
+                function: "strcat".to_owned(),
+                param: Some(1),
+                level: 1,
+            },
+            Frame::Explain,
+            Frame::Stats,
+            Frame::Report(Box::new(sample_report())),
+            Frame::QualReply {
+                found: true,
+                class: 1,
+                declared: false,
+                label: "strcat arg 2 level 1".to_owned(),
+            },
+            Frame::ExplainReply { text: "all clean\n".to_owned() },
+            Frame::StatsReply {
+                pairs: vec![("serve.requests".to_owned(), 12), ("serve.shed".to_owned(), 1)],
+            },
+            Frame::Overloaded { retry_after_ms: 125, queue_depth: 8, inflight: 2 },
+            Frame::ErrorReply { message: "unsupported version".to_owned() },
+        ]
+    }
+
+    #[test]
+    fn server_frames_round_trip_every_field() {
+        match round_trip(&Frame::Analyze(Box::new(sample_analyze()))) {
+            Frame::Analyze(back) => assert_eq!(*back, sample_analyze()),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        match round_trip(&Frame::Report(Box::new(sample_report()))) {
+            Frame::Report(back) => assert_eq!(*back, sample_report()),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        match round_trip(&Frame::Overloaded {
+            retry_after_ms: 40,
+            queue_depth: 3,
+            inflight: 1,
+        }) {
+            Frame::Overloaded { retry_after_ms, queue_depth, inflight } => {
+                assert_eq!((retry_after_ms, queue_depth, inflight), (40, 3, 1));
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        // The rest round-trip debug-identically (Frame is not PartialEq
+        // because summaries carry floats downstream; Debug is total).
+        for frame in sample_frames() {
+            let back = round_trip(&frame);
+            assert_eq!(format!("{back:?}"), format!("{frame:?}"));
+        }
+    }
+
+    #[test]
+    fn server_frame_corruption_is_rejected_never_trusted() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Report(Box::new(sample_report()))).unwrap();
+        for i in 0..buf.len() {
+            let mut b = buf.clone();
+            b[i] ^= 0x5a;
+            assert!(
+                read_frame(&mut b.as_slice()).is_err(),
+                "flipped byte {i} survived the checksum"
+            );
+        }
+        for cut in 0..buf.len() {
+            assert!(read_frame(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn report_element_counts_are_bounded_by_payload_size() {
+        // A forged Report claiming 2^40 positions must be rejected by
+        // the count-vs-remaining-bytes guard, not attempted.
+        let mut payload = Vec::new();
+        put_mode(&mut payload, Mode::Monomorphic);
+        put_bool(&mut payload, false); // verify
+        put_bool(&mut payload, false); // counts absent
+        put_u64(&mut payload, 1 << 40); // position count: absurd
+        let checksum = frame_checksum(KIND_REPORT, &payload);
+        let mut buf = Vec::new();
+        write_raw(&mut buf, KIND_REPORT, checksum, &payload).unwrap();
+        match read_frame(&mut buf.as_slice()) {
+            Err(ProtoError::Malformed(m)) => {
+                assert!(m.contains("element count"), "{m}");
+            }
+            other => panic!("forged count must be rejected: {other:?}"),
+        }
+    }
+
+    /// A reader that refuses to cross `cut` in a single `read` call:
+    /// the first calls return bytes strictly before the cut, later
+    /// calls the rest — exactly a pipe delivering a frame in two
+    /// chunks.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        cut: usize,
+        pos: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let end = if self.pos < self.cut { self.cut } else { self.data.len() };
+            let n = out.len().min(end - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn every_frame_reassembles_when_split_at_every_byte_boundary() {
+        for frame in sample_frames() {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).expect("write");
+            let want = format!("{frame:?}");
+            for cut in 0..=buf.len() {
+                let mut r = Chunked { data: &buf, cut, pos: 0 };
+                let back = read_frame(&mut r)
+                    .unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+                assert_eq!(format!("{back:?}"), want, "cut at {cut}");
+            }
+        }
     }
 
     #[test]

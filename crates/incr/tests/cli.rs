@@ -364,6 +364,113 @@ fn qual_metrics_env_var_is_a_fallback_for_the_flag() {
 }
 
 #[test]
+fn help_prints_usage_on_stdout_and_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let out = cqual(&[flag]);
+        assert_eq!(out.status.code(), Some(0), "{flag} is not an error");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: cqual"), "{flag}: {stdout}");
+        assert!(stdout.contains("--connect"), "help must list --connect");
+        assert!(
+            out.stderr.is_empty(),
+            "{flag} help belongs on stdout, stderr got: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+// The full exit-code table from the cqual doc, pinned end to end:
+// 0 clean, 1 diagnostics, 2 bad usage, 3 failed certification, 4
+// worker-mode protocol failure. The 0/1/2 rows are also covered above;
+// this keeps the whole table in one place so a renumbering cannot slip
+// past review.
+#[test]
+fn exit_code_table_is_exhaustive_and_stable() {
+    let dir = TempDir::new("exit-codes");
+    dir.write("clean.c", "int f(const char *s) { return *s; }\n");
+    dir.write("diag.c", "int f(void) { return no_such_name; }\n");
+    let clean = dir.0.join("clean.c");
+    let clean = clean.to_str().unwrap();
+    let diag = dir.0.join("diag.c");
+    let diag = diag.to_str().unwrap();
+
+    // 0: clean run.
+    assert_eq!(cqual(&[clean]).status.code(), Some(0));
+    // 1: diagnostics.
+    assert_eq!(cqual(&[diag]).status.code(), Some(1));
+    // 2: bad usage, and usage goes to stderr, not stdout.
+    let bad = cqual(&["--no-such-flag", clean]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(bad.stdout.is_empty(), "usage errors must not pollute stdout");
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("usage: cqual"),
+        "usage goes to stderr on a usage error"
+    );
+    // 3: --verify saw a certification failure (forged via the
+    // verify.cert fault point so no real solver bug is needed).
+    let cert = cqual(&[
+        "--verify",
+        "--jobs",
+        "1",
+        "--fault-plan",
+        "verify.cert@1=garbage",
+        clean,
+    ]);
+    assert_eq!(
+        cert.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&cert.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&cert.stderr).contains("failed certification"),
+        "exit 3 must say why: {}",
+        String::from_utf8_lossy(&cert.stderr)
+    );
+    // 4: worker-mode protocol failure (here: stdin closed before any
+    // frame arrived).
+    let worker = Command::new(env!("CARGO_BIN_EXE_cqual"))
+        .arg("--worker-mode")
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn worker");
+    assert_eq!(worker.status.code(), Some(4));
+}
+
+#[test]
+fn connect_without_a_daemon_degrades_in_process_with_identical_bytes() {
+    let dir = TempDir::new("connect-fallback");
+    dir.write("c.c", "int first(char *s) { return s[0]; }\n");
+    dir.write("bad.c", "int f(void) { return no_such_name; }\n");
+    let file = dir.0.join("c.c");
+    let file = file.to_str().unwrap();
+    let bad = dir.0.join("bad.c");
+    let bad = bad.to_str().unwrap();
+    let sock = dir.0.join("nobody-home.sock");
+    let sock = sock.to_str().unwrap();
+
+    let local = cqual(&["--jobs", "1", file]);
+    assert_eq!(local.status.code(), Some(0));
+    let fell_back = cqual(&["--connect", sock, file]);
+    assert_eq!(fell_back.status.code(), Some(0), "fallback keeps exit codes");
+    assert_eq!(
+        String::from_utf8_lossy(&fell_back.stdout),
+        String::from_utf8_lossy(&local.stdout),
+        "fallback must be byte-identical to the local run"
+    );
+    assert!(
+        String::from_utf8_lossy(&fell_back.stderr)
+            .contains("analyzing in process instead"),
+        "fallback is announced on stderr"
+    );
+
+    // Daemon trouble never changes the exit code: a file with
+    // diagnostics still exits 1 through the fallback.
+    let bad_run = cqual(&["--connect", sock, bad]);
+    assert_eq!(bad_run.status.code(), Some(1));
+}
+
+#[test]
 fn unwritable_metrics_path_warns_but_does_not_change_exit_code() {
     let dir = TempDir::new("metrics-unwritable");
     dir.write("w.c", "int f(const char *s) { return *s; }\n");

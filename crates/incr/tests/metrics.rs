@@ -213,6 +213,43 @@ fn cache_stats_lines_agree_with_json_counters() {
 }
 
 #[test]
+fn stale_lock_steals_are_counted_and_diagnosed() {
+    // A lock file left behind by a dead session: with the staleness
+    // bound shrunk to zero, opening a session must steal it — and the
+    // steal must surface as the `cache.lock_stolen` counter plus one
+    // structured cache diagnostic, never a silent remove.
+    let dir = std::env::temp_dir()
+        .join(format!("qinc-metrics-steal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(".qinc.lock"), "pid 0\n").unwrap();
+    std::env::set_var("QUAL_LOCK_STALE_MS", "0");
+    let src = "int f(const char *s) { return *s; }";
+    let cfg = IncrConfig {
+        cache_dir: Some(dir.clone()),
+        ..IncrConfig::default()
+    };
+    let (out, report) =
+        qual_obs::scoped(|| analyze_source_incremental(src, &cfg));
+    std::env::remove_var("QUAL_LOCK_STALE_MS");
+
+    assert_eq!(report.counter("cache.lock_stolen"), 1);
+    assert_eq!(out.stats.lock_steals, 1);
+    assert_eq!(report.counter("cache.lock_steals"), 1);
+    assert!(
+        out.cache_diags
+            .iter()
+            .any(|d| d.render(None).contains("stole stale advisory lock")),
+        "the steal must leave a structured diagnostic: {:?}",
+        out.cache_diags
+    );
+    // The steal is infrastructure-only: the analysis itself is clean.
+    assert!(out.skipped.is_empty(), "{:?}", out.skipped);
+    assert!(out.counts.is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unit_reports_arrive_in_unit_order_not_completion_order() {
     let src = "int a(char *x) { return *x; }
                int b(char *y) { return a(y); }
