@@ -207,6 +207,7 @@ fn main() -> ExitCode {
                         version: qual_incr::proto::PROTO_VERSION,
                         src: src.clone(),
                         mode: IncrConfig::default().mode,
+                        quals: "const".to_owned(),
                         verify: false,
                         deadline_ms: None,
                     };
@@ -304,12 +305,71 @@ fn main() -> ExitCode {
     let _ = std::fs::remove_dir_all(&cache_root);
     let incr = bench_doc("incr", args.reps, incr_rows);
 
+    // Pass 3: the qualifier-set matrix — every profile analyzed under
+    // each pinned `--qual` set, all coordinates in one word-parallel
+    // solve. One row per (profile, set) with the per-qualifier may/must
+    // tallies as hardware-independent counts: a rules change that
+    // shifts what any space infers shows up as count drift here, and a
+    // solve that silently stopped being single-pass shows up in the
+    // (advisory) timing ratio against the const-only row.
+    const QUAL_SETS: &[&str] = &[
+        "const",
+        "const,nonnull",
+        "tainted",
+        "const,nonnull,tainted,linear",
+    ];
+    let mut qual_rows = Vec::new();
+    for p in &profiles {
+        let src = qual_cgen::generate(p);
+        for set in QUAL_SETS {
+            let space = qual_constinfer::space_for(set)
+                .expect("built-in qualifier sets");
+            let cfg = IncrConfig {
+                space,
+                ..IncrConfig::default()
+            };
+            let (out, rep) =
+                qual_obs::scoped(|| analyze_source_incremental(&src, &cfg));
+            let Some(counts) = out.counts else {
+                eprintln!(
+                    "bench-regress: `{}` under --qual {set} produced no counts",
+                    p.name
+                );
+                bench_failed = true;
+                continue;
+            };
+            let mut fields = vec![
+                (
+                    "name".to_owned(),
+                    Json::Str(format!("{}@{set}", p.name)),
+                ),
+                ("coords".to_owned(), Json::num(rep.peak_value("solve.coords"))),
+                ("total".to_owned(), Json::num(counts.total as u64)),
+                ("inferred".to_owned(), Json::num(counts.inferred as u64)),
+                (
+                    "merged_constraints".to_owned(),
+                    Json::num(out.stats.constraints as u64),
+                ),
+            ];
+            for qc in &out.qual_counts {
+                fields.push((format!("{}_may", qc.name), Json::num(qc.may as u64)));
+                fields.push((format!("{}_must", qc.name), Json::num(qc.must as u64)));
+            }
+            fields.push(("cold_ns".to_owned(), Json::num(rep.total_ns)));
+            qual_rows.push(Json::Obj(fields));
+        }
+    }
+    let quals = bench_doc("quals", args.reps, qual_rows);
+
     // Compare against baselines, then persist the new documents.
     let baseline_dir = args.baseline_dir.as_deref();
     let mut count_drift = false;
     let mut timing_regression = false;
-    for (file, doc) in [("BENCH_table2.json", &table2), ("BENCH_incr.json", &incr)]
-    {
+    for (file, doc) in [
+        ("BENCH_table2.json", &table2),
+        ("BENCH_incr.json", &incr),
+        ("BENCH_quals.json", &quals),
+    ] {
         let baseline_path =
             baseline_dir.unwrap_or(args.out_dir.as_path()).join(file);
         match read_baseline(&baseline_path) {

@@ -211,3 +211,189 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The qualifier-set matrix: the same invariants per `--qual` set. CI
+// fans one leg per set via QUAL_ORACLE_QUALS; locally all four sets
+// run in sequence.
+// ---------------------------------------------------------------------------
+
+/// The `--qual` sets the matrix certifies: the default, a positive +
+/// negative pair, taint alone, and all four spaces at once.
+const QUAL_SETS: &[&str] = &[
+    "const",
+    "const,nonnull",
+    "tainted",
+    "const,nonnull,tainted,linear",
+];
+
+fn qual_cases() -> u32 {
+    std::env::var("QUAL_QUAL_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// The per-set fingerprint adds the per-qualifier tallies to the
+/// classic one — those must be schedule- and cache-independent too.
+fn qual_fingerprint(src: &str, out: &IncrOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = fingerprint(src, out);
+    for qc in &out.qual_counts {
+        let _ = writeln!(s, "qual {} {} {}", qc.name, qc.may, qc.must);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(qual_cases()))]
+
+    #[test]
+    fn qualifier_sets_match_serial_and_themselves(
+        seed in any::<u64>(),
+        base in 0usize..6,
+        lines in 80usize..160,
+    ) {
+        let mut profile = table1_profiles()[base].scaled(lines);
+        profile.seed = seed;
+        let src = qual_cgen::generate(&profile);
+        let pinned = std::env::var("QUAL_ORACLE_QUALS").ok();
+        let sets: Vec<&str> = match &pinned {
+            Some(one) => vec![one.as_str()],
+            None => QUAL_SETS.to_vec(),
+        };
+
+        for quals in sets {
+            let space = qual_constinfer::space_for(quals).expect("known sets");
+            let mode = Mode::Polymorphic;
+
+            // The serial engine over the same space is the ground
+            // truth for counts and per-qualifier tallies.
+            let serial = qual_constinfer::analyze_source_with_options_in(
+                &src,
+                &space,
+                mode,
+                qual_constinfer::Options::default(),
+                qual_constinfer::Budgets::default(),
+            );
+            prop_assert!(
+                serial.skipped.is_empty(),
+                "[{quals}] serial run has diagnostics: {:?}",
+                serial.skipped
+            );
+            let serial = serial.result.expect("clean serial run");
+
+            let run = |jobs: usize, cache: Option<PathBuf>| {
+                analyze_source_incremental(
+                    &src,
+                    &IncrConfig {
+                        mode,
+                        jobs,
+                        cache_dir: cache,
+                        space: space.clone(),
+                        ..IncrConfig::default()
+                    },
+                )
+            };
+
+            // Serial agreement, including every qualifier column.
+            let one = run(1, None);
+            prop_assert!(one.skipped.is_empty(), "[{quals}] {:?}", one.skipped);
+            let counts = one.counts.expect("clean run has counts");
+            prop_assert_eq!(counts, serial.counts, "[{}]", quals);
+            prop_assert_eq!(
+                &one.qual_counts,
+                &serial.qual_counts,
+                "[{}] per-qualifier tallies differ from serial",
+                quals
+            );
+            prop_assert_eq!(
+                const_set(&one.positions),
+                const_set(&serial.positions),
+                "[{}]",
+                quals
+            );
+
+            // Schedule independence at this set.
+            let four = run(4, None);
+            prop_assert_eq!(
+                qual_fingerprint(&src, &one),
+                qual_fingerprint(&src, &four),
+                "[{}] 4 workers diverged from 1 worker",
+                quals
+            );
+
+            // Warm-cache identity at this set: zero re-solves,
+            // byte-identical output.
+            let dir = scratch_dir(&format!(
+                "{seed}-{base}-{lines}-{}",
+                quals.replace(',', "+")
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cold = run(1, Some(dir.clone()));
+            prop_assert_eq!(cold.stats.reused, 0, "[{}] dir must start cold", quals);
+            let warm = run(4, Some(dir.clone()));
+            prop_assert_eq!(
+                warm.stats.analyzed, 0,
+                "[{}] warm rerun re-solved {} of {} unit(s)",
+                quals, warm.stats.analyzed, warm.stats.units
+            );
+            prop_assert_eq!(
+                qual_fingerprint(&src, &one),
+                qual_fingerprint(&src, &warm),
+                "[{}] warm cache diverged from cold",
+                quals
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// Differing `--qual` sets must never alias in the summary cache:
+    /// a cache populated under one set is entirely cold for another
+    /// (the space digest is part of every unit key), and reusing the
+    /// directory never corrupts either set's results.
+    #[test]
+    fn qualifier_sets_never_alias_in_the_cache(
+        seed in any::<u64>(),
+        lines in 80usize..140,
+    ) {
+        let mut profile = table1_profiles()[0].scaled(lines);
+        profile.seed = seed;
+        let src = qual_cgen::generate(&profile);
+        let dir = scratch_dir(&format!("alias-{seed}-{lines}"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let run = |quals: &str| {
+            let space = qual_constinfer::space_for(quals).expect("known sets");
+            analyze_source_incremental(
+                &src,
+                &IncrConfig {
+                    jobs: 1,
+                    cache_dir: Some(dir.clone()),
+                    space,
+                    ..IncrConfig::default()
+                },
+            )
+        };
+
+        let a = run("const");
+        prop_assert_eq!(a.stats.reused, 0);
+        // A different set sees a cold cache — not one hit may alias.
+        let b = run("const,nonnull,tainted,linear");
+        prop_assert_eq!(
+            b.stats.reused, 0,
+            "four-space run reused {} const-only summaries",
+            b.stats.reused
+        );
+        prop_assert!(b.cache_diags.is_empty(), "{:?}", b.cache_diags);
+        // And the original set is still warm and uncorrupted.
+        let c = run("const");
+        prop_assert_eq!(c.stats.analyzed, 0, "const rerun must be fully warm");
+        prop_assert_eq!(
+            qual_fingerprint(&src, &a),
+            qual_fingerprint(&src, &c),
+            "const results corrupted by the interleaved four-space run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -78,6 +78,19 @@ pub struct ConstCounts {
     pub total: usize,
 }
 
+/// Per-qualifier may/must tallies over the interesting positions — one
+/// row per coordinate of the analyzed space, in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualCount {
+    /// The qualifier's name.
+    pub name: String,
+    /// Positions that *may* carry the qualifier (its polarity-aware
+    /// presence is possible under some solution).
+    pub may: usize,
+    /// Positions *forced* to carry it under every solution.
+    pub must: usize,
+}
+
 /// A complete const-inference result.
 #[derive(Debug)]
 pub struct ConstResult {
@@ -85,6 +98,8 @@ pub struct ConstResult {
     pub counts: ConstCounts,
     /// Per-position detail.
     pub positions: Vec<Position>,
+    /// Per-qualifier tallies (one row per coordinate of the space).
+    pub qual_counts: Vec<QualCount>,
     /// The raw analysis (arena, constraints, solution).
     pub analysis: Analysis,
 }
@@ -175,16 +190,14 @@ fn render_ty_annotated(
     s
 }
 
-/// Classifies every interesting position of an analysis.
-#[must_use]
-pub fn classify(prog: &Program, analysis: &Analysis) -> Vec<Position> {
-    let mut out = Vec::new();
-    let Some(sol) = analysis.solution.as_ref().ok() else {
-        return out;
-    };
-    let Some(c) = analysis.space.id("const") else {
-        return out;
-    };
+/// Walks every interesting position (each pointer level of every
+/// defined function's parameters and return), calling `visit` with the
+/// position's identity, its declared-const flag, and its qualifier.
+fn walk_positions(
+    prog: &Program,
+    analysis: &Analysis,
+    mut visit: impl FnMut(&str, Option<usize>, usize, bool, qual_solve::Qual),
+) {
     for f in prog.functions() {
         let Some(sig) = analysis.signatures.get(&f.name) else {
             continue;
@@ -197,44 +210,82 @@ pub fn classify(prog: &Program, analysis: &Analysis) -> Vec<Position> {
             let declared_flags = pointee_flags(&f.params[i].1);
             for (level, node) in analysis.arena.spine(value).iter().enumerate() {
                 let q = analysis.arena.get(*node).qual;
-                let must = sol.eval_least(q).has(&analysis.space, c);
-                let can = sol.eval_greatest(q).has(&analysis.space, c);
-                out.push(Position {
-                    function: f.name.clone(),
-                    param: Some(i),
-                    level,
-                    declared: declared_flags.get(level).copied().unwrap_or(false),
-                    class: if must {
-                        PositionClass::MustConst
-                    } else if can {
-                        PositionClass::Either
-                    } else {
-                        PositionClass::MustNotConst
-                    },
-                });
+                let declared = declared_flags.get(level).copied().unwrap_or(false);
+                visit(&f.name, Some(i), level, declared, q);
             }
         }
         // Return value spine.
         let declared_flags = pointee_flags(&f.ret);
         for (level, node) in analysis.arena.spine(sig.ret).iter().enumerate() {
             let q = analysis.arena.get(*node).qual;
-            let must = sol.eval_least(q).has(&analysis.space, c);
-            let can = sol.eval_greatest(q).has(&analysis.space, c);
-            out.push(Position {
-                function: f.name.clone(),
-                param: None,
-                level,
-                declared: declared_flags.get(level).copied().unwrap_or(false),
-                class: if must {
+            let declared = declared_flags.get(level).copied().unwrap_or(false);
+            visit(&f.name, None, level, declared, q);
+        }
+    }
+}
+
+/// Classifies every interesting position of an analysis.
+#[must_use]
+pub fn classify(prog: &Program, analysis: &Analysis) -> Vec<Position> {
+    let mut out = Vec::new();
+    let Some(sol) = analysis.solution.as_ref().ok() else {
+        return out;
+    };
+    let c = analysis.space.id("const");
+    walk_positions(prog, analysis, |function, param, level, declared, q| {
+        let class = match c {
+            Some(c) => {
+                let must = sol.eval_least(q).has(&analysis.space, c);
+                let can = sol.eval_greatest(q).has(&analysis.space, c);
+                if must {
                     PositionClass::MustConst
                 } else if can {
                     PositionClass::Either
                 } else {
                     PositionClass::MustNotConst
-                },
-            });
+                }
+            }
+            // A space without `const` has no const-able positions; the
+            // position list still anchors the per-qualifier tallies.
+            None => PositionClass::MustNotConst,
+        };
+        out.push(Position {
+            function: function.to_owned(),
+            param,
+            level,
+            declared,
+            class,
+        });
+    });
+    out
+}
+
+/// Tallies, per coordinate of the space, how many interesting positions
+/// may/must carry the qualifier (polarity-aware, see
+/// [`crate::quals::presence`]).
+#[must_use]
+pub fn qualifier_counts(prog: &Program, analysis: &Analysis) -> Vec<QualCount> {
+    let mut out: Vec<QualCount> = analysis
+        .space
+        .iter()
+        .map(|(_, d)| QualCount {
+            name: d.name().to_owned(),
+            may: 0,
+            must: 0,
+        })
+        .collect();
+    let Some(sol) = analysis.solution.as_ref().ok() else {
+        return out;
+    };
+    walk_positions(prog, analysis, |_, _, _, _, q| {
+        let lo = sol.eval_least(q);
+        let hi = sol.eval_greatest(q);
+        for (idx, (id, _)) in analysis.space.iter().enumerate() {
+            let (may, must) = crate::quals::presence(&analysis.space, id, lo, hi);
+            out[idx].may += usize::from(may);
+            out[idx].must += usize::from(must);
         }
-    }
+    });
     out
 }
 
@@ -254,9 +305,23 @@ pub(crate) fn pointee_flags(ty: &CTy) -> Vec<bool> {
 ///
 /// Returns [`ConstInferError`] if the source fails to parse or resolve.
 pub fn analyze_source(src: &str, mode: Mode) -> Result<ConstResult, ConstInferError> {
+    analyze_source_in(src, &qual_lattice::QualSpace::const_only(), mode)
+}
+
+/// [`analyze_source`] over an explicit qualifier space (built with
+/// [`crate::quals::space_for`] from a `--qual` list).
+///
+/// # Errors
+///
+/// Returns [`ConstInferError`] if the source fails to parse or resolve.
+pub fn analyze_source_in(
+    src: &str,
+    space: &qual_lattice::QualSpace,
+    mode: Mode,
+) -> Result<ConstResult, ConstInferError> {
     let prog = qual_cfront::parse(src)?;
     let sem = sema::analyze(&prog)?;
-    let analysis = run(&prog, &sem, &qual_lattice::QualSpace::const_only(), mode);
+    let analysis = run(&prog, &sem, space, mode);
     Ok(summarize(&prog, analysis))
 }
 
@@ -363,20 +428,32 @@ pub fn analyze_source_with_options(
     options: Options,
     budgets: Budgets,
 ) -> AnalysisOutcome {
+    analyze_source_with_options_in(
+        src,
+        &qual_lattice::QualSpace::const_only(),
+        mode,
+        options,
+        budgets,
+    )
+}
+
+/// [`analyze_source_with_options`] over an explicit qualifier space.
+#[must_use]
+pub fn analyze_source_with_options_in(
+    src: &str,
+    space: &qual_lattice::QualSpace,
+    mode: Mode,
+    options: Options,
+    budgets: Budgets,
+) -> AnalysisOutcome {
     let RecoveredUnit {
         mut program,
         sema,
         mut skipped,
     } = recover_front_end(src);
 
-    let (analysis, engine_skipped) = run_budgeted(
-        &program,
-        &sema,
-        &qual_lattice::QualSpace::const_only(),
-        mode,
-        options,
-        budgets,
-    );
+    let (analysis, engine_skipped) =
+        run_budgeted(&program, &sema, space, mode, options, budgets);
     // Engine-failed functions drop out of the counts the same way
     // sema-failed ones did.
     for d in &engine_skipped {
@@ -425,6 +502,7 @@ pub fn analyze_source_with_options(
 #[must_use]
 pub fn summarize(prog: &Program, analysis: Analysis) -> ConstResult {
     let positions = classify(prog, &analysis);
+    let qual_counts = qualifier_counts(prog, &analysis);
     let counts = ConstCounts {
         declared: positions.iter().filter(|p| p.declared).count(),
         inferred: positions.iter().filter(|p| p.can_be_const()).count(),
@@ -433,6 +511,7 @@ pub fn summarize(prog: &Program, analysis: Analysis) -> ConstResult {
     ConstResult {
         counts,
         positions,
+        qual_counts,
         analysis,
     }
 }
@@ -518,6 +597,138 @@ mod tests {
         let labels: Vec<String> = r.positions.iter().map(Position::label).collect();
         assert!(labels.contains(&"f(arg 0, level 0)".to_owned()));
         assert!(labels.contains(&"f(return, level 0)".to_owned()));
+    }
+
+    #[test]
+    fn const_qual_counts_match_classification() {
+        let r = analyze_source(
+            "int f(const char *s, char *t) { *t = *s; return 0; }",
+            Mode::Monomorphic,
+        )
+        .unwrap();
+        assert_eq!(r.qual_counts.len(), 1);
+        assert_eq!(r.qual_counts[0].name, "const");
+        assert_eq!(r.qual_counts[0].may, r.counts.inferred);
+    }
+
+    #[test]
+    fn taint_flows_from_source_to_return() {
+        let space = crate::quals::space_for("tainted").unwrap();
+        let r = analyze_source_in(
+            "char *getenv(const char *name);
+             char *path(void) { return getenv(\"PATH\"); }",
+            &space,
+            Mode::Monomorphic,
+        )
+        .unwrap();
+        let t = &r.qual_counts[0];
+        assert_eq!(t.name, "tainted");
+        assert!(t.must >= 1, "the returned pointer is tainted: {t:?}");
+        // No `const` in the space: nothing is const-able.
+        assert_eq!(r.counts.inferred, 0);
+    }
+
+    #[test]
+    fn tainted_source_into_sink_is_reported() {
+        let space = crate::quals::space_for("tainted").unwrap();
+        let out = analyze_source_with_options_in(
+            "char *getenv(const char *name);
+             int system(const char *cmd);
+             void f(void) { system(getenv(\"CMD\")); }",
+            &space,
+            Mode::Monomorphic,
+            Options::default(),
+            Budgets::default(),
+        );
+        assert!(out.result.is_none(), "taint reaching a sink is unsat");
+        let rendered: Vec<String> =
+            out.skipped.iter().map(ToString::to_string).collect();
+        assert!(
+            rendered.iter().any(|d| d.contains("tainted")
+                || d.contains("sink")
+                || d.contains("source")),
+            "diagnostics name the taint coordinate: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn deref_forces_nonnull_on_parameters() {
+        let space = crate::quals::space_for("nonnull").unwrap();
+        let r = analyze_source_in(
+            "int f(int *p) { return *p; }",
+            &space,
+            Mode::Monomorphic,
+        )
+        .unwrap();
+        let nn = &r.qual_counts[0];
+        assert_eq!(nn.name, "nonnull");
+        assert_eq!(nn.must, 1, "deref forces the parameter nonnull: {nn:?}");
+    }
+
+    #[test]
+    fn deref_of_allocator_result_is_flagged() {
+        let space = crate::quals::space_for("nonnull").unwrap();
+        let out = analyze_source_with_options_in(
+            "char *malloc(int n);
+             char first(void) { char *p = malloc(10); return *p; }",
+            &space,
+            Mode::Monomorphic,
+            Options::default(),
+            Budgets::default(),
+        );
+        assert!(
+            out.result.is_none(),
+            "unchecked deref of a may-be-null allocator result is unsat"
+        );
+    }
+
+    #[test]
+    fn null_literal_seeds_only_in_pointer_context() {
+        let space = crate::quals::space_for("nonnull").unwrap();
+        // The literal 0 assigned to a *pointer* is the null pointer
+        // constant: dereferencing it afterwards is unsat.
+        let out = analyze_source_with_options_in(
+            "char deref_null(void) { char *p = 0; return *p; }",
+            &space,
+            Mode::Monomorphic,
+            Options::default(),
+            Budgets::default(),
+        );
+        assert!(out.result.is_none(), "deref of the null constant is unsat");
+        // An int-valued zero is NOT null — even when K&R int/pointer
+        // punning later launders the int through a pointer, the zero
+        // itself never flowed into pointer context, so the program
+        // stays satisfiable (this keeps legacy corpora analyzable).
+        let out = analyze_source_with_options_in(
+            "int zero(void) { return 0; }
+             char pun(char *s) { char *p = zero(); return *p; }",
+            &space,
+            Mode::Monomorphic,
+            Options::default(),
+            Budgets::default(),
+        );
+        assert!(
+            out.result.is_some(),
+            "int-valued zero must not seed null: {:?}",
+            out.skipped
+        );
+    }
+
+    #[test]
+    fn four_space_analysis_keeps_const_classification() {
+        let space =
+            crate::quals::space_for("const,nonnull,tainted,linear").unwrap();
+        let r = analyze_source_in(
+            "int f(const char *s, char *t) { *t = *s; return 0; }",
+            &space,
+            Mode::Monomorphic,
+        )
+        .unwrap();
+        assert_eq!(r.qual_counts.len(), 4);
+        // Masked coordinates do not interfere: the const column matches
+        // the single-qualifier run.
+        assert_eq!(r.counts.inferred, 1);
+        assert_eq!(r.counts.total, 2);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use qual_solve::{
 
 use crate::fdg::Fdg;
 use crate::qtypes::{QcArena, QcId, QcShape, StructTable, Translator};
+use crate::quals::rules::{seed_set, ActiveRules};
 
 /// Monomorphic (one signature per function) or polymorphic (per-call
 /// instantiation via the FDG, §4.3) analysis.
@@ -49,7 +50,7 @@ pub struct SigNodes {
 pub struct Analysis {
     /// All qualified types built.
     pub arena: QcArena,
-    /// The qualifier space used (declares `const`).
+    /// The qualifier space the analysis ran over.
     pub space: QualSpace,
     /// The variable supply.
     pub supply: VarSupply,
@@ -130,10 +131,12 @@ impl Default for Budgets {
     }
 }
 
-/// Runs const inference on an analyzed program with default [`Options`].
+/// Runs qualifier inference on an analyzed program with default
+/// [`Options`].
 ///
-/// The qualifier space must declare `const` (use
-/// [`QualSpace::const_only`]).
+/// The space's coordinates select which checking rules run (see
+/// [`crate::quals`]); [`QualSpace::const_only`] reproduces the classic
+/// const counter.
 #[must_use]
 pub fn run(prog: &Program, sema: &Sema, space: &QualSpace, mode: Mode) -> Analysis {
     run_with_options(prog, sema, space, mode, Options::default())
@@ -322,6 +325,8 @@ impl EVal {
 pub(crate) struct Engine<'a> {
     pub(crate) sema: &'a Sema,
     pub(crate) space: QualSpace,
+    /// Choice-point rules compiled from the space (see [`crate::quals`]).
+    rules: ActiveRules,
     pub(crate) arena: QcArena,
     pub(crate) supply: VarSupply,
     pub(crate) cs: ConstraintSet,
@@ -345,6 +350,11 @@ pub(crate) struct Engine<'a> {
     /// Functions excluded by fault isolation; calls to them get the
     /// conservative library treatment.
     pub(crate) failed: HashSet<String>,
+    /// Value nodes born from the literal `0` — C's null pointer
+    /// constant, but only when it flows into pointer context (tracked
+    /// so [`Self::flow`] can seed the pointer side; see
+    /// [`Self::null_const_flow`]).
+    null_consts: HashSet<QcId>,
 }
 
 /// A canonical, alpha-renamed view of one scheme's captured constraints,
@@ -370,6 +380,7 @@ impl<'a> Engine<'a> {
         Engine {
             sema,
             space: space.clone(),
+            rules: ActiveRules::compile(space),
             arena: QcArena::new(),
             supply: VarSupply::new(),
             cs: ConstraintSet::new(),
@@ -386,6 +397,7 @@ impl<'a> Engine<'a> {
             budgets,
             fuel: budgets.max_fn_work,
             failed: HashSet::new(),
+            null_consts: HashSet::new(),
         }
     }
 
@@ -791,12 +803,93 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Requires the cell's qualifier to be below `¬const` — the (Assign′)
-    /// restriction of §2.4, masked to the const coordinate.
+    /// The assignment choice point — the (Assign′) restriction of §2.4,
+    /// generalized: writing through the cell requires its qualifier
+    /// below `¬q` for every write-forbidding coordinate (`const`), each
+    /// masked to its own coordinate.
     fn write_through(&mut self, cell: QcId, at: Provenance) {
-        if let Some(c) = self.space.id("const") {
+        for i in 0..self.rules.write_forbids.len() {
+            let c = self.rules.write_forbids[i];
             let q = self.arena.get(cell).qual;
             self.cs.add_masked(q, self.space.not_q(c), &[c], at);
+        }
+    }
+
+    /// The deref choice point: the dereferenced pointer value must not
+    /// carry any deref-forbidden coordinate's bad state (`tainted`
+    /// present, `nonnull` absent).
+    fn deref_check(&mut self, ptr: QcId, e: &Expr) {
+        for i in 0..self.rules.deref_forbids.len() {
+            let (id, label) = self.rules.deref_forbids[i];
+            let q = self.arena.get(ptr).qual;
+            self.cs
+                .add_masked(q, self.space.not_q(id), &[id], Self::prov(e, label));
+        }
+    }
+
+    /// The arith choice point: pointer arithmetic duplicates the
+    /// reference, which substructural coordinates (`linear`, `affine`)
+    /// forbid.
+    fn arith_check(&mut self, ptr: QcId, e: &Expr) {
+        for i in 0..self.rules.arith_forbids.len() {
+            let (id, label) = self.rules.arith_forbids[i];
+            let q = self.arena.get(ptr).qual;
+            self.cs
+                .add_masked(q, self.space.not_q(id), &[id], Self::prov(e, label));
+        }
+    }
+
+    /// The null-pointer-constant rule (C90 §6.2.2.3): the literal `0`
+    /// is null only where it flows into *pointer* context. An
+    /// int-valued zero — a loop counter, a K&R int/pointer pun through
+    /// an `int` return — never seeds, so legacy code stays satisfiable
+    /// while `char *p = 0;` still marks `p` possibly-null. Called from
+    /// [`Self::flow`] with `b` the pointer-side node.
+    fn null_const_flow(&mut self, b: QcId, at: Provenance) {
+        for i in 0..self.rules.null_seeds.len() {
+            let (id, label) = self.rules.null_seeds[i];
+            let q = self.arena.get(b).qual;
+            self.cs.add_masked(
+                seed_set(id),
+                q,
+                &[id],
+                Provenance::at(at.lo, at.hi, label),
+            );
+        }
+    }
+
+    /// The call choice point for library functions: sink arguments must
+    /// not carry a forbidden coordinate (`tainted` at `system`), and
+    /// source returns are seeded (`getenv` tainted, allocators
+    /// possibly-null and linearly owned).
+    fn library_call_rules(&mut self, fname: &str, args: &[EVal], ret: QcId, e: &Expr) {
+        for i in 0..self.rules.sink_forbids.len() {
+            let rule = self.rules.sink_forbids[i];
+            if !rule.fns.contains(&fname) {
+                continue;
+            }
+            for av in args {
+                let q = self.arena.get(av.rty).qual;
+                self.cs.add_masked(
+                    q,
+                    self.space.not_q(rule.id),
+                    &[rule.id],
+                    Self::prov(e, rule.label),
+                );
+            }
+        }
+        for i in 0..self.rules.source_seeds.len() {
+            let rule = self.rules.source_seeds[i];
+            if !rule.fns.contains(&fname) {
+                continue;
+            }
+            let q = self.arena.get(ret).qual;
+            self.cs.add_masked(
+                seed_set(rule.id),
+                q,
+                &[rule.id],
+                Self::prov(e, rule.label),
+            );
         }
     }
 
@@ -805,6 +898,11 @@ impl<'a> Engine<'a> {
     /// mismatches (e.g. the literal 0 flowing into a pointer) generate
     /// nothing deeper — there is no aliasing to protect.
     fn flow(&mut self, a: QcId, b: QcId, at: Provenance) {
+        if self.null_consts.contains(&a)
+            && matches!(self.arena.get(b).shape, QcShape::Ref(_))
+        {
+            self.null_const_flow(b, at);
+        }
         let (qa, qb) = (self.arena.get(a).qual, self.arena.get(b).qual);
         self.cs.add_with(qa, qb, at);
         if let (QcShape::Ref(ca), QcShape::Ref(cb)) = (self.arena.get(a).shape.clone(), self.arena.get(b).shape.clone()) { self.equate(ca, cb, at) }
@@ -953,9 +1051,16 @@ impl<'a> Engine<'a> {
     fn expr(&mut self, e: &Expr) -> Result<EVal, Diagnostic> {
         self.charge(e)?;
         Ok(match &e.kind {
-            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::Sizeof => {
-                EVal::rvalue(self.fresh_val())
+            ExprKind::IntLit(n) => {
+                let v = self.fresh_val();
+                // Remember `0` values: they become null seeds only if
+                // they later flow into a pointer (see null_const_flow).
+                if *n == 0 && !self.rules.null_seeds.is_empty() {
+                    self.null_consts.insert(v);
+                }
+                EVal::rvalue(v)
             }
+            ExprKind::CharLit(_) | ExprKind::Sizeof => EVal::rvalue(self.fresh_val()),
             ExprKind::StrLit(_) => {
                 // C90 string literals have writable type char[] (writing
                 // one is undefined behaviour but type-correct), so no
@@ -1021,6 +1126,7 @@ impl<'a> Engine<'a> {
                     UnOp::Deref => {
                         // The pointer value *is* the ref to the pointee
                         // cell in the θ encoding.
+                        self.deref_check(iv.rty, e);
                         let rty = self.contents_of(iv.rty);
                         EVal {
                             lcell: Some(iv.rty),
@@ -1057,8 +1163,10 @@ impl<'a> Engine<'a> {
                         // Pointer arithmetic aliases the same cells: keep
                         // the pointer operand's node.
                         if matches!(self.arena.get(va.rty).shape, QcShape::Ref(_)) {
+                            self.arith_check(va.rty, e);
                             EVal::rvalue(va.rty)
                         } else if matches!(self.arena.get(vb.rty).shape, QcShape::Ref(_)) {
+                            self.arith_check(vb.rty, e);
                             EVal::rvalue(vb.rty)
                         } else {
                             EVal::rvalue(self.fresh_val())
@@ -1082,6 +1190,7 @@ impl<'a> Engine<'a> {
             ExprKind::Index(base, idx) => {
                 let bv = self.expr(base)?;
                 self.expr(idx)?;
+                self.deref_check(bv.rty, e);
                 let rty = self.contents_of(bv.rty);
                 EVal {
                     lcell: Some(bv.rty),
@@ -1100,6 +1209,7 @@ impl<'a> Engine<'a> {
                 // Writing through p->f also requires the pointee cell
                 // (the pointer's target) to be non-const.
                 let pointee_guard = vec![bv.rty];
+                self.deref_check(bv.rty, e);
                 let struct_val = self.contents_of(bv.rty);
                 self.member_cell(base, struct_val, field, pointee_guard)?
             }
@@ -1258,6 +1368,7 @@ impl<'a> Engine<'a> {
                 .as_ref()
                 .map_or_else(CTy::int, |s| s.ret.clone());
             let v = self.translator().rvalue_of(&ret_ty.decayed());
+            self.library_call_rules(&fname, &arg_vals, v, e);
             Ok(EVal::rvalue(v))
         }
     }

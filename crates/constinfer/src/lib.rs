@@ -31,20 +31,23 @@ pub mod count;
 pub mod engine;
 pub mod fdg;
 pub mod qtypes;
+pub mod quals;
 pub mod rewrite;
 pub mod summary;
 
 use std::fmt;
 
 pub use count::{
-    analyze_source, analyze_source_resilient, analyze_source_with_options,
+    analyze_source, analyze_source_in, analyze_source_resilient,
+    analyze_source_with_options, analyze_source_with_options_in,
     recover_front_end, AnalysisOutcome, ConstCounts, ConstResult, Position,
-    PositionClass, RecoveredUnit,
+    PositionClass, QualCount, RecoveredUnit,
 };
 pub use engine::{
     run, run_budgeted, run_with_options, Analysis, Budgets, Mode, Options, SigNodes,
 };
 pub use fdg::Fdg;
+pub use quals::{list_builtins, presence, space_for, space_names, ActiveRules};
 pub use rewrite::{apply_consts, rewrite_source};
 
 /// Errors from the end-to-end driver (parse or sema failures — the

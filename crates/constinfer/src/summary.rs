@@ -47,7 +47,11 @@ use crate::qtypes::Translator;
 /// Version of the canonical summary encoding. Bump on any change to the
 /// canonical form or the wire layout; the cache treats a mismatch as a
 /// miss.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: the analysis is generic over the qualifier space (`--qual`); the
+/// space digest joined the environment key, so const-only entries from
+/// v2 must never be read back as multi-qualifier results.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// A canonical variable name, meaningful across units (anchors) or
 /// private to one unit (`Local`).

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cqual [--mode mono|poly|polyrec] [--annotate|--rewrite|--report]
-//!       [--verify] [--explain] [--keep-going] [--jobs N] [--workers N]
+//!       [--qual LIST] [--list-quals] [--verify] [--explain]
+//!       [--keep-going] [--jobs N] [--workers N]
 //!       [--worker-deadline-ms N] [--max-worker-respawns N]
 //!       [--cache-dir DIR] [--cache-stats] [--unit-deadline-ms N]
 //!       [--max-retries N] [--fault-plan SPEC] [--max-constraints N]
@@ -17,6 +18,15 @@
 //!   inferable consts inserted.
 //! * `--rewrite`: print the whole program with the (monomorphic)
 //!   inferable consts inserted.
+//! * `--qual LIST`: the comma-separated qualifier spaces to analyze,
+//!   e.g. `--qual const,nonnull,tainted,linear`. Every listed
+//!   qualifier's constraints are solved *simultaneously* — one
+//!   word-parallel propagation pass over all coordinates, not one pass
+//!   per qualifier. The report gains one `may/must` count row per
+//!   qualifier; `--qual const` (the default) prints byte-identically
+//!   to a run without the flag. Unknown names exit 2.
+//! * `--list-quals`: print the built-in qualifier catalog (name,
+//!   polarity, summary) and exit 0.
 //! * `--verify`: certify the solve before trusting it — a successful
 //!   solution is re-checked against every constraint by the independent
 //!   verifier, and an unsatisfiable one must produce replayable
@@ -104,14 +114,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use qual_constinfer::{
-    analyze_source_with_options, rewrite_source, AnalysisOutcome, Budgets, Mode,
-    Options, PositionClass,
+    analyze_source_with_options_in, rewrite_source, AnalysisOutcome, Budgets,
+    Mode, Options, PositionClass,
 };
+use qual_lattice::QualSpace;
 use qual_incr::proto::{AnalyzeReq, ReportFrame, PROTO_VERSION};
 use qual_incr::{analyze_source_incremental, serve, IncrConfig};
 use qual_solve::{Phase, SolveFailure};
 
 const USAGE: &str = "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
+                     \x20            [--qual LIST] [--list-quals]\n\
                      \x20            [--verify] [--explain] [--keep-going] [--jobs N]\n\
                      \x20            [--workers N] [--worker-deadline-ms N]\n\
                      \x20            [--max-worker-respawns N]\n\
@@ -133,6 +145,9 @@ fn usage() -> ExitCode {
 struct Config {
     mode: Mode,
     action: Action,
+    /// The qualifier spaces to solve simultaneously (`--qual`); the
+    /// default `const`-only space reproduces the classic report.
+    space: QualSpace,
     budgets: Budgets,
     verify: bool,
     explain: bool,
@@ -206,6 +221,7 @@ fn main() -> ExitCode {
     let mut cfg = Config {
         mode: Mode::Polymorphic,
         action: Action::Report,
+        space: QualSpace::const_only(),
         budgets: Budgets::default(),
         verify: false,
         explain: false,
@@ -235,6 +251,21 @@ fn main() -> ExitCode {
             "--report" => cfg.action = Action::Report,
             "--annotate" => cfg.action = Action::Annotate,
             "--rewrite" => cfg.action = Action::Rewrite,
+            "--qual" => match args.next() {
+                Some(list) => match qual_constinfer::space_for(&list) {
+                    Ok(space) => cfg.space = space,
+                    Err(e) => {
+                        eprintln!("cqual: --qual: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage(),
+            },
+            "--list-quals" => {
+                // Like --help: informational, stdout, exit 0.
+                print!("{}", qual_constinfer::list_builtins());
+                return ExitCode::SUCCESS;
+            }
             "--verify" => cfg.verify = true,
             "--explain" => cfg.explain = true,
             "--keep-going" => keep_going = true,
@@ -492,7 +523,9 @@ fn analyze_and_print(cfg: &Config, src: &str) -> RunStats {
         verify_solutions: cfg.verify,
         ..Options::default()
     };
-    let outcome = analyze_source_with_options(src, cfg.mode, options, cfg.budgets);
+    let outcome = analyze_source_with_options_in(
+        src, &cfg.space, cfg.mode, options, cfg.budgets,
+    );
     match cfg.action {
         Action::Report => print_report(cfg, &outcome),
         Action::Annotate => {
@@ -585,6 +618,7 @@ fn incr_config(cfg: &Config) -> IncrConfig {
     let defaults = IncrConfig::default();
     IncrConfig {
         mode: cfg.mode,
+        space: cfg.space.clone(),
         options: Options {
             verify_solutions: cfg.verify,
             ..Options::default()
@@ -629,6 +663,7 @@ fn analyze_and_print_connect(cfg: &Config, src: &str) -> RunStats {
         version: PROTO_VERSION,
         src: src.to_owned(),
         mode: cfg.mode,
+        quals: qual_constinfer::space_names(&cfg.space),
         verify: cfg.verify,
         deadline_ms: None,
     };
@@ -672,6 +707,9 @@ fn print_frame(frame: &ReportFrame, cache_lines: &[String]) -> RunStats {
             .label();
             println!("  {label:<32} {class}{declared}");
         }
+        print_qual_counts(frame.qual_counts.iter().map(|(n, may, must)| {
+            (n.as_str(), *may, *must)
+        }));
     }
     for line in cache_lines {
         println!("cqual: cache: {line}");
@@ -747,6 +785,24 @@ fn print_report(cfg: &Config, outcome: &AnalysisOutcome) {
         let declared = if p.declared { " [declared]" } else { "" };
         println!("  {:<32} {class}{declared}", p.label());
     }
+    print_qual_counts(result.qual_counts.iter().map(|q| {
+        (q.name.as_str(), q.may as u64, q.must as u64)
+    }));
+}
+
+/// The per-qualifier `may`/`must` rows a multi-qualifier run appends to
+/// the report. A `const`-only run prints nothing here, so `--qual
+/// const` stays byte-identical to the classic report; both the served
+/// frame and the classic result render through this one function.
+fn print_qual_counts<'a>(rows: impl Iterator<Item = (&'a str, u64, u64)>) {
+    let rows: Vec<_> = rows.collect();
+    if rows.is_empty() || (rows.len() == 1 && rows[0].0 == "const") {
+        return;
+    }
+    println!("qualifier counts:");
+    for (name, may, must) in rows {
+        println!("  {name:<10} {may:>4} may  {must:>4} must");
+    }
 }
 
 fn print_rewrite(cfg: &Config, src: &str, outcome: &AnalysisOutcome) {
@@ -762,8 +818,9 @@ fn print_rewrite(cfg: &Config, src: &str, outcome: &AnalysisOutcome) {
     let (prog, result) = if cfg.mode == Mode::Monomorphic {
         (&outcome.program, outcome.result.as_ref())
     } else {
-        mono = analyze_source_with_options(
+        mono = analyze_source_with_options_in(
             src,
+            &cfg.space,
             Mode::Monomorphic,
             Options::default(),
             cfg.budgets,

@@ -258,7 +258,18 @@ fn store_once(
     bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     bytes.extend_from_slice(&container_checksum(generation, payload).to_le_bytes());
     bytes.extend_from_slice(payload);
-    let tmp = dir.join(format!(".{}.tmp-{}", key.hex(), std::process::id()));
+    // The temp name must be unique per *writer*, not just per process:
+    // two threads storing the same key would otherwise share a temp
+    // path, and one's `File::create` truncates the file the other is
+    // mid-write in — publishing a short entry via the loser's rename.
+    static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}-{}",
+        key.hex(),
+        std::process::id(),
+        seq
+    ));
 
     // Fault point: `Io` fails the whole attempt (transient — the retry
     // loop may recover); `ShortWrite` simulates a writer killed mid-way
@@ -677,6 +688,44 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(matches!(load(&dir, &key, NO_RETRY).0, Load::Absent));
 
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_multi_qualifier_entries_miss_silently() {
+        // A v2 container is exactly what a const-only build wrote
+        // before the qualifier registry landed (FORMAT_VERSION 2).
+        // Everything about the forged entry is intact — magic,
+        // generation, length, checksum, payload — only the version is
+        // old: the load must be a *silent miss* (the unit re-analyzes
+        // and overwrites), never a corruption diagnostic and never a
+        // retry, because a stale format is expected across upgrades.
+        let dir = tmpdir("stale-version");
+        fs::create_dir_all(&dir).unwrap();
+        let key = KeyHasher::new().finish();
+        let payload = b"a perfectly healthy const-only summary";
+        let generation = 3u64;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(FORMAT_VERSION - 1).to_le_bytes());
+        bytes.extend_from_slice(&generation.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(
+            &container_checksum(generation, payload).to_le_bytes(),
+        );
+        bytes.extend_from_slice(payload);
+        fs::write(entry_path(&dir, &key), &bytes).unwrap();
+
+        let (loaded, retries) = load(&dir, &key, NO_RETRY);
+        assert!(
+            matches!(loaded, Load::Absent),
+            "a stale version is a miss, not corruption: {loaded:?}"
+        );
+        assert_eq!(retries, 0, "nothing transient to retry");
+        // The slot is reusable: a fresh store round-trips at the
+        // current version.
+        store(&dir, &key, b"new summary", 4, NO_RETRY).unwrap();
+        assert!(matches!(load(&dir, &key, NO_RETRY).0, Load::Payload { .. }));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -51,6 +51,8 @@ use qual_constinfer::summary::{
     analyze_unit, decode_summary, encode_summary, verify_summary, CanonQual,
     CanonScheme, CanonVar, UnitKind, UnitRequest, UnitSummary, FORMAT_VERSION,
 };
+use qual_constinfer::count::QualCount;
+use qual_constinfer::quals;
 use qual_constinfer::{
     recover_front_end, Budgets, ConstCounts, Mode, Options, Position,
     PositionClass, RecoveredUnit,
@@ -69,6 +71,11 @@ use cache::{Key, KeyHasher, Load, RetryPolicy};
 pub struct IncrConfig {
     /// Analysis mode (same meanings as the serial engine).
     pub mode: Mode,
+    /// The qualifier space to analyze over (built with
+    /// [`qual_constinfer::quals::space_for`] from a `--qual` list). The
+    /// space is part of every unit's cache key, so differing `--qual`
+    /// sets never alias.
+    pub space: QualSpace,
     /// Engine options.
     pub options: Options,
     /// Resource budgets. Generation budgets apply *per unit*; the
@@ -116,6 +123,7 @@ impl Default for IncrConfig {
     fn default() -> IncrConfig {
         IncrConfig {
             mode: Mode::Polymorphic,
+            space: QualSpace::const_only(),
             options: Options::default(),
             budgets: Budgets::default(),
             jobs: 1,
@@ -187,6 +195,10 @@ pub struct IncrStats {
 pub struct IncrOutcome {
     /// Table-2 style totals; `None` when the merged solve failed.
     pub counts: Option<ConstCounts>,
+    /// Per-qualifier may/must tallies, one row per coordinate of the
+    /// analyzed space in declaration order; empty when the merged solve
+    /// failed.
+    pub qual_counts: Vec<QualCount>,
     /// Per-position classification, in program order.
     pub positions: Vec<Position>,
     /// The pruned program the counts describe.
@@ -377,7 +389,7 @@ pub(crate) fn plan_units(src: &str, cfg: &IncrConfig) -> Planned {
         sema,
         skipped,
     } = recover_front_end(src);
-    let space = QualSpace::const_only();
+    let space = cfg.space.clone();
     let fdg = Fdg::build(&program);
 
     // Pretty-printed text per defined function: the content half of
@@ -851,7 +863,7 @@ fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutco
     let solution =
         cs.solve_with_budget(&space, &supply, cfg.budgets.max_solver_steps);
     certify_solution(&space, &cs, &solution, cfg.options, &mut skipped);
-    let (counts, positions) = match &solution {
+    let (counts, positions, qual_counts) = match &solution {
         Err(failure) => {
             match failure {
                 SolveFailure::Unsat(e) => {
@@ -872,27 +884,33 @@ fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutco
                     ));
                 }
             }
-            (None, Vec::new())
+            (None, Vec::new(), Vec::new())
         }
         Ok(sol) => {
-            let cid = space.id("const").expect("const_only declares const");
+            let cid = space.id("const");
             let positions: Vec<Position> = positions_raw
                 .iter()
                 .map(|(function, param, level, declared, q)| {
-                    let must = sol.eval_least(*q).has(&space, cid);
-                    let can = sol.eval_greatest(*q).has(&space, cid);
+                    let class = match cid {
+                        Some(c) => {
+                            let must = sol.eval_least(*q).has(&space, c);
+                            let can = sol.eval_greatest(*q).has(&space, c);
+                            if must {
+                                PositionClass::MustConst
+                            } else if can {
+                                PositionClass::Either
+                            } else {
+                                PositionClass::MustNotConst
+                            }
+                        }
+                        None => PositionClass::MustNotConst,
+                    };
                     Position {
                         function: function.clone(),
                         param: *param,
                         level: *level,
                         declared: *declared,
-                        class: if must {
-                            PositionClass::MustConst
-                        } else if can {
-                            PositionClass::Either
-                        } else {
-                            PositionClass::MustNotConst
-                        },
+                        class,
                     }
                 })
                 .collect();
@@ -901,14 +919,32 @@ fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutco
                 inferred: positions.iter().filter(|p| p.can_be_const()).count(),
                 total: positions.len(),
             };
-            (Some(counts), positions)
+            let mut qual_counts: Vec<QualCount> = space
+                .iter()
+                .map(|(_, d)| QualCount {
+                    name: d.name().to_owned(),
+                    may: 0,
+                    must: 0,
+                })
+                .collect();
+            for (_, _, _, _, q) in &positions_raw {
+                let lo = sol.eval_least(*q);
+                let hi = sol.eval_greatest(*q);
+                for (idx, (id, _)) in space.iter().enumerate() {
+                    let (may, must) = quals::presence(&space, id, lo, hi);
+                    qual_counts[idx].may += usize::from(may);
+                    qual_counts[idx].must += usize::from(must);
+                }
+            }
+            (Some(counts), positions, qual_counts)
         }
     };
 
-    record_run_metrics(&stats, counts.as_ref(), &skipped);
+    record_run_metrics(&stats, counts.as_ref(), &qual_counts, &skipped);
 
     IncrOutcome {
         counts,
+        qual_counts,
         positions,
         program,
         skipped,
@@ -925,6 +961,7 @@ fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutco
 fn record_run_metrics(
     stats: &IncrStats,
     counts: Option<&ConstCounts>,
+    qual_counts: &[QualCount],
     skipped: &[Diagnostic],
 ) {
     qual_obs::count("analysis.units", stats.units as u64);
@@ -935,6 +972,15 @@ fn record_run_metrics(
         qual_obs::count("analysis.positions_total", c.total as u64);
         qual_obs::count("analysis.positions_declared", c.declared as u64);
         qual_obs::count("analysis.positions_inferred", c.inferred as u64);
+    }
+    // Per-qualifier columns (`analysis.<qual>.may` / `.must`): the
+    // counter names come precomputed from the catalog because the
+    // collector interns `&'static str` keys only.
+    for qc in qual_counts {
+        if let Some(def) = quals::catalog::builtin(&qc.name) {
+            qual_obs::count(def.counter_may, qc.may as u64);
+            qual_obs::count(def.counter_must, qc.must as u64);
+        }
     }
     qual_obs::peak("sched.jobs", stats.jobs as u64);
     qual_obs::peak("worker.processes", stats.workers as u64);

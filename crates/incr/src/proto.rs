@@ -71,7 +71,10 @@ use qual_constinfer::Mode;
 
 /// Protocol version, negotiated via [`Hello`]; a worker built from a
 /// different source tree refuses to serve.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2: Hello and Analyze carry the qualifier list (`--qual`), and
+/// Report frames carry per-qualifier count columns.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (64 MiB) — far above any real
 /// summary, low enough that a garbled length field cannot provoke an
@@ -240,6 +243,11 @@ pub struct Hello {
     pub src: String,
     /// Analysis mode.
     pub mode: Mode,
+    /// The comma-joined qualifier list (the `--qual` spelling); the
+    /// worker rebuilds the space with
+    /// [`qual_constinfer::quals::space_for`]. Part of the unit keys, so
+    /// coordinator and workers must agree exactly.
+    pub quals: String,
     /// `Options::simplify_schemes`.
     pub simplify_schemes: bool,
     /// `Options::verify_solutions`.
@@ -273,6 +281,8 @@ pub struct AnalyzeReq {
     pub src: String,
     /// Analysis mode.
     pub mode: Mode,
+    /// The comma-joined qualifier list the daemon analyzes over.
+    pub quals: String,
     /// Run the independent certifier over the solution.
     pub verify: bool,
     /// Per-request wall-clock deadline, in ms; `None` uses the
@@ -307,6 +317,9 @@ pub struct ReportFrame {
     /// `[total, declared, inferred]` position counts; `None` when
     /// constraint solving failed.
     pub counts: Option<[u64; 3]>,
+    /// Per-qualifier `(name, may, must)` columns, in space order;
+    /// empty when solving failed.
+    pub qual_counts: Vec<(String, u64, u64)>,
     /// Every interesting position, in report order.
     pub positions: Vec<WirePosition>,
     /// Rendered diagnostics (sorted), one string per diagnostic.
@@ -495,6 +508,7 @@ fn put_analyze_req(buf: &mut Vec<u8>, req: &AnalyzeReq) {
     put_u32(buf, req.version);
     put_str(buf, &req.src);
     put_mode(buf, req.mode);
+    put_str(buf, &req.quals);
     put_bool(buf, req.verify);
     put_opt_u64(buf, req.deadline_ms);
 }
@@ -504,6 +518,7 @@ fn take_analyze_req(t: &mut Take<'_>) -> Result<AnalyzeReq, ProtoError> {
         version: t.u32()?,
         src: t.str()?,
         mode: take_mode(t)?,
+        quals: t.str()?,
         verify: t.bool()?,
         deadline_ms: take_opt_u64(t)?,
     })
@@ -530,6 +545,7 @@ fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
             put_u32(&mut buf, h.version);
             put_str(&mut buf, &h.src);
             put_mode(&mut buf, h.mode);
+            put_str(&mut buf, &h.quals);
             put_bool(&mut buf, h.simplify_schemes);
             put_bool(&mut buf, h.verify_solutions);
             put_u64(&mut buf, h.max_constraints);
@@ -596,6 +612,12 @@ fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
                 }
                 None => put_bool(&mut buf, false),
             }
+            put_u64(&mut buf, rep.qual_counts.len() as u64);
+            for (name, may, must) in &rep.qual_counts {
+                put_str(&mut buf, name);
+                put_u64(&mut buf, *may);
+                put_u64(&mut buf, *must);
+            }
             put_u64(&mut buf, rep.positions.len() as u64);
             for p in &rep.positions {
                 put_str(&mut buf, &p.function);
@@ -657,6 +679,7 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
             let version = t.u32()?;
             let src = t.str()?;
             let mode = take_mode(&mut t)?;
+            let quals = t.str()?;
             let simplify_schemes = t.bool()?;
             let verify_solutions = t.bool()?;
             let max_constraints = t.u64()?;
@@ -671,6 +694,7 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
                 version,
                 src,
                 mode,
+                quals,
                 simplify_schemes,
                 verify_solutions,
                 max_constraints,
@@ -734,6 +758,14 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
             } else {
                 None
             };
+            let nq = take_count(&mut t)?;
+            let mut qual_counts = Vec::new();
+            for _ in 0..nq {
+                let name = t.str()?;
+                let may = t.u64()?;
+                let must = t.u64()?;
+                qual_counts.push((name, may, must));
+            }
             let n = take_count(&mut t)?;
             let mut positions = Vec::new();
             for _ in 0..n {
@@ -757,6 +789,7 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
                 mode,
                 verify,
                 counts,
+                qual_counts,
                 positions,
                 skipped,
                 cache_notes,
@@ -949,6 +982,7 @@ mod tests {
             version: PROTO_VERSION,
             src: "int f(const char *s) { return *s; }".to_owned(),
             mode: Mode::PolymorphicRecursive,
+            quals: "const,nonnull,tainted,linear".to_owned(),
             simplify_schemes: true,
             verify_solutions: true,
             max_constraints: 123,
@@ -1070,6 +1104,10 @@ mod tests {
             mode: Mode::Polymorphic,
             verify: true,
             counts: Some([5, 2, 3]),
+            qual_counts: vec![
+                ("const".to_owned(), 3, 1),
+                ("tainted".to_owned(), 2, 0),
+            ],
             positions: vec![
                 WirePosition {
                     function: "strlen".to_owned(),
@@ -1102,6 +1140,7 @@ mod tests {
             version: PROTO_VERSION,
             src: "int f(char *p) { return *p; }".to_owned(),
             mode: Mode::PolymorphicRecursive,
+            quals: "tainted".to_owned(),
             verify: true,
             deadline_ms: Some(750),
         }
@@ -1114,6 +1153,7 @@ mod tests {
                 version: PROTO_VERSION,
                 src: "int g(void);".to_owned(),
                 mode: Mode::Monomorphic,
+                quals: "const".to_owned(),
                 simplify_schemes: false,
                 verify_solutions: true,
                 max_constraints: 9,

@@ -714,17 +714,18 @@ fn dispatch(shared: &Shared, frame: Frame) -> (Frame, bool) {
     }
 }
 
-/// The content address of a request: identical (src, mode, verify)
-/// triples dedup onto one job and share one memo slot.
+/// The content address of a request: identical (src, mode, quals,
+/// verify) tuples dedup onto one job and share one memo slot.
 fn request_key(req: &AnalyzeReq) -> Key {
     let mut h = KeyHasher::new();
-    h.str("serve-request-v1");
+    h.str("serve-request-v2");
     h.str(&req.src);
     h.u64(match req.mode {
         Mode::Monomorphic => 0,
         Mode::Polymorphic => 1,
         Mode::PolymorphicRecursive => 2,
     });
+    h.str(&req.quals);
     h.bool(req.verify);
     h.finish()
 }
@@ -923,6 +924,10 @@ fn execute_job(shared: &Shared, job: &Job) -> Result<Arc<ReportFrame>, String> {
     let _deadline_guard = deadline.map(qual_faultpoint::cancel::deadline_after_ms);
     let mut icfg = shared.cfg.incr.clone();
     icfg.mode = req.mode;
+    if !req.quals.is_empty() {
+        icfg.space = qual_constinfer::space_for(&req.quals)
+            .map_err(|e| e.to_string())?;
+    }
     icfg.options.verify_solutions = req.verify;
     if let Some(d) = deadline {
         icfg.unit_deadline_ms = Some(icfg.unit_deadline_ms.map_or(d, |u| u.min(d)));
@@ -1080,6 +1085,11 @@ pub fn report_from_outcome(
             .collect(),
         skipped: diags.iter().map(|d| d.render(Some(src))).collect(),
         cache_notes: out.cache_diags.iter().map(|d| d.render(None)).collect(),
+        qual_counts: out
+            .qual_counts
+            .iter()
+            .map(|q| (q.name.clone(), q.may as u64, q.must as u64))
+            .collect(),
         cert_failures,
         constraints: out.stats.constraints as u64,
         quarantined: out.stats.quarantined as u64,
@@ -1098,6 +1108,14 @@ pub fn report_from_outcome(
 pub fn local_report(base: &IncrConfig, req: &AnalyzeReq) -> ReportFrame {
     let mut cfg = base.clone();
     cfg.mode = req.mode;
+    // cqual validates --qual before building requests, so a parse
+    // failure here can only mean a hand-forged frame: keep the base
+    // space rather than refusing the whole fallback path.
+    if !req.quals.is_empty() {
+        if let Ok(space) = qual_constinfer::space_for(&req.quals) {
+            cfg.space = space;
+        }
+    }
     cfg.options.verify_solutions = req.verify;
     if let Some(d) = req.deadline_ms {
         cfg.unit_deadline_ms = Some(cfg.unit_deadline_ms.map_or(d, |u| u.min(d)));
@@ -1384,6 +1402,7 @@ mod tests {
             version: PROTO_VERSION,
             src: src.to_owned(),
             mode: Mode::Polymorphic,
+            quals: "const".to_owned(),
             verify: false,
             deadline_ms: Some(20_000),
         }

@@ -211,6 +211,7 @@ impl Pool {
             version: proto::PROTO_VERSION,
             src: src.to_owned(),
             mode: cfg.mode,
+            quals: qual_constinfer::space_names(&cfg.space),
             simplify_schemes: cfg.options.simplify_schemes,
             verify_solutions: cfg.options.verify_solutions,
             max_constraints: cfg.budgets.max_constraints as u64,
@@ -790,8 +791,15 @@ pub fn worker_main() -> i32 {
         });
     }
 
+    // The qualifier list is part of every unit key: a worker that
+    // cannot rebuild the coordinator's exact space must refuse rather
+    // than silently plan a mismatching (and undispatchable) world.
+    let Ok(space) = qual_constinfer::space_for(&hello.quals) else {
+        return WORKER_PROTOCOL_EXIT;
+    };
     let cfg = IncrConfig {
         mode: hello.mode,
+        space,
         options: Options {
             simplify_schemes: hello.simplify_schemes,
             verify_solutions: hello.verify_solutions,

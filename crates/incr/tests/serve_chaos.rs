@@ -174,6 +174,7 @@ fn analyze_req(src: &str) -> AnalyzeReq {
         version: PROTO_VERSION,
         src: src.to_owned(),
         mode: Mode::Polymorphic,
+        quals: "const".to_owned(),
         verify: false,
         deadline_ms: None,
     }

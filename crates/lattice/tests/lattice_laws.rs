@@ -138,4 +138,64 @@ proptest! {
             prop_assert!(!s.with_absent(e, id).has(&s, id));
         }
     }
+
+    // -------------------------------------------------------------------
+    // Word-parallel ops vs. the per-coordinate reference model. The
+    // solver relies on one u64 AND/OR/subset-test computing every
+    // qualifier space at once (Definition 2's product lattice); these
+    // properties pin that the packed ops equal running each two-point
+    // coordinate lattice independently and reassembling.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn word_ops_match_per_coordinate_reference((s, es) in space_and_elems(2)) {
+        let (a, b) = (es[0], es[1]);
+        let mut join = 0u64;
+        let mut meet = 0u64;
+        let mut le = true;
+        for i in 0..s.len() {
+            // Coordinate i in isolation: a two-point lattice with
+            // canonical order ⊥=0 < ⊤=1.
+            let ai = a.bits() >> i & 1;
+            let bi = b.bits() >> i & 1;
+            join |= (ai | bi) << i;
+            meet |= (ai & bi) << i;
+            le &= ai <= bi;
+        }
+        prop_assert_eq!(s.join(a, b), QualSet::from_bits(join));
+        prop_assert_eq!(s.meet(a, b), QualSet::from_bits(meet));
+        prop_assert_eq!(s.le(a, b), le);
+    }
+
+    #[test]
+    fn coordinates_do_not_interfere((s, es) in space_and_elems(2)) {
+        // Perturbing one coordinate of an operand never changes any
+        // *other* coordinate of a join or meet — the wall between
+        // simultaneously-solved qualifier spaces.
+        let (a, b) = (es[0], es[1]);
+        for j in 0..s.len() {
+            let a2 = QualSet::from_bits(a.bits() ^ (1 << j));
+            for i in 0..s.len() {
+                if i == j { continue; }
+                let m = 1u64 << i;
+                prop_assert_eq!(s.join(a, b).bits() & m, s.join(a2, b).bits() & m);
+                prop_assert_eq!(s.meet(a, b).bits() & m, s.meet(a2, b).bits() & m);
+            }
+        }
+    }
+
+    #[test]
+    fn presence_reads_through_polarity((s, es) in space_and_elems(1)) {
+        // `has` is the polarity lens over the canonical bit: positive
+        // qualifiers are present at ⊤, negative ones at ⊥.
+        let a = es[0];
+        for (id, decl) in s.iter() {
+            let bit = a.bits() >> id.index() & 1 == 1;
+            let expect = match decl.polarity() {
+                qual_lattice::Polarity::Positive => bit,
+                qual_lattice::Polarity::Negative => !bit,
+            };
+            prop_assert_eq!(a.has(&s, id), expect);
+        }
+    }
 }

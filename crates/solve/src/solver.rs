@@ -123,6 +123,7 @@ pub(crate) fn solve_budgeted(
 ) -> Result<Solution, SolveFailure> {
     let _span = qual_obs::span("solve-propagate");
     qual_obs::peak("solve.vars", var_count as u64);
+    qual_obs::peak("solve.coords", space.len() as u64);
     // Adjacency with per-edge masks: fwd[v] = (w, m) pairs with
     // `v ⊓ m ⊑ w ⊔ ¬m`; bwd is the reverse.
     let top = space.top().bits();

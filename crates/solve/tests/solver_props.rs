@@ -143,3 +143,110 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Every-coordinate certification (the multi-qualifier registry's
+// contract): an independent verifier re-checks each constraint at each
+// masked coordinate, so a word-parallel solve over several qualifier
+// spaces certifies exactly when every coordinate's two-point system
+// holds — and rejects a solution the moment any single coordinate of
+// any variable is corrupted.
+// ---------------------------------------------------------------------------
+
+use qual_solve::{verify_explanation, verify_solution, Provenance, Solution};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn certification_is_exactly_per_coordinate_soundness(
+        sys in arb_system(),
+        tamper in (0usize..NVARS, 0usize..8, any::<bool>()),
+    ) {
+        let (space, vars, cs) = build(&sys);
+        let Ok(sol) = cs.solve(&space, &vars) else { return Ok(()) };
+        prop_assert!(
+            verify_solution(&space, cs.constraints(), &sol).is_ok(),
+            "the solver's own answer must certify"
+        );
+        // Flip ONE coordinate of ONE endpoint of ONE variable. The
+        // verifier must accept the tampered solution iff it is still,
+        // coordinate for coordinate, a well-formed satisfying pair —
+        // never stricter (spurious rejection), never laxer (missed
+        // corruption).
+        let (v, coord, hit_least) = tamper;
+        let coord = coord % space.len();
+        let mut least: Vec<QualSet> =
+            (0..NVARS).map(|i| sol.least(QVar::from_index(i))).collect();
+        let mut greatest: Vec<QualSet> =
+            (0..NVARS).map(|i| sol.greatest(QVar::from_index(i))).collect();
+        let side = if hit_least { &mut least } else { &mut greatest };
+        side[v] = QualSet::from_bits(side[v].bits() ^ (1 << coord));
+        let sound = satisfies(&space, &cs, &least)
+            && satisfies(&space, &cs, &greatest)
+            && (0..NVARS).all(|i| space.le(least[i], greatest[i]));
+        let t = Solution::from_parts(least, greatest);
+        prop_assert_eq!(
+            verify_solution(&space, cs.constraints(), &t).is_ok(),
+            sound
+        );
+    }
+
+    #[test]
+    fn masked_systems_certify_or_explain_at_their_coordinate(
+        picks in prop::collection::vec((0u8..6, 0u8..6, 0usize..4), 1..10),
+    ) {
+        // A four-coordinate space (mixed polarity) with every
+        // constraint masked to a single random coordinate — the shape
+        // the qualifier registry emits for its choice-point rules.
+        let mut b = qual_lattice::QualSpaceBuilder::new();
+        for i in 0..4 {
+            b = if i % 2 == 0 {
+                b.positive(format!("p{i}"))
+            } else {
+                b.negative(format!("n{i}"))
+            };
+        }
+        let space = b.build().unwrap();
+        let mut vars = VarSupply::new();
+        for _ in 0..NVARS {
+            vars.fresh();
+        }
+        let ids: Vec<_> = space.iter().map(|(id, _)| id).collect();
+        let mut cs = ConstraintSet::new();
+        for &(l, r, coord) in &picks {
+            cs.add_masked(
+                decode(&space, l),
+                decode(&space, r),
+                &[ids[coord]],
+                Provenance::synthetic("prop"),
+            );
+        }
+        match cs.solve(&space, &vars) {
+            Ok(sol) => {
+                // SAT: the solution certifies at every coordinate of
+                // every constraint's mask.
+                prop_assert!(
+                    verify_solution(&space, cs.constraints(), &sol).is_ok()
+                );
+            }
+            Err(err) => {
+                // UNSAT: each violation replays as a constraint path
+                // naming its coordinate, and each path independently
+                // re-verifies.
+                let exps = qual_solve::explain(&space, cs.constraints(), &err);
+                prop_assert!(!exps.is_empty());
+                for exp in &exps {
+                    prop_assert!(
+                        verify_explanation(&space, exp).is_ok(),
+                        "explanation failed to replay"
+                    );
+                    prop_assert!(
+                        exp.qualifier.bits().is_power_of_two(),
+                        "each explanation names exactly one coordinate"
+                    );
+                }
+            }
+        }
+    }
+}

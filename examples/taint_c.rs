@@ -1,0 +1,94 @@
+//! Taint tracking over *C* through the same pipeline that infers
+//! `const` (§4 of the paper): the qualifier registry plugs a `tainted`
+//! space into the C engine, so attacker-controlled data (`getenv`,
+//! `fgets`, …) is traced through assignments and calls to the sinks
+//! that must never see it (`system`, `popen`, `unlink`, …) — the
+//! Shankar/STonesoup-style format-string/command-injection check that
+//! CQual became famous for, here riding the paper's const machinery
+//! unchanged.
+//!
+//! All requested qualifier spaces solve *simultaneously* in one
+//! word-parallel propagation pass; the example runs const + tainted +
+//! nonnull together to show the coordinates do not interfere.
+//!
+//! ```text
+//! cargo run --example taint_c
+//! ```
+
+use quals::constinfer::{
+    analyze_source_with_options_in, space_for, Budgets, Mode, Options,
+};
+
+/// A config reader with a command-injection bug: the attacker-owned
+/// HOME ends up inside a `system()` command line.
+const INJECTED: &str = r#"
+char *getenv(const char *name);
+int system(const char *cmd);
+int sprintf(char *buf, const char *fmt, const char *arg);
+
+int rebuild_cache(char *cmd) {
+    return system(cmd);            /* sink: shells out */
+}
+
+int main(void) {
+    char cmdbuf[128];
+    char *home = getenv("HOME");   /* source: attacker-controlled */
+    sprintf(cmdbuf, "ls %s", home);
+    return rebuild_cache(home);    /* tainted data reaches the sink */
+}
+"#;
+
+/// The same program with the taint laundered through a checker: the
+/// sink only ever sees the trusted constant.
+const CLEAN: &str = r#"
+char *getenv(const char *name);
+int system(const char *cmd);
+
+int rebuild_cache(const char *cmd) {
+    return system(cmd);
+}
+
+int main(void) {
+    char *home = getenv("HOME");
+    int have_home = home != 0;
+    if (have_home)
+        return rebuild_cache("ls");  /* trusted constant only */
+    return 1;
+}
+"#;
+
+fn run(what: &str, src: &str) {
+    // const + tainted + nonnull: one constraint world, one solve.
+    let space = space_for("const,tainted,nonnull").expect("built-in quals");
+    let out = analyze_source_with_options_in(
+        src,
+        &space,
+        Mode::Polymorphic,
+        Options::default(),
+        Budgets::default(),
+    );
+    println!("== {what} ==");
+    match &out.result {
+        Some(result) => {
+            println!("  clean: no tainted value reaches a sink or deref");
+            for qc in &result.qual_counts {
+                println!(
+                    "    {:<8} {} position(s) may carry it, {} must",
+                    qc.name, qc.may, qc.must
+                );
+            }
+        }
+        None => {
+            println!("  TAINT CAUGHT:");
+            for d in &out.skipped {
+                print!("{}", d.render(Some(src)));
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    run("command injection (HOME -> system)", INJECTED);
+    run("sanitized variant", CLEAN);
+}
