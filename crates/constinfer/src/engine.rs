@@ -653,6 +653,15 @@ impl<'a> Engine<'a> {
             )
             .with_span(e.span.lo, e.span.hi));
         }
+        if let Some((used, limit)) = qual_obs::mem::unit_overrun() {
+            return Err(Diagnostic::error(
+                Phase::Infer,
+                format!(
+                    "memory budget exceeded ({used} of {limit} bytes allocated)"
+                ),
+            )
+            .with_span(e.span.lo, e.span.hi));
+        }
         if self.cs.len() >= self.budgets.max_constraints {
             return Err(Diagnostic::error(
                 Phase::Infer,

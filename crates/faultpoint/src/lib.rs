@@ -48,6 +48,15 @@ pub enum FaultKind {
     Panic,
     /// Stall for this many milliseconds (drives deadline handling).
     Delay(u64),
+    /// The simulated disk is full: writes fail with ENOSPC until the
+    /// environment "gc" frees space (see [`FaultPlan::with_disk`]).
+    DiskFull,
+    /// The simulated fd table is full: accept/open fail with EMFILE
+    /// until descriptors are released (see [`FaultPlan::with_fds`]).
+    FdExhausted,
+    /// The simulated allocator watermark is exceeded: the unit's
+    /// allocation charge is denied (see [`FaultPlan::with_alloc`]).
+    AllocFail,
 }
 
 impl FaultKind {
@@ -66,8 +75,12 @@ impl FaultKind {
                 .map(FaultKind::Delay)
                 .map_err(|_| format!("bad delay milliseconds: {ms:?}")),
             ("delay", None) => Ok(FaultKind::Delay(20)),
+            ("disk-full", None) | ("disk_full", None) => Ok(FaultKind::DiskFull),
+            ("fd-exhausted", None) | ("fd_exhausted", None) => Ok(FaultKind::FdExhausted),
+            ("alloc-fail", None) | ("alloc_fail", None) => Ok(FaultKind::AllocFail),
             _ => Err(format!(
-                "unknown fault kind {s:?} (want io, short-write, garbage, panic, delay[:MS])"
+                "unknown fault kind {s:?} (want io, short-write, garbage, panic, \
+                 delay[:MS], disk-full, fd-exhausted, alloc-fail)"
             )),
         }
     }
@@ -105,6 +118,35 @@ impl Rule {
     }
 }
 
+/// Denials before a resource machine's "gc" frees the resource again,
+/// unless the plan configures its own interval.
+const DEFAULT_ENV_GC_AFTER: u64 = 16;
+
+/// A *stateful* simulated environment, configured per plan: a disk
+/// with a byte budget, an fd table with a cap, and an allocator
+/// watermark. Unlike the stateless per-hit rules, these machines
+/// accumulate usage across charges — writes succeed until the disk
+/// fills, then fail with [`FaultKind::DiskFull`] until a "gc" interval
+/// (a fixed number of denials) frees the space again, modeling an
+/// operator clearing room. A capacity of 0 is *permanent* exhaustion
+/// (the gc never helps). Everything is deterministic: the same charge
+/// sequence produces the same denial sequence, every run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct EnvSpec {
+    /// Disk byte budget as `(capacity_bytes, gc_after_denials)`.
+    disk: Option<(u64, u64)>,
+    /// Fd-table cap as `(max_open, gc_after_denials)`.
+    fds: Option<(u64, u64)>,
+    /// Allocator watermark as `(watermark_bytes, gc_after_denials)`.
+    alloc: Option<(u64, u64)>,
+}
+
+impl EnvSpec {
+    fn is_empty(&self) -> bool {
+        self.disk.is_none() && self.fds.is_none() && self.alloc.is_none()
+    }
+}
+
 /// A deterministic injection schedule.
 ///
 /// Two flavors, freely combinable: explicit [rules](FaultPlan::parse)
@@ -113,6 +155,14 @@ impl Rule {
 /// derived from `seed`"). The seeded draw hashes `(seed, point, hit
 /// index)`, so it is independent of thread interleaving: the n-th hit
 /// of a given point always makes the same decision.
+///
+/// A third, *stateful* layer models resource exhaustion: a byte-budgeted
+/// disk ([`FaultPlan::with_disk`]), a capped fd table
+/// ([`FaultPlan::with_fds`]), and an allocator watermark
+/// ([`FaultPlan::with_alloc`]). Consumers charge these machines through
+/// [`charge_disk`], [`take_fd`]/[`release_fd`], and [`charge_alloc`];
+/// the seeded schedule never produces the environment kinds, so pinned
+/// seeds replay byte-identically with or without an environment.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     rules: Vec<Rule>,
@@ -120,6 +170,8 @@ pub struct FaultPlan {
     seeded: Option<(u64, u32)>,
     /// Panics allowed in the seeded schedule (explicit rules always may).
     seeded_panics: bool,
+    /// Stateful environment machines (disk / fds / allocator).
+    env: EnvSpec,
 }
 
 impl FaultPlan {
@@ -137,7 +189,39 @@ impl FaultPlan {
             rules: Vec::new(),
             seeded: Some((seed, rate_per_mille.min(1000))),
             seeded_panics: true,
+            env: EnvSpec::default(),
         }
+    }
+
+    /// Adds a simulated disk with a byte budget: [`charge_disk`] calls
+    /// succeed until `capacity_bytes` have accumulated, then deny with
+    /// [`FaultKind::DiskFull`]; after `gc_after` denials the "gc" frees
+    /// all space and writes succeed again. `gc_after = None` uses the
+    /// default interval; `capacity_bytes = 0` never recovers.
+    #[must_use]
+    pub fn with_disk(mut self, capacity_bytes: u64, gc_after: Option<u64>) -> FaultPlan {
+        self.env.disk = Some((capacity_bytes, gc_after.unwrap_or(DEFAULT_ENV_GC_AFTER)));
+        self
+    }
+
+    /// Adds a simulated fd table: [`take_fd`] succeeds while fewer than
+    /// `max_open` descriptors are held, then denies with
+    /// [`FaultKind::FdExhausted`]. [`release_fd`] frees one; `gc_after`
+    /// denials also flush the table (idle peers closing).
+    #[must_use]
+    pub fn with_fds(mut self, max_open: u64, gc_after: Option<u64>) -> FaultPlan {
+        self.env.fds = Some((max_open, gc_after.unwrap_or(DEFAULT_ENV_GC_AFTER)));
+        self
+    }
+
+    /// Adds a simulated allocator watermark: [`charge_alloc`] succeeds
+    /// until `watermark_bytes` have accumulated, then denies with
+    /// [`FaultKind::AllocFail`]; after `gc_after` denials the watermark
+    /// resets (memory was freed).
+    #[must_use]
+    pub fn with_alloc(mut self, watermark_bytes: u64, gc_after: Option<u64>) -> FaultPlan {
+        self.env.alloc = Some((watermark_bytes, gc_after.unwrap_or(DEFAULT_ENV_GC_AFTER)));
+        self
     }
 
     /// Disables panic faults in the seeded schedule (explicit rules are
@@ -156,12 +240,17 @@ impl FaultPlan {
     /// spec   := clause (';' clause)*
     /// clause := point '@' occ '=' kind        explicit rule
     ///         | 'seed' ':' u64 [':' rate]     seeded schedule (rate per mille, default 150)
+    ///         | 'disk' ':' bytes [':' gc]     disk byte budget (ENOSPC machine)
+    ///         | 'fds' ':' cap [':' gc]        fd-table cap (EMFILE machine)
+    ///         | 'alloc' ':' bytes [':' gc]    allocator watermark
     /// point  := dotted name, '*' suffix matches a prefix
     /// occ    := decimal hit number (1-based) | '*'
     /// kind   := 'io' | 'short-write' | 'garbage' | 'panic' | 'delay' [':' ms]
+    ///         | 'disk-full' | 'fd-exhausted' | 'alloc-fail'
     /// ```
     ///
-    /// Example: `cache.write@2=io;unit.solve@*=delay:10;seed:7:100`.
+    /// Example: `cache.write@2=io;unit.solve@*=delay:10;seed:7:100`, or
+    /// a 64 KiB disk that recovers after 8 denials: `disk:65536:8`.
     ///
     /// # Errors
     ///
@@ -186,6 +275,38 @@ impl FaultPlan {
                 };
                 plan.seeded = Some((seed, rate.min(1000)));
                 plan.seeded_panics = true;
+                continue;
+            }
+            let mut env_clause = false;
+            for (prefix, slot) in [
+                ("disk:", 0usize),
+                ("fds:", 1),
+                ("alloc:", 2),
+            ] {
+                if let Some(rest) = clause.strip_prefix(prefix) {
+                    let (cap, gc) = match rest.split_once(':') {
+                        Some((c, g)) => (
+                            c.parse::<u64>()
+                                .map_err(|_| format!("bad {prefix}capacity: {c:?}"))?,
+                            g.parse::<u64>()
+                                .map_err(|_| format!("bad {prefix}gc interval: {g:?}"))?,
+                        ),
+                        None => (
+                            rest.parse::<u64>()
+                                .map_err(|_| format!("bad {prefix}capacity: {rest:?}"))?,
+                            DEFAULT_ENV_GC_AFTER,
+                        ),
+                    };
+                    match slot {
+                        0 => plan.env.disk = Some((cap, gc)),
+                        1 => plan.env.fds = Some((cap, gc)),
+                        _ => plan.env.alloc = Some((cap, gc)),
+                    }
+                    env_clause = true;
+                    break;
+                }
+            }
+            if env_clause {
                 continue;
             }
             let (target, kind) = clause
@@ -219,7 +340,7 @@ impl FaultPlan {
     /// Whether this plan can inject anything at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty() && self.seeded.is_none()
+        self.rules.is_empty() && self.seeded.is_none() && self.env.is_empty()
     }
 
     fn decide(&self, point: &str, hit: u64) -> Option<FaultKind> {
@@ -265,12 +386,68 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// One resource machine: accumulated usage, consecutive denials in the
+/// current exhaustion episode, and how many episodes have begun.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct EnvMachine {
+    used: u64,
+    denials: u64,
+    episodes: u64,
+}
+
+impl EnvMachine {
+    /// Charges `amount` against `(capacity, gc_after)`. Returns `true`
+    /// when the charge is *denied*. A denied charge counts toward the
+    /// gc interval; once `gc_after` denials accumulate the machine
+    /// resets (space freed) — unless capacity is 0, which is permanent.
+    fn charge(&mut self, amount: u64, capacity: u64, gc_after: u64) -> bool {
+        if self.used.saturating_add(amount) > capacity {
+            if self.denials == 0 {
+                self.episodes += 1;
+            }
+            self.denials += 1;
+            if capacity > 0 && gc_after > 0 && self.denials >= gc_after {
+                self.used = 0;
+                self.denials = 0;
+            }
+            true
+        } else {
+            self.used += amount;
+            self.denials = 0;
+            false
+        }
+    }
+
+    fn release(&mut self, amount: u64) {
+        self.used = self.used.saturating_sub(amount);
+    }
+}
+
+/// A read-only view of the environment machines, for tests and
+/// observability: `(used, denials, episodes)` per resource.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnvSnapshot {
+    /// Disk machine: bytes used, current denial streak, episodes begun.
+    pub disk: (u64, u64, u64),
+    /// Fd machine: descriptors held, denial streak, episodes begun.
+    pub fds: (u64, u64, u64),
+    /// Allocator machine: bytes charged, denial streak, episodes begun.
+    pub alloc: (u64, u64, u64),
+}
+
 /// Global injection state: the plan, per-point hit counters, and a
 /// record of what actually fired (for observability and tests).
 struct State {
     plan: FaultPlan,
     hits: std::collections::HashMap<String, u64>,
     injected: Vec<(String, u64, FaultKind)>,
+    /// Environment-machine charge counters, *separate* from `hits` so
+    /// charging a site never shifts the occurrence numbers that
+    /// explicit `point@N=kind` rules (and the tests pinning them) see.
+    env_hits: std::collections::HashMap<String, u64>,
+    disk: EnvMachine,
+    fds: EnvMachine,
+    alloc: EnvMachine,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -295,6 +472,10 @@ pub fn install(plan: FaultPlan) {
         plan,
         hits: std::collections::HashMap::new(),
         injected: Vec::new(),
+        env_hits: std::collections::HashMap::new(),
+        disk: EnvMachine::default(),
+        fds: EnvMachine::default(),
+        alloc: EnvMachine::default(),
     });
 }
 
@@ -410,6 +591,106 @@ pub fn garble(point: &str, bytes: &mut [u8]) -> bool {
     } else {
         false
     }
+}
+
+/// Which environment machine a charge targets.
+#[derive(Debug, Clone, Copy)]
+enum Resource {
+    Disk,
+    Fds,
+    Alloc,
+}
+
+/// Charges one environment machine. Charge counters live in `env_hits`,
+/// not `hits`: the same site usually both [`hit`]s a point and charges
+/// a machine, and the charge must not shift explicit-rule occurrence
+/// numbers. Denials are recorded in the shared injection log under the
+/// charge's own counter.
+fn charge_env(point: &str, amount: u64, which: Resource) -> Option<FaultKind> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut g = lock_state();
+    let st = g.as_mut()?;
+    let (capacity, gc_after, kind) = match which {
+        Resource::Disk => {
+            let (cap, gc) = st.plan.env.disk?;
+            (cap, gc, FaultKind::DiskFull)
+        }
+        Resource::Fds => {
+            let (cap, gc) = st.plan.env.fds?;
+            (cap, gc, FaultKind::FdExhausted)
+        }
+        Resource::Alloc => {
+            let (cap, gc) = st.plan.env.alloc?;
+            (cap, gc, FaultKind::AllocFail)
+        }
+    };
+    let n = st.env_hits.entry(point.to_owned()).or_insert(0);
+    *n += 1;
+    let hit_no = *n;
+    let machine = match which {
+        Resource::Disk => &mut st.disk,
+        Resource::Fds => &mut st.fds,
+        Resource::Alloc => &mut st.alloc,
+    };
+    if machine.charge(amount, capacity, gc_after) {
+        st.injected.push((point.to_owned(), hit_no, kind));
+        Some(kind)
+    } else {
+        None
+    }
+}
+
+/// Charges `bytes` against the simulated disk at write site `point`.
+/// Returns `Some(DiskFull)` when the write should fail with ENOSPC.
+/// With no plan (or no disk configured) this is one relaxed atomic
+/// load and always succeeds.
+#[must_use]
+pub fn charge_disk(point: &str, bytes: u64) -> Option<FaultKind> {
+    charge_env(point, bytes, Resource::Disk)
+}
+
+/// Takes one descriptor from the simulated fd table at `point`.
+/// Returns `Some(FdExhausted)` when the accept/open should fail with
+/// EMFILE — the descriptor is *not* held in that case.
+#[must_use]
+pub fn take_fd(point: &str) -> Option<FaultKind> {
+    charge_env(point, 1, Resource::Fds)
+}
+
+/// Returns one descriptor to the simulated fd table (connection
+/// closed). Harmless when no fd machine is configured.
+pub fn release_fd() {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut g = lock_state();
+    if let Some(st) = g.as_mut() {
+        if st.plan.env.fds.is_some() {
+            st.fds.release(1);
+        }
+    }
+}
+
+/// Charges `bytes` against the simulated allocator watermark at
+/// `point`. Returns `Some(AllocFail)` when the allocation should be
+/// treated as denied.
+#[must_use]
+pub fn charge_alloc(point: &str, bytes: u64) -> Option<FaultKind> {
+    charge_env(point, bytes, Resource::Alloc)
+}
+
+/// The current environment-machine state, for tests and diagnostics.
+/// All zeros when no plan (or no environment) is installed.
+#[must_use]
+pub fn env_snapshot() -> EnvSnapshot {
+    let g = lock_state();
+    g.as_ref().map_or_else(EnvSnapshot::default, |st| EnvSnapshot {
+        disk: (st.disk.used, st.disk.denials, st.disk.episodes),
+        fds: (st.fds.used, st.fds.denials, st.fds.episodes),
+        alloc: (st.alloc.used, st.alloc.denials, st.alloc.episodes),
+    })
 }
 
 /// Every fault injected since the last [`install`], as
@@ -533,6 +814,96 @@ mod tests {
         assert!(e.to_string().contains("injected fault at p"));
         assert!(maybe_io("p").is_ok());
         clear();
+    }
+
+    #[test]
+    fn disk_machine_fills_denies_and_gcs() {
+        let _g = test_lock();
+        install(FaultPlan::new().with_disk(100, Some(3)));
+        // Fits, fits, then the budget is blown.
+        assert_eq!(charge_disk("cache.write", 60), None);
+        assert_eq!(charge_disk("cache.write", 40), None);
+        assert_eq!(charge_disk("cache.write", 1), Some(FaultKind::DiskFull));
+        assert_eq!(charge_disk("cache.write", 1), Some(FaultKind::DiskFull));
+        let snap = env_snapshot();
+        assert_eq!(snap.disk, (100, 2, 1), "one episode, two denials so far");
+        // Third denial triggers the gc; the next charge succeeds.
+        assert_eq!(charge_disk("cache.write", 1), Some(FaultKind::DiskFull));
+        assert_eq!(charge_disk("cache.write", 50), None);
+        assert_eq!(env_snapshot().disk.2, 1, "recovery does not start an episode");
+        // Refilling starts a second episode.
+        assert_eq!(charge_disk("cache.write", 60), Some(FaultKind::DiskFull));
+        assert_eq!(env_snapshot().disk.2, 2);
+        clear();
+    }
+
+    #[test]
+    fn zero_capacity_disk_is_permanent() {
+        let _g = test_lock();
+        install(FaultPlan::new().with_disk(0, Some(2)));
+        for _ in 0..10 {
+            assert_eq!(charge_disk("metrics.write", 8), Some(FaultKind::DiskFull));
+        }
+        clear();
+    }
+
+    #[test]
+    fn fd_table_caps_and_releases() {
+        let _g = test_lock();
+        install(FaultPlan::new().with_fds(2, Some(100)));
+        assert_eq!(take_fd("serve.accept"), None);
+        assert_eq!(take_fd("serve.accept"), None);
+        assert_eq!(take_fd("serve.accept"), Some(FaultKind::FdExhausted));
+        release_fd();
+        assert_eq!(take_fd("serve.accept"), None, "a released fd can be retaken");
+        clear();
+    }
+
+    #[test]
+    fn alloc_watermark_denies_then_gcs() {
+        let _g = test_lock();
+        install(FaultPlan::new().with_alloc(1000, Some(1)));
+        assert_eq!(charge_alloc("alloc.unit", 900), None);
+        assert_eq!(charge_alloc("alloc.unit", 200), Some(FaultKind::AllocFail));
+        // gc_after=1: the single denial already freed the watermark.
+        assert_eq!(charge_alloc("alloc.unit", 200), None);
+        clear();
+    }
+
+    #[test]
+    fn env_charges_never_shift_rule_occurrences() {
+        let _g = test_lock();
+        // The same site is both a fault point and a disk charge; the
+        // charge must not consume `hits` occurrences.
+        install(
+            FaultPlan::parse("cache.write@2=io")
+                .unwrap()
+                .with_disk(1_000_000, None),
+        );
+        assert_eq!(charge_disk("cache.write", 10), None);
+        assert_eq!(charge_disk("cache.write", 10), None);
+        assert_eq!(hit("cache.write"), None);
+        assert_eq!(hit("cache.write"), Some(FaultKind::Io), "rule still fires on hit 2");
+        clear();
+    }
+
+    #[test]
+    fn env_clauses_parse_and_disabled_charges_are_free() {
+        let _g = test_lock();
+        let plan = FaultPlan::parse("disk:65536:8;fds:64;alloc:4096:2").unwrap();
+        assert!(!plan.is_empty(), "an env-only plan is not empty");
+        assert_eq!(plan.env.disk, Some((65536, 8)));
+        assert_eq!(plan.env.fds, Some((64, DEFAULT_ENV_GC_AFTER)));
+        assert_eq!(plan.env.alloc, Some((4096, 2)));
+        assert!(FaultPlan::parse("disk:notanumber").is_err());
+        assert!(FaultPlan::parse("fds:1:x").is_err());
+        // New kinds parse as explicit rules too.
+        let k = FaultPlan::parse("p@1=disk-full;q@1=fd-exhausted;r@1=alloc-fail").unwrap();
+        assert_eq!(k.rules.len(), 3);
+        clear();
+        assert_eq!(charge_disk("cache.write", u64::MAX), None);
+        assert_eq!(take_fd("serve.accept"), None);
+        assert_eq!(charge_alloc("alloc.unit", u64::MAX), None);
     }
 
     #[test]

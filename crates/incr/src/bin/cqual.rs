@@ -7,9 +7,9 @@
 //!       [--keep-going] [--jobs N] [--workers N]
 //!       [--worker-deadline-ms N] [--max-worker-respawns N]
 //!       [--cache-dir DIR] [--cache-stats] [--unit-deadline-ms N]
-//!       [--max-retries N] [--fault-plan SPEC] [--max-constraints N]
-//!       [--max-solver-steps N] [--max-fn-work N] [--connect SOCKET]
-//!       [--metrics PATH] [--metrics-summary] FILE...
+//!       [--max-retries N] [--memory-budget-mb N] [--fault-plan SPEC]
+//!       [--max-constraints N] [--max-solver-steps N] [--max-fn-work N]
+//!       [--connect SOCKET] [--metrics PATH] [--metrics-summary] FILE...
 //! ```
 //!
 //! * `--report` (default): the Table-2 style counts plus per-position
@@ -62,6 +62,12 @@
 //!   and solver loops) and exclude it like a budget-faulted unit.
 //! * `--max-retries N`: attempts after a transient cache I/O failure
 //!   (default 2).
+//! * `--memory-budget-mb N`: bound each analysis unit's gross heap
+//!   allocation to N MiB (measured by the tracking allocator,
+//!   DESIGN.md §18). A unit that overruns is excluded with a rendered
+//!   `memory budget exceeded` diagnostic, like a constraint-budget
+//!   fault — the rest of the program still gets counts, and the run
+//!   exits 1, never aborts.
 //! * `--fault-plan SPEC`: arm deterministic fault injection for chaos
 //!   testing (e.g. `cache.read@1=io` or `seed:42:150`); also settable
 //!   via `QUAL_FAULT_PLAN` / `QUAL_FAULT_SEED`. Injection is for
@@ -122,6 +128,13 @@ use qual_incr::proto::{AnalyzeReq, ReportFrame, PROTO_VERSION};
 use qual_incr::{analyze_source_incremental, serve, IncrConfig};
 use qual_solve::{Phase, SolveFailure};
 
+/// Route every heap allocation through the tracking allocator so
+/// `--memory-budget-mb` and the `mem.peak_bytes`/`mem.live_bytes`
+/// metrics see real numbers (the shim is two relaxed atomic ops per
+/// call when no budget is armed).
+#[global_allocator]
+static ALLOC: qual_obs::mem::TrackingAlloc = qual_obs::mem::TrackingAlloc;
+
 const USAGE: &str = "usage: cqual [--mode mono|poly|polyrec] [--report|--annotate|--rewrite]\n\
                      \x20            [--qual LIST] [--list-quals]\n\
                      \x20            [--verify] [--explain] [--keep-going] [--jobs N]\n\
@@ -129,7 +142,7 @@ const USAGE: &str = "usage: cqual [--mode mono|poly|polyrec] [--report|--annotat
                      \x20            [--max-worker-respawns N]\n\
                      \x20            [--cache-dir DIR] [--cache-stats]\n\
                      \x20            [--unit-deadline-ms N] [--max-retries N]\n\
-                     \x20            [--fault-plan SPEC]\n\
+                     \x20            [--memory-budget-mb N] [--fault-plan SPEC]\n\
                      \x20            [--max-constraints N] [--max-solver-steps N]\n\
                      \x20            [--max-fn-work N] [--connect SOCKET]\n\
                      \x20            [--metrics PATH]\n\
@@ -162,6 +175,8 @@ struct Config {
     cache_stats: bool,
     unit_deadline_ms: Option<u64>,
     max_retries: Option<u32>,
+    /// Per-unit gross allocation bound in MiB (`--memory-budget-mb`).
+    memory_budget_mb: Option<u64>,
     /// Where to write the invocation's JSON metrics document.
     metrics: Option<PathBuf>,
     /// Print the human metrics table after the report.
@@ -182,6 +197,7 @@ impl Config {
             || self.cache_stats
             || self.unit_deadline_ms.is_some()
             || self.max_retries.is_some()
+            || self.memory_budget_mb.is_some()
     }
 }
 
@@ -233,6 +249,7 @@ fn main() -> ExitCode {
         cache_stats: false,
         unit_deadline_ms: None,
         max_retries: None,
+        memory_budget_mb: None,
         metrics: None,
         metrics_summary: false,
         connect: None,
@@ -304,6 +321,12 @@ fn main() -> ExitCode {
                 Some(n) => cfg.max_retries = Some(n),
                 None => return usage(),
             },
+            "--memory-budget-mb" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => cfg.memory_budget_mb = Some(n),
+                    _ => return usage(),
+                }
+            }
             "--fault-plan" => match args.next() {
                 Some(spec) => match qual_faultpoint::FaultPlan::parse(&spec) {
                     Ok(plan) => qual_faultpoint::install(plan),
@@ -378,7 +401,7 @@ fn main() -> ExitCode {
     let mode = mode_name(cfg.mode);
     if let Some(path) = &cfg.metrics {
         let doc = report.to_json("cqual", mode);
-        if let Err(e) = std::fs::write(path, doc.render()) {
+        if let Err(e) = write_metrics_atomic(path, &doc.render()) {
             eprintln!("cqual: cannot write metrics to {}: {e}", path.display());
         }
     }
@@ -386,6 +409,51 @@ fn main() -> ExitCode {
         print!("{}", qual_obs::render_summary(&report, "cqual", mode));
     }
     code
+}
+
+/// Writes the metrics document via temp+rename so a monitoring reader
+/// never sees a torn file: a crash or a disk-full fault mid-write
+/// leaves either the previous complete document or nothing, never a
+/// prefix. The `metrics.write` fault point and the disk byte budget
+/// (`--fault-plan disk:CAP`) cover the write for chaos tests; metrics
+/// trouble stays on stderr and never changes the exit code.
+fn write_metrics_atomic(path: &std::path::Path, doc: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    match qual_faultpoint::hit("metrics.write") {
+        Some(qual_faultpoint::FaultKind::Panic) => {
+            panic!("injected panic at metrics.write")
+        }
+        Some(qual_faultpoint::FaultKind::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        Some(qual_faultpoint::FaultKind::DiskFull) => {
+            return Err(std::io::Error::other(
+                "injected disk full at metrics.write (ENOSPC)",
+            ));
+        }
+        Some(_) => {
+            return Err(std::io::Error::other("injected fault at metrics.write"));
+        }
+        None => {}
+    }
+    if qual_faultpoint::charge_disk("metrics.write", doc.len() as u64).is_some() {
+        return Err(std::io::Error::other(
+            "injected disk full at metrics.write (ENOSPC)",
+        ));
+    }
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let written = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(doc.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if written.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    written
 }
 
 fn mode_name(mode: Mode) -> &'static str {
@@ -627,6 +695,7 @@ fn incr_config(cfg: &Config) -> IncrConfig {
         jobs: cfg.jobs.unwrap_or(1),
         cache_dir: cfg.cache_dir.clone(),
         unit_deadline_ms: cfg.unit_deadline_ms,
+        memory_budget_mb: cfg.memory_budget_mb,
         max_retries: cfg.max_retries.unwrap_or(defaults.max_retries),
         workers: cfg.workers.unwrap_or(0),
         worker_deadline_ms: cfg

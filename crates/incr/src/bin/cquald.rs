@@ -6,6 +6,7 @@
 //!        [--jobs N] [--max-inflight N] [--queue-cap N]
 //!        [--request-deadline-ms N] [--read-timeout-ms N]
 //!        [--idle-timeout-ms N] [--drain-deadline-ms N]
+//!        [--memory-budget-mb N]
 //! ```
 //!
 //! The daemon holds one analysis session resident (the QINC cache
@@ -26,12 +27,19 @@ use std::process::ExitCode;
 use qual_constinfer::Mode;
 use qual_incr::serve::{run, ServeConfig};
 
+/// The daemon is long-lived, so the tracking allocator matters most
+/// here: it feeds the `mem.peak_bytes`/`mem.live_bytes` gauges the
+/// soak harness bounds and arms `--memory-budget-mb` per unit.
+#[global_allocator]
+static ALLOC: qual_obs::mem::TrackingAlloc = qual_obs::mem::TrackingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cquald --socket PATH [--cache-dir DIR] [--mode mono|poly|polyrec]\n\
          \x20             [--jobs N] [--max-inflight N] [--queue-cap N]\n\
          \x20             [--request-deadline-ms N] [--read-timeout-ms N]\n\
-         \x20             [--idle-timeout-ms N] [--drain-deadline-ms N]"
+         \x20             [--idle-timeout-ms N] [--drain-deadline-ms N]\n\
+         \x20             [--memory-budget-mb N]"
     );
     ExitCode::from(2)
 }
@@ -93,6 +101,12 @@ fn main() -> ExitCode {
                 match args.next().and_then(|v| v.parse().ok()) {
                     Some(n) => cfg.drain_deadline_ms = n,
                     None => return usage(),
+                }
+            }
+            "--memory-budget-mb" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => cfg.incr.memory_budget_mb = Some(n),
+                    _ => return usage(),
                 }
             }
             "--help" | "-h" => {

@@ -47,6 +47,7 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use qual_constinfer::summary::FORMAT_VERSION;
@@ -234,6 +235,11 @@ pub fn store(
     loop {
         match store_once(dir, key, payload, generation) {
             Ok(()) => return Ok(attempt),
+            // A full disk is not transient at retry timescales:
+            // retrying ENOSPC burns backoff sleeps for nothing. Fail
+            // fast; the driver's degrade path re-probes on the *next*
+            // store instead.
+            Err(e) if is_disk_full(&e) => return Err(e),
             Err(e) if attempt < policy.max_retries => {
                 attempt += 1;
                 std::thread::sleep(RetryPolicy::backoff(attempt));
@@ -241,6 +247,89 @@ pub fn store(
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+/// Whether an I/O error means "the disk is full" (real ENOSPC or the
+/// injected environment fault).
+#[must_use]
+pub fn is_disk_full(e: &std::io::Error) -> bool {
+    e.raw_os_error() == Some(28) || is_disk_full_msg(&e.to_string())
+}
+
+/// Message-level ENOSPC classification, for errors that crossed a
+/// process or wire boundary as strings (worker Done frames).
+#[must_use]
+pub fn is_disk_full_msg(msg: &str) -> bool {
+    msg.contains("ENOSPC") || msg.contains("No space left on device")
+}
+
+/// The cache's disk-full degrade state: a latch that turns a stream of
+/// ENOSPC store failures into *one* structured diagnostic per episode,
+/// and a heal note when space returns. Every store attempt doubles as
+/// the re-probe — there is no timer; the first store that succeeds
+/// after a degrade flips the latch back.
+#[derive(Debug, Default)]
+pub struct Health {
+    inner: Mutex<HealthState>,
+}
+
+#[derive(Debug, Default)]
+struct HealthState {
+    degraded: bool,
+    episodes: u64,
+}
+
+impl Health {
+    /// A healthy tracker.
+    #[must_use]
+    pub fn new() -> Health {
+        Health::default()
+    }
+
+    /// Records a disk-full store failure. Returns the one-per-episode
+    /// diagnostic on the healthy→degraded transition, `None` while the
+    /// episode is already underway.
+    pub fn note_disk_full(&self) -> Option<String> {
+        let mut st = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.degraded {
+            return None;
+        }
+        st.degraded = true;
+        st.episodes += 1;
+        Some(
+            "cache: disk full (ENOSPC); continuing uncached until space returns"
+                .to_owned(),
+        )
+    }
+
+    /// Records a successful store. Returns the heal note on the
+    /// degraded→healthy transition, `None` in steady healthy state.
+    pub fn note_store_ok(&self) -> Option<String> {
+        let mut st = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !st.degraded {
+            return None;
+        }
+        st.degraded = false;
+        Some("cache: disk space returned; caching resumed".to_owned())
+    }
+
+    /// Whether the cache is currently in a disk-full degrade episode.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .degraded
+    }
+
+    /// Degrade episodes begun since this tracker was created.
+    #[must_use]
+    pub fn episodes(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .episodes
     }
 }
 
@@ -287,7 +376,20 @@ fn store_once(
             ));
         }
         Some(FaultKind::Panic) => panic!("injected panic at cache.write"),
+        Some(FaultKind::DiskFull) => {
+            return Err(std::io::Error::other(
+                "injected disk full at cache.write (ENOSPC)",
+            ));
+        }
         _ => {}
+    }
+    // Environment machine: the simulated disk charges the whole
+    // container. Explicit rules above win; a full disk denies *before*
+    // the temp file exists, exactly like a real ENOSPC on create.
+    if qual_faultpoint::charge_disk("cache.write", bytes.len() as u64).is_some() {
+        return Err(std::io::Error::other(
+            "injected disk full at cache.write (ENOSPC)",
+        ));
     }
 
     let write_tmp = (|| -> std::io::Result<()> {

@@ -117,6 +117,13 @@ pub struct IncrConfig {
     /// Total worker respawns allowed per run (with exponential backoff)
     /// before the pool gives up and the run degrades to in-process.
     pub max_worker_respawns: u32,
+    /// Per-unit memory budget in MiB (`--memory-budget-mb`). A unit
+    /// whose gross allocation exceeds it is quarantined with a
+    /// structured diagnostic — the rollback-and-exclude path a
+    /// solver-step overrun takes — instead of aborting the process.
+    /// Only enforced in binaries that install the
+    /// [`qual_obs::mem::TrackingAlloc`] shim; `None` disables it.
+    pub memory_budget_mb: Option<u64>,
 }
 
 impl Default for IncrConfig {
@@ -135,6 +142,7 @@ impl Default for IncrConfig {
             worker_deadline_ms: 1000,
             steal_after_ms: 200,
             max_worker_respawns: 4,
+            memory_budget_mb: None,
         }
     }
 }
@@ -257,6 +265,8 @@ pub(crate) struct UnitCtx<'a> {
     /// This session's cache generation (stamped into stored entries).
     pub(crate) generation: u64,
     pub(crate) policy: RetryPolicy,
+    /// Disk-full degrade latch (retry suppression while degraded).
+    pub(crate) health: &'a cache::Health,
 }
 
 /// One unit's dispatch record for a wavefront: the global plan index
@@ -544,6 +554,10 @@ pub struct Driver {
     lock_wait_ms: u64,
     lock_steals: u32,
     session_diag: Option<String>,
+    /// Disk-full degrade latch, shared by every analysis in the
+    /// session: one diagnostic per ENOSPC episode, a heal note when
+    /// space returns, and retry suppression while degraded.
+    cache_health: cache::Health,
 }
 
 impl Driver {
@@ -562,6 +576,7 @@ impl Driver {
             lock_wait_ms: 0,
             lock_steals: 0,
             session_diag: None,
+            cache_health: cache::Health::new(),
         };
         if let Some(dir) = &cfg.cache_dir {
             // The session opens on the driver thread, outside any worker
@@ -591,6 +606,19 @@ impl Driver {
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Whether the session's cache is currently in a disk-full degrade
+    /// episode (analyses continue uncached until space returns).
+    #[must_use]
+    pub fn cache_degraded(&self) -> bool {
+        self.cache_health.degraded()
+    }
+
+    /// Disk-full degrade episodes begun this session.
+    #[must_use]
+    pub fn cache_degrade_episodes(&self) -> u64 {
+        self.cache_health.episodes()
     }
 
     /// Analyzes one source under the session's own configuration.
@@ -655,6 +683,7 @@ fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutco
         cfg,
         generation,
         policy,
+        health: &driver.cache_health,
     };
 
     // Process sharding: spawn the worker pool up front so workers can
@@ -690,6 +719,12 @@ fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutco
         }
         if ex.stored {
             stats.stored += 1;
+            // A successful store is the degrade re-probe: the first one
+            // after an ENOSPC episode flips the latch back with a heal
+            // note.
+            if let Some(heal) = driver.cache_health.note_store_ok() {
+                cache_diags.push(Diagnostic::warning(Phase::Infer, heal));
+            }
         }
         stats.retries += ex.retries;
         if ex.quarantined {
@@ -706,10 +741,24 @@ fn analyze_in_session(driver: &Driver, src: &str, cfg: &IncrConfig) -> IncrOutco
             ));
         }
         if let Some(msg) = ex.store_err {
-            cache_diags.push(Diagnostic::warning(
-                Phase::Infer,
-                format!("cache: unit `{}`: store failed: {msg}", plans[unit_idx].label),
-            ));
+            if cache::is_disk_full_msg(&msg) {
+                // Structured cacheless degrade: exactly one diagnostic
+                // per episode, not one per missed store. Worker-process
+                // store errors arrive as strings, so classify by
+                // message.
+                qual_obs::count("cache.enospc_stores", 1);
+                if let Some(d) = driver.cache_health.note_disk_full() {
+                    cache_diags.push(Diagnostic::warning(Phase::Infer, d));
+                }
+            } else {
+                cache_diags.push(Diagnostic::warning(
+                    Phase::Infer,
+                    format!(
+                        "cache: unit `{}`: store failed: {msg}",
+                        plans[unit_idx].label
+                    ),
+                ));
+            }
         }
         // Per-unit metrics: the `analysis.*` counters come from the
         // summary itself, which is exactly what the cache stores — so
@@ -998,6 +1047,10 @@ fn record_run_metrics(
     qual_obs::count("cache.lock_wait_ms", stats.lock_wait_ms);
     qual_obs::count("cache.lock_steals", u64::from(stats.lock_steals));
     qual_obs::peak("cache.generation", stats.generation);
+    // Allocator gauges (zero unless the binary installs the tracking
+    // allocator shim): operational, never part of the fingerprint.
+    qual_obs::peak("mem.peak_bytes", qual_obs::mem::peak_bytes());
+    qual_obs::peak("mem.live_bytes", qual_obs::mem::live_bytes());
 }
 
 /// Renders the exact three `--cache-stats` lines from a metrics report,
@@ -1117,6 +1170,30 @@ pub(crate) fn run_supervised(
         .cfg
         .unit_deadline_ms
         .map(qual_faultpoint::cancel::deadline_after_ms);
+    // Per-unit memory budget: the engine's work-accounting loop polls
+    // the armed budget and unwinds an overrun through the same
+    // rollback-and-exclude path as a solver-step overrun. (Only bites
+    // in binaries that install the tracking allocator.)
+    let _mem_budget = ctx
+        .cfg
+        .memory_budget_mb
+        .map(|mb| qual_obs::mem::unit_budget(mb.saturating_mul(1 << 20)));
+    // Environment machine: a unit's up-front allocation charge (a
+    // nominal 1 MiB arena reservation — the machine models watermark
+    // *pressure*, not exact footprints). A denial quarantines the unit
+    // exactly like an overrun would.
+    if qual_faultpoint::charge_alloc("alloc.unit", 1 << 20).is_some() {
+        return Executed {
+            summary: quarantine_summary(plan, "allocator watermark exceeded (injected)"),
+            reused: false,
+            corrupt: None,
+            stored: false,
+            store_err: None,
+            retries: 0,
+            quarantined: true,
+            metrics: qual_obs::Report::default(),
+        };
+    }
     let run = || match catch_unwind(AssertUnwindSafe(|| {
         execute_one(ctx, plan, schemes, failed)
     })) {
@@ -1225,12 +1302,20 @@ fn execute_one(
         // Only certified summaries are worth persisting: an entry the
         // verifier would reject on load is a guaranteed future miss.
         if summary.cert.is_some() {
+            // While the disk is full every store is a single cheap
+            // re-probe, not a retried write: the episode already has
+            // its diagnostic, and backoff sleeps buy nothing.
+            let policy = if ctx.health.degraded() {
+                RetryPolicy { max_retries: 0 }
+            } else {
+                ctx.policy
+            };
             match cache::store(
                 dir,
                 &plan.key,
                 &encode_summary(&summary),
                 ctx.generation,
-                ctx.policy,
+                policy,
             ) {
                 Ok(store_retries) => {
                     stored = true;

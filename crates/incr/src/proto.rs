@@ -74,7 +74,10 @@ use qual_constinfer::Mode;
 ///
 /// v2: Hello and Analyze carry the qualifier list (`--qual`), and
 /// Report frames carry per-qualifier count columns.
-pub const PROTO_VERSION: u32 = 2;
+/// v3: Hello carries the per-unit memory budget (`--memory-budget-mb`),
+/// so workers quarantine an allocation overrun exactly like the
+/// coordinator would.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Upper bound on a frame payload (64 MiB) — far above any real
 /// summary, low enough that a garbled length field cannot provoke an
@@ -269,6 +272,8 @@ pub struct Hello {
     pub generation: u64,
     /// How often the worker must emit Heartbeat frames, in ms.
     pub heartbeat_ms: u64,
+    /// Per-unit memory budget in MiB; 0 means unlimited.
+    pub memory_budget_mb: u64,
 }
 
 /// An Analyze/Reanalyze request: everything the daemon needs to run
@@ -559,6 +564,7 @@ fn encode_payload(frame: &Frame) -> (u32, Vec<u8>) {
             put_u32(&mut buf, h.max_retries);
             put_u64(&mut buf, h.generation);
             put_u64(&mut buf, h.heartbeat_ms);
+            put_u64(&mut buf, h.memory_budget_mb);
             (KIND_HELLO, buf)
         }
         Frame::Exec { unit, imports } => {
@@ -690,6 +696,7 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
             let max_retries = t.u32()?;
             let generation = t.u64()?;
             let heartbeat_ms = t.u64()?;
+            let memory_budget_mb = t.u64()?;
             Frame::Hello(Box::new(Hello {
                 version,
                 src,
@@ -705,6 +712,7 @@ fn decode_payload(kind: u32, payload: &[u8]) -> Result<Frame, ProtoError> {
                 max_retries,
                 generation,
                 heartbeat_ms,
+                memory_budget_mb,
             }))
         }
         KIND_EXEC => {
@@ -867,7 +875,21 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), ProtoError> 
                 return write_raw(w, kind, checksum ^ 0x5a5a, &payload);
             }
         }
+        Some(qual_faultpoint::FaultKind::DiskFull) => {
+            return Err(ProtoError::Io(std::io::Error::other(
+                "injected disk full at proto.write (ENOSPC)",
+            )));
+        }
         _ => {}
+    }
+    // Environment machine: a socket/pipe write can hit ENOSPC too when
+    // the transport is file-backed; charge the whole frame.
+    if qual_faultpoint::charge_disk("proto.write", (HEADER + payload.len()) as u64)
+        .is_some()
+    {
+        return Err(ProtoError::Io(std::io::Error::other(
+            "injected disk full at proto.write (ENOSPC)",
+        )));
     }
     write_raw(w, kind, checksum, &payload)
 }
@@ -993,6 +1015,7 @@ mod tests {
             max_retries: 3,
             generation: 42,
             heartbeat_ms: 50,
+            memory_budget_mb: 256,
         };
         match round_trip(&Frame::Hello(Box::new(hello.clone()))) {
             Frame::Hello(h) => assert_eq!(*h, hello),
@@ -1164,6 +1187,7 @@ mod tests {
                 max_retries: 1,
                 generation: 6,
                 heartbeat_ms: 40,
+                memory_budget_mb: 0,
             })),
             Frame::Exec {
                 unit: 2,

@@ -74,6 +74,12 @@ const FALLBACK_WAIT_MS: u64 = 60_000;
 const WAIT_GRACE_MS: u64 = 2_000;
 /// Poll quantum for idle waits (first byte, accept loop, drain).
 const POLL_MS: u64 = 50;
+/// Ceiling on the accept loop's EMFILE backoff (starts at `POLL_MS`,
+/// doubles per consecutive refusal).
+const EMFILE_BACKOFF_CAP_MS: u64 = 400;
+/// How long admission keeps shedding after an fd-table refusal; long
+/// enough for in-flight connections to close and return descriptors.
+const FD_PRESSURE_WINDOW_MS: u64 = 500;
 /// How long an unclaimed `<socket>.lock` may sit unchanged before a
 /// starting daemon steals the socket (override: `QUAL_SERVE_LOCK_STALE_MS`).
 const SOCKET_LOCK_STALE_AFTER: Duration = Duration::from_secs(5);
@@ -269,6 +275,9 @@ struct ServeStats {
     conns_closed: AtomicU64,
     conn_panics: AtomicU64,
     socket_stolen: AtomicU64,
+    /// Connections refused because the fd table was exhausted (real
+    /// EMFILE from accept(2) or an injected `fds:` budget denial).
+    accept_emfile: AtomicU64,
 }
 
 /// One admitted analysis request; dedup attaches extra waiters.
@@ -332,6 +341,13 @@ struct Shared {
     inflight: AtomicU32,
     /// Milliseconds the most recent job took; seeds overload hints.
     last_service_ms: AtomicU64,
+    /// Process-relative clock base for the fd-pressure window (an
+    /// `Instant` cannot live in an atomic, so the window is stored as
+    /// milliseconds on this clock).
+    started: Instant,
+    /// Millis on `started`'s clock until which admission sheds load
+    /// because the fd table was exhausted; 0 means no pressure.
+    fd_pressure_until_ms: AtomicU64,
 }
 
 fn begin_drain(shared: &Shared) {
@@ -433,6 +449,8 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         hard_stop: AtomicBool::new(false),
         inflight: AtomicU32::new(0),
         last_service_ms: AtomicU64::new(0),
+        started: Instant::now(),
+        fd_pressure_until_ms: AtomicU64::new(0),
     });
     if stolen {
         shared.stats.socket_stolen.store(1, Ordering::SeqCst);
@@ -464,11 +482,47 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
 // Accept loop and supervised connections
 // ---------------------------------------------------------------------------
 
+/// Records one fd-table refusal: bumps counters, opens the admission
+/// pressure window, and returns how long the accept loop should back
+/// off (exponential on the consecutive-refusal streak, bounded so a
+/// recovering fd table is noticed within half a second).
+fn note_fd_pressure(shared: &Shared, streak: u32) -> Duration {
+    shared.stats.accept_emfile.fetch_add(1, Ordering::SeqCst);
+    qual_obs::count("serve.accept_emfile", 1);
+    let now_ms = shared.started.elapsed().as_millis() as u64;
+    shared
+        .fd_pressure_until_ms
+        .store(now_ms + FD_PRESSURE_WINDOW_MS, Ordering::SeqCst);
+    Duration::from_millis((POLL_MS << streak.min(3)).min(EMFILE_BACKOFF_CAP_MS))
+}
+
+/// Whether the fd-pressure window opened by [`note_fd_pressure`] is
+/// still running; while it is, admission sheds with `Overloaded`
+/// instead of queueing work whose reply may have no descriptor to
+/// travel over.
+fn under_fd_pressure(shared: &Shared) -> bool {
+    let until = shared.fd_pressure_until_ms.load(Ordering::SeqCst);
+    until != 0 && (shared.started.elapsed().as_millis() as u64) < until
+}
+
 fn accept_loop(shared: &Arc<Shared>, listener: &UnixListener) {
     let mut incarnation = 0u64;
+    let mut emfile_streak = 0u32;
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if qual_faultpoint::take_fd("serve.accept").is_some() {
+                    // Injected fd-table exhaustion: the kernel would
+                    // have refused this descriptor with EMFILE, so the
+                    // connection is shed and the loop backs off exactly
+                    // as the real-EMFILE arm below does.
+                    drop(stream);
+                    let pause = note_fd_pressure(shared, emfile_streak);
+                    emfile_streak = emfile_streak.saturating_add(1);
+                    thread::sleep(pause);
+                    continue;
+                }
+                emfile_streak = 0;
                 incarnation += 1;
                 // Per-connection setup is supervised: a panic here
                 // (e.g. the `serve.accept` fault) costs one connection,
@@ -478,10 +532,25 @@ fn accept_loop(shared: &Arc<Shared>, listener: &UnixListener) {
                         Some(FaultKind::Panic) => {
                             panic!("injected panic at serve.accept (conn {incarnation})")
                         }
-                        Some(FaultKind::Io | FaultKind::ShortWrite | FaultKind::Garbage) => {
+                        Some(
+                            FaultKind::Io
+                            | FaultKind::ShortWrite
+                            | FaultKind::Garbage
+                            | FaultKind::DiskFull
+                            | FaultKind::AllocFail,
+                        ) => {
                             // The connection is dropped on the floor, as
                             // a failed accept(2) would.
                             qual_obs::count("serve.accept_faults", 1);
+                            qual_faultpoint::release_fd();
+                        }
+                        Some(FaultKind::FdExhausted) => {
+                            // Rule-injected EMFILE (`serve.accept@N=
+                            // fd-exhausted`): shed and open the pressure
+                            // window like a charge-based denial.
+                            qual_obs::count("serve.accept_faults", 1);
+                            qual_faultpoint::release_fd();
+                            let _ = note_fd_pressure(shared, 0);
                         }
                         Some(FaultKind::Delay(_)) | None => {
                             spawn_conn(shared, stream, incarnation);
@@ -491,7 +560,18 @@ fn accept_loop(shared: &Arc<Shared>, listener: &UnixListener) {
                 .is_err();
                 if panicked {
                     shared.stats.conn_panics.fetch_add(1, Ordering::SeqCst);
+                    // The stream died inside the supervised block, so
+                    // its descriptor is already back.
+                    qual_faultpoint::release_fd();
                 }
+            }
+            Err(e) if e.raw_os_error() == Some(24) => {
+                // Real EMFILE: the process is out of descriptors. Shed
+                // with bounded exponential backoff until connections
+                // close and the table drains; never spin, never die.
+                let pause = note_fd_pressure(shared, emfile_streak);
+                emfile_streak = emfile_streak.saturating_add(1);
+                thread::sleep(pause);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(POLL_MS / 2 + 1));
@@ -527,11 +607,13 @@ fn spawn_conn(shared: &Arc<Shared>, stream: UnixStream, incarnation: u64) {
             }
             let _ = stream.shutdown(std::net::Shutdown::Both);
             unregister_conn(&sh, incarnation);
+            qual_faultpoint::release_fd();
         });
     if spawned.is_err() {
         // Thread exhaustion: shed this connection, keep serving.
         shared.stats.errors.fetch_add(1, Ordering::SeqCst);
         unregister_conn(shared, incarnation);
+        qual_faultpoint::release_fd();
     }
 }
 
@@ -622,7 +704,14 @@ fn run_conn(shared: &Shared, stream: &UnixStream, incarnation: u64) {
             Some(FaultKind::Panic) => {
                 panic!("injected panic at serve.read (conn {incarnation})")
             }
-            Some(FaultKind::Io | FaultKind::ShortWrite | FaultKind::Garbage) => {
+            Some(
+                FaultKind::Io
+                | FaultKind::ShortWrite
+                | FaultKind::Garbage
+                | FaultKind::DiskFull
+                | FaultKind::FdExhausted
+                | FaultKind::AllocFail,
+            ) => {
                 qual_obs::count("serve.read_faults", 1);
                 return;
             }
@@ -666,7 +755,14 @@ fn run_conn(shared: &Shared, stream: &UnixStream, incarnation: u64) {
 fn write_reply(stream: &UnixStream, frame: &Frame) -> Result<(), ()> {
     match qual_faultpoint::hit("serve.write") {
         Some(FaultKind::Panic) => panic!("injected panic at serve.write"),
-        Some(FaultKind::Io | FaultKind::ShortWrite | FaultKind::Garbage) => {
+        Some(
+            FaultKind::Io
+            | FaultKind::ShortWrite
+            | FaultKind::Garbage
+            | FaultKind::DiskFull
+            | FaultKind::FdExhausted
+            | FaultKind::AllocFail,
+        ) => {
             qual_obs::count("serve.write_faults", 1);
             return Err(());
         }
@@ -775,6 +871,16 @@ fn serve_analyze(shared: &Shared, req: AnalyzeReq, fresh: bool) -> Frame {
             warm.warm = true;
             return Frame::Report(Box::new(warm));
         }
+    }
+    if under_fd_pressure(shared) {
+        // The fd table just refused a connection: queueing more work
+        // now only deepens the backlog while replies may have no
+        // descriptor to travel over. Shed with the same structured
+        // Overloaded the full queue uses; the window closes by itself.
+        shared.stats.shed.fetch_add(1, Ordering::SeqCst);
+        qual_obs::count("serve.shed", 1);
+        let depth = lock(&shared.queue).jobs.len();
+        return overloaded_reply(shared, depth);
     }
     let deadline_ms = req.deadline_ms.or(shared.cfg.request_deadline_ms);
     let job = {
@@ -909,7 +1015,14 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn execute_job(shared: &Shared, job: &Job) -> Result<Arc<ReportFrame>, String> {
     match qual_faultpoint::hit("serve.session") {
         Some(FaultKind::Panic) => panic!("injected panic at serve.session"),
-        Some(FaultKind::Io | FaultKind::ShortWrite | FaultKind::Garbage) => {
+        Some(
+            FaultKind::Io
+            | FaultKind::ShortWrite
+            | FaultKind::Garbage
+            | FaultKind::DiskFull
+            | FaultKind::FdExhausted
+            | FaultKind::AllocFail,
+        ) => {
             return Err(
                 "injected session fault at serve.session; retry or run in process"
                     .to_owned(),
@@ -1021,6 +1134,7 @@ fn stats_pairs(shared: &Shared) -> Vec<(String, u64)> {
             u64::from(shared.inflight.load(Ordering::SeqCst)),
         ),
         ("serve.generation", shared.driver.generation()),
+        ("serve.accept_emfile", load(&s.accept_emfile)),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_owned(), v))

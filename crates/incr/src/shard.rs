@@ -222,6 +222,7 @@ impl Pool {
             max_retries: cfg.max_retries,
             generation,
             heartbeat_ms: (deadline_ms / 8).clamp(5, 250),
+            memory_budget_mb: cfg.memory_budget_mb.unwrap_or(0),
         };
         let (tx, rx) = mpsc::channel();
         let mut pool = Pool {
@@ -814,6 +815,7 @@ pub fn worker_main() -> i32 {
         cache_dir: hello.cache_dir.clone(),
         unit_deadline_ms: hello.unit_deadline_ms,
         max_retries: hello.max_retries,
+        memory_budget_mb: (hello.memory_budget_mb > 0).then_some(hello.memory_budget_mb),
         ..IncrConfig::default()
     };
     let planned = plan_units(&hello.src, &cfg);
@@ -828,6 +830,10 @@ pub fn worker_main() -> i32 {
         }
     }
 
+    // Per-process degrade latch: the coordinator's absorb path dedups
+    // ENOSPC diagnostics across workers; this one only suppresses
+    // store retries inside this worker once its own disk looks full.
+    let health = crate::cache::Health::new();
     let ctx = UnitCtx {
         prog: &planned.program,
         sema: &planned.sema,
@@ -837,6 +843,7 @@ pub fn worker_main() -> i32 {
         policy: RetryPolicy {
             max_retries: hello.max_retries,
         },
+        health: &health,
     };
     loop {
         match proto::read_frame(&mut input) {
@@ -850,6 +857,19 @@ pub fn worker_main() -> i32 {
                 // execution instead of killing the worker.
                 let ex =
                     run_supervised(&ctx, plan, &imports.schemes, &imports.failed);
+                // Keep the local degrade latch current (the transition
+                // notes are discarded: the coordinator owns the
+                // deduplicated diagnostics; this latch only gates
+                // store-retry suppression in this process).
+                if ex.stored {
+                    let _ = health.note_store_ok();
+                } else if ex
+                    .store_err
+                    .as_deref()
+                    .is_some_and(crate::cache::is_disk_full_msg)
+                {
+                    let _ = health.note_disk_full();
+                }
                 let done = DoneFrame {
                     unit,
                     reused: ex.reused,

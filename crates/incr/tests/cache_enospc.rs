@@ -1,0 +1,271 @@
+//! Property tests for the disk-full (ENOSPC) degrade path: with the
+//! simulated disk filling up at *any* byte offset in the store stream,
+//! the driver must
+//!
+//! 1. never publish a torn cache entry — a denied store leaves the
+//!    published set exactly as it was (temp + rename, deny-on-create);
+//! 2. report exactly one structured diagnostic per degrade episode —
+//!    a stream of failed stores is one "disk full" warning, and two
+//!    "disk full" warnings always have a "caching resumed" heal note
+//!    between them (every store doubles as the re-probe);
+//! 3. keep the analysis result byte-for-byte identical to a cold run —
+//!    a full disk costs caching, never correctness;
+//! 4. self-heal on the first post-recovery store: once space returns,
+//!    the next run back-fills only the missing entries and the run
+//!    after that is fully warm with no diagnostics.
+//!
+//! Fault plans are process-global, so every test serializes on
+//! `qual_faultpoint::test_lock()` and clears the plan before asserting.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use qual_faultpoint::FaultPlan;
+use qual_incr::{analyze_source_incremental, IncrConfig, IncrOutcome};
+
+const SRC: &str = "int leaf(const char *s) { return *s; }
+int mid(char *p) { return leaf(p); }
+char *id(char *q) { return q; }
+void user(char *b) { *id(b) = 'x'; mid(b); }
+int lone(int *n) { return *n + 1; }
+int twice(int *m) { return lone(m) + lone(m); }";
+
+const DEGRADE: &str =
+    "cache: disk full (ENOSPC); continuing uncached until space returns";
+const HEAL: &str = "cache: disk space returned; caching resumed";
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "qinc-enospc-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn run(dir: &Path) -> IncrOutcome {
+    analyze_source_incremental(
+        SRC,
+        &IncrConfig {
+            cache_dir: Some(dir.to_path_buf()),
+            ..IncrConfig::default()
+        },
+    )
+}
+
+fn entries(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.map(|e| e.expect("readable entry").path())
+                .filter(|p| p.extension().is_some_and(|x| x == "qinc"))
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+/// Stray temp files in the cache dir — a denied or failed store must
+/// clean its temp up, so the set is empty at every quiescent point.
+fn tmp_litter(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.map(|e| e.expect("readable entry").path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.contains(".tmp-"))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The analysis result that must survive any amount of disk pressure.
+fn check_matches_cold(out: &IncrOutcome, cold: &IncrOutcome) {
+    assert_eq!(out.counts, cold.counts);
+    assert_eq!(out.skipped.len(), cold.skipped.len());
+    assert_eq!(
+        out.positions
+            .iter()
+            .map(|p| (p.label(), p.class))
+            .collect::<Vec<_>>(),
+        cold.positions
+            .iter()
+            .map(|p| (p.label(), p.class))
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Projects the run's cache diagnostics onto the degrade/heal alphabet,
+/// panicking on anything else: disk pressure must produce exactly the
+/// two structured notes, never ad-hoc per-store noise.
+fn degrade_sequence(out: &IncrOutcome) -> Vec<char> {
+    out.cache_diags
+        .iter()
+        .map(|d| match d.message.as_str() {
+            DEGRADE => 'D',
+            HEAL => 'H',
+            other => panic!("unexpected diagnostic under ENOSPC: {other}"),
+        })
+        .collect()
+}
+
+/// One diagnostic per episode means the sequence is `D`, `DH`, `DHD`,
+/// ... — it starts with a degrade and strictly alternates.
+fn assert_alternates(seq: &[char]) {
+    for (i, pair) in seq.windows(2).enumerate() {
+        assert_ne!(
+            pair[0], pair[1],
+            "repeated {:?} at diag {i}: {seq:?} — more than one \
+             diagnostic for a single episode",
+            pair[0]
+        );
+    }
+    if let Some(first) = seq.first() {
+        assert_eq!(*first, 'D', "heal note without a preceding degrade");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sweeps the simulated disk capacity across the whole container
+    /// byte range — 0 (permanently full) through every mid-entry fill
+    /// point up to "never fills" — with a seeded gc interval, and pins
+    /// the four properties above at each offset.
+    #[test]
+    fn enospc_at_any_fill_point_is_one_diag_per_episode_and_self_heals(
+        cap_salt in any::<u64>(),
+        gc in 1u64..4,
+    ) {
+        let _guard = qual_faultpoint::test_lock();
+
+        // Fault-free baseline: the result every faulted run must still
+        // produce, and the byte budget the capacity sweep covers.
+        qual_faultpoint::install(FaultPlan::new());
+        let base_dir = scratch("base");
+        let cold = run(&base_dir);
+        prop_assert!(cold.cache_diags.is_empty(), "{:?}", cold.cache_diags);
+        let unit_entries = entries(&base_dir).len();
+        let total: u64 = entries(&base_dir)
+            .iter()
+            .map(|p| std::fs::metadata(p).expect("entry metadata").len())
+            .sum();
+        let _ = std::fs::remove_dir_all(&base_dir);
+        prop_assert!(unit_entries > 0);
+
+        let cap = cap_salt % (total + 1);
+        let dir = scratch("sweep");
+        qual_faultpoint::install(FaultPlan::new().with_disk(cap, Some(gc)));
+        let out = run(&dir);
+        let snap = qual_faultpoint::env_snapshot();
+        qual_faultpoint::install(FaultPlan::new());
+
+        // Correctness is untouched at every fill point.
+        check_matches_cold(&out, &cold);
+        prop_assert_eq!(out.stats.corrupt, 0);
+
+        // One diagnostic per episode: degrade/heal strictly alternate,
+        // and the driver never sees more episodes than the machine
+        // began. (It may see fewer: with a capacity below the smallest
+        // entry the machine cycles gc-reset → deny → new episode while
+        // the driver's latch stays degraded the whole time.)
+        let seq = degrade_sequence(&out);
+        assert_alternates(&seq);
+        let degrades = seq.iter().filter(|c| **c == 'D').count() as u64;
+        let (_, _, episodes) = (snap.disk.0, snap.disk.1, snap.disk.2);
+        prop_assert!(
+            degrades <= episodes,
+            "driver reported {degrades} degrade(s), machine began {episodes}"
+        );
+        prop_assert_eq!(
+            degrades > 0,
+            episodes > 0,
+            "degrade diags and machine episodes must agree on whether \
+             the disk ever filled (cap {} of {} total)", cap, total
+        );
+        if cap >= total {
+            prop_assert!(seq.is_empty(), "disk never filled: {seq:?}");
+        }
+
+        // Never a torn entry, never temp litter: everything published
+        // is whole, everything denied left nothing behind.
+        let published = entries(&dir).len();
+        prop_assert!(tmp_litter(&dir).is_empty(), "{:?}", tmp_litter(&dir));
+        prop_assert_eq!(out.stats.stored, published);
+        prop_assert!(published <= unit_entries);
+
+        // Space returns (plan cleared): the first recovery run trusts
+        // every published entry (zero corrupt — nothing torn), back-
+        // fills exactly the missing ones, and reports nothing.
+        let healed = run(&dir);
+        check_matches_cold(&healed, &cold);
+        prop_assert_eq!(healed.stats.corrupt, 0, "published entry was torn");
+        prop_assert_eq!(healed.stats.analyzed, unit_entries - published);
+        prop_assert_eq!(healed.stats.stored, unit_entries - published);
+        prop_assert!(healed.cache_diags.is_empty(), "{:?}", healed.cache_diags);
+
+        // ... after which the cache is fully warm again: the degrade
+        // episode cost at most one back-fill run, nothing lingers.
+        let warm = run(&dir);
+        check_matches_cold(&warm, &cold);
+        prop_assert_eq!(warm.stats.analyzed, 0);
+        prop_assert!(warm.cache_diags.is_empty(), "{:?}", warm.cache_diags);
+        prop_assert_eq!(entries(&dir).len(), unit_entries);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Explicit-rule flavor: a single injected ENOSPC at the K-th store
+    /// is exactly one episode — one degrade note, a heal note if and
+    /// only if a later store re-probed successfully, one missing entry,
+    /// healed by the next run.
+    #[test]
+    fn single_injected_enospc_is_one_episode(occurrence in 1u64..12) {
+        let _guard = qual_faultpoint::test_lock();
+
+        qual_faultpoint::install(FaultPlan::new());
+        let base_dir = scratch("rule-base");
+        let cold = run(&base_dir);
+        let unit_entries = entries(&base_dir).len();
+        let _ = std::fs::remove_dir_all(&base_dir);
+        let attempts = unit_entries as u64;
+
+        let dir = scratch("rule");
+        let spec = format!("cache.write@{occurrence}=disk-full");
+        qual_faultpoint::install(FaultPlan::parse(&spec).expect(&spec));
+        let out = run(&dir);
+        qual_faultpoint::install(FaultPlan::new());
+
+        check_matches_cold(&out, &cold);
+        let seq = degrade_sequence(&out);
+        assert_alternates(&seq);
+        if occurrence <= attempts {
+            // The fault landed: one episode, one missing entry. The
+            // heal note appears exactly when a later store re-probed.
+            prop_assert_eq!(
+                seq.iter().filter(|c| **c == 'D').count(), 1, "{seq:?}"
+            );
+            let healed_in_run = occurrence < attempts;
+            prop_assert_eq!(
+                seq.contains(&'H'), healed_in_run, "{seq:?}"
+            );
+            prop_assert_eq!(entries(&dir).len(), unit_entries - 1);
+        } else {
+            prop_assert!(seq.is_empty(), "{seq:?}");
+            prop_assert_eq!(entries(&dir).len(), unit_entries);
+        }
+        prop_assert!(tmp_litter(&dir).is_empty());
+
+        let healed = run(&dir);
+        check_matches_cold(&healed, &cold);
+        prop_assert_eq!(healed.stats.corrupt, 0);
+        prop_assert!(healed.cache_diags.is_empty(), "{:?}", healed.cache_diags);
+        let warm = run(&dir);
+        prop_assert_eq!(warm.stats.analyzed, 0);
+        prop_assert_eq!(entries(&dir).len(), unit_entries);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -483,3 +483,63 @@ fn unwritable_metrics_path_warns_but_does_not_change_exit_code() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("metrics"), "{stderr}");
 }
+
+/// The metrics file is written atomically (temp + rename): a write that
+/// fails mid-flight — here an injected ENOSPC at the `metrics.write`
+/// fault point — must leave the previous complete document untouched,
+/// never a torn prefix, never a stray temp file, and never change the
+/// exit code.
+#[test]
+fn failed_metrics_write_preserves_previous_document_and_exit_code() {
+    let dir = TempDir::new("metrics-torn");
+    dir.write("t.c", "int f(const char *s) { return *s; }\n");
+    let src = dir.0.join("t.c");
+    let out_path = dir.0.join("metrics.json");
+
+    // Seed a complete, schema-valid document.
+    let seeded = cqual(&["--metrics", out_path.to_str().unwrap(), src.to_str().unwrap()]);
+    assert_eq!(seeded.status.code(), Some(0));
+    let before = std::fs::read_to_string(&out_path).expect("seeded metrics");
+    qual_obs::schema::validate_metrics(
+        &qual_obs::json::parse(&before).expect("seeded metrics parse"),
+    )
+    .expect("seeded metrics validate");
+
+    // Re-run with the metrics write denied.
+    let faulted = Command::new(env!("CARGO_BIN_EXE_cqual"))
+        .args(["--metrics", out_path.to_str().unwrap(), src.to_str().unwrap()])
+        .env("QUAL_FAULT_PLAN", "metrics.write@1=disk-full")
+        .output()
+        .expect("spawn cqual");
+    assert_eq!(
+        faulted.status.code(),
+        Some(0),
+        "a full disk at metrics-write time must not change the exit code"
+    );
+    let stderr = String::from_utf8_lossy(&faulted.stderr);
+    assert!(stderr.contains("metrics"), "{stderr}");
+
+    // The previous document survives byte-for-byte; no temp litter.
+    let after = std::fs::read_to_string(&out_path).expect("metrics file still present");
+    assert_eq!(after, before, "failed write tore the published document");
+    let litter: Vec<PathBuf> = std::fs::read_dir(&dir.0)
+        .expect("read temp dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp"))
+        })
+        .collect();
+    assert!(litter.is_empty(), "stray metrics temp files: {litter:?}");
+
+    // With no prior document, a denied write publishes nothing at all.
+    let fresh_path = dir.0.join("fresh-metrics.json");
+    let faulted = Command::new(env!("CARGO_BIN_EXE_cqual"))
+        .args(["--metrics", fresh_path.to_str().unwrap(), src.to_str().unwrap()])
+        .env("QUAL_FAULT_PLAN", "metrics.write@1=disk-full")
+        .output()
+        .expect("spawn cqual");
+    assert_eq!(faulted.status.code(), Some(0));
+    assert!(!fresh_path.exists(), "denied write must not publish a file");
+}

@@ -422,6 +422,120 @@ fn heartbeat_starvation_degrades_to_in_process_with_diagnostic() {
     let _ = std::fs::remove_file(&src_file);
 }
 
+/// A SIGSTOP'd worker is a zombie in life: the process exists and its
+/// pipes stay open, but heartbeats stop. The coordinator must declare
+/// it dead at the deadline and SIGKILL it *before* reassigning its
+/// unit — a frozen worker that later resumes must never race its
+/// replacement to a double-completion. The run stays byte-identical,
+/// and the victim must actually be gone afterwards: a stopped process
+/// cannot exit by itself, so a surviving victim means the coordinator
+/// abandoned it instead of killing it.
+#[test]
+fn sigstopped_worker_is_killed_before_reassignment() {
+    let src = corpus();
+    let src_file = write_corpus("stop", &src);
+    let slow = ("QUAL_FAULT_PLAN", "unit.solve@*=delay:10");
+
+    let ref_dir = scratch("stop-ref");
+    let reference = wait_bounded(
+        coordinator(&src_file, &ref_dir, 0, &[], &[]),
+        "serial reference",
+    );
+
+    let dir = scratch("stop-run");
+    let pidfile = scratch("stop-pids");
+    let child = coordinator(
+        &src_file,
+        &dir,
+        chaos_workers(),
+        &["--worker-deadline-ms", "300"],
+        &[slow, ("QUAL_WORKER_PIDS", pidfile.to_str().unwrap())],
+    );
+
+    let t0 = Instant::now();
+    let victim = loop {
+        if let Ok(pids) = std::fs::read_to_string(&pidfile) {
+            if let Some(first) = pids.lines().next() {
+                break first.trim().to_owned();
+            }
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "no worker pid ever recorded"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    // Freeze the worker the moment it exists: the per-unit delay plan
+    // keeps the run alive long past this point, so the STOP lands
+    // while the worker is doing (or about to claim) real work.
+    let stop_landed = Command::new("kill")
+        .args(["-STOP", &victim])
+        .status()
+        .expect("run kill -STOP")
+        .success();
+    assert!(
+        stop_landed,
+        "worker {victim} exited before it could be frozen"
+    );
+
+    let run = wait_bounded(child, "sigstopped worker");
+    assert_eq!(
+        run.code, reference.code,
+        "frozen worker changed the verdict: {}",
+        run.stderr
+    );
+    assert_eq!(
+        analysis(&run.stdout),
+        analysis(&reference.stdout),
+        "frozen worker changed the analysis output"
+    );
+    assert!(
+        !run.stderr.contains("panicked"),
+        "coordinator panicked: {}",
+        run.stderr
+    );
+    // Deadline -> declared dead -> killed: the stats must record a
+    // coordinator-side kill, not a quiet abandonment.
+    assert!(
+        !run.stdout.contains(" 0 killed"),
+        "a frozen worker must be recorded as killed: {}",
+        run.stdout
+    );
+    // And the victim must be reaped. (If it still exists, unfreeze
+    // and kill it so a failing test doesn't leak a stopped process.)
+    let alive = Command::new("kill")
+        .args(["-0", &victim])
+        .status()
+        .expect("probe victim")
+        .success();
+    if alive {
+        let _ = Command::new("kill").args(["-KILL", &victim]).status();
+        let _ = Command::new("kill").args(["-CONT", &victim]).status();
+        panic!(
+            "SIGSTOP'd worker {victim} survived the run: the \
+             coordinator reassigned its unit without killing it"
+        );
+    }
+
+    // The survivor cache replays clean: nothing the frozen worker had
+    // half-done was published.
+    let rerun = wait_bounded(
+        coordinator(&src_file, &dir, 0, &[], &[]),
+        "sigstop: fault-free rerun",
+    );
+    assert_eq!(rerun.code, reference.code, "rerun exit code");
+    assert_eq!(
+        analysis(&rerun.stdout),
+        analysis(&reference.stdout),
+        "fault-free rerun diverged — the frozen run poisoned the cache"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_file(&pidfile);
+    let _ = std::fs::remove_file(&src_file);
+}
+
 /// An unspawnable worker executable degrades at pool construction:
 /// in-process execution, a structured diagnostic, identical results.
 /// (Library-level, so the outcome is compared field-by-field.)

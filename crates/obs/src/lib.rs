@@ -36,6 +36,7 @@
 //! [`analysis_fingerprint`] keeps exactly the deterministic subset.
 
 pub mod json;
+pub mod mem;
 pub mod schema;
 
 use std::cell::RefCell;
