@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use qual_bench::{bench_doc, compare_bench_docs, measure_certified, BenchDrift};
-use qual_cgen::table1_profiles;
+use qual_cgen::bench_profiles;
 use qual_incr::{analyze_source_incremental, IncrConfig};
 use qual_obs::json::Json;
 use qual_obs::schema::validate_bench;
@@ -105,7 +105,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let profiles: Vec<_> = table1_profiles()
+    let profiles: Vec<_> = bench_profiles()
         .into_iter()
         .filter(|p| {
             args.profiles

@@ -13,7 +13,7 @@
 //! program size.
 
 use qual_bench::measure_certified;
-use qual_cgen::table1_profiles;
+use qual_cgen::bench_profiles;
 
 fn main() {
     let runs = if std::env::args().any(|a| a == "--quick") {
@@ -38,7 +38,7 @@ fn main() {
     println!("{}", "-".repeat(116));
     let mut rows = Vec::new();
     let mut failed = 0usize;
-    for p in table1_profiles() {
+    for p in bench_profiles() {
         let m = measure_certified(&p, runs);
         for d in &m.skipped {
             eprint!("{}", d.render(None));

@@ -23,4 +23,4 @@ pub mod gen;
 pub mod profile;
 
 pub use gen::generate;
-pub use profile::{table1_profiles, Composition, Profile};
+pub use profile::{bench_profiles, huge_profile, table1_profiles, Composition, Profile};

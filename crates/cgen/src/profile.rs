@@ -129,6 +129,32 @@ pub fn table1_profiles() -> Vec<Profile> {
     ]
 }
 
+/// The synthetic ~1M-line stress profile: no Table-1 counterpart, but
+/// the composition is uucp-1.04's (the paper's largest benchmark), so
+/// the constraint-graph shape is realistic while the scale pushes the
+/// solver's hot path well past anything in the paper. Used by `table2`
+/// and `bench-regress` to gate the dense solver's steps-per-constraint
+/// at scale (`--quick` scales it down like every other profile).
+#[must_use]
+pub fn huge_profile() -> Profile {
+    Profile {
+        name: "synth-huge",
+        lines: 1_000_000,
+        description: "Synthetic 1M-line stress corpus (uucp composition)",
+        composition: Composition::from_counts(433, 1116, 1299, 1773),
+        seed: 7,
+    }
+}
+
+/// Every profile the perf-regression gate covers: the six Table-1 rows
+/// plus the synthetic huge profile.
+#[must_use]
+pub fn bench_profiles() -> Vec<Profile> {
+    let mut ps = table1_profiles();
+    ps.push(huge_profile());
+    ps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +196,18 @@ mod tests {
         let p = table1_profiles()[0].scaled(10_000);
         assert_eq!(p.lines, 10_000);
         assert_eq!(p.name, "woman-3.0a");
+    }
+
+    #[test]
+    fn bench_profiles_append_the_huge_row() {
+        let ps = bench_profiles();
+        assert_eq!(ps.len(), 7);
+        assert_eq!(ps[6].name, "synth-huge");
+        assert_eq!(ps[6].lines, 1_000_000);
+        // Seeds stay distinct so no two profiles generate the same code.
+        let mut seeds: Vec<u64> = ps.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 7);
     }
 }

@@ -6,6 +6,7 @@ use std::fmt;
 use qual_lattice::QualSpace;
 
 use crate::error::{SolveError, SolveFailure};
+use crate::simplify::Collapser;
 use crate::solver::{self, Solution};
 use crate::term::{Provenance, QVar, Qual, VarSupply};
 
@@ -45,6 +46,10 @@ impl Constraint {
 #[derive(Debug, Default, Clone)]
 pub struct ConstraintSet {
     constraints: Vec<Constraint>,
+    /// Online cycle collapse, when enabled: observes every constraint
+    /// as it is added and maintains full-mask equivalence classes that
+    /// seed the dense solver (see [`Collapser`]).
+    collapse: Option<Collapser>,
 }
 
 impl ConstraintSet {
@@ -54,6 +59,34 @@ impl ConstraintSet {
         ConstraintSet::default()
     }
 
+    /// Turns on online simplification: from now on (and retroactively
+    /// for constraints already present) every added constraint feeds a
+    /// [`Collapser`], whose equivalence classes pre-contract the solver's
+    /// constraint graph. Purely an accelerator — solutions, violations
+    /// and diagnostics are unchanged.
+    pub fn enable_online_collapse(&mut self) {
+        let mut col = Collapser::new();
+        for (idx, c) in self.constraints.iter().enumerate() {
+            col.observe(idx, c);
+        }
+        self.collapse = Some(col);
+    }
+
+    /// The online collapse classes, if enabled.
+    #[must_use]
+    pub fn collapser(&self) -> Option<&Collapser> {
+        self.collapse.as_ref()
+    }
+
+    /// The single append point: every mutation path funnels through
+    /// here so the online collapser misses nothing.
+    fn push(&mut self, c: Constraint) {
+        if let Some(col) = &mut self.collapse {
+            col.observe(self.constraints.len(), &c);
+        }
+        self.constraints.push(c);
+    }
+
     /// Adds `lhs ⊑ rhs` with no source location.
     pub fn add(&mut self, lhs: impl Into<Qual>, rhs: impl Into<Qual>) {
         self.add_with(lhs, rhs, Provenance::synthetic("constraint"));
@@ -61,7 +94,7 @@ impl ConstraintSet {
 
     /// Adds `lhs ⊑ rhs` recording where it came from.
     pub fn add_with(&mut self, lhs: impl Into<Qual>, rhs: impl Into<Qual>, origin: Provenance) {
-        self.constraints.push(Constraint {
+        self.push(Constraint {
             lhs: lhs.into(),
             rhs: rhs.into(),
             mask: u64::MAX,
@@ -79,7 +112,7 @@ impl ConstraintSet {
         origin: Provenance,
     ) {
         let mask = ids.iter().fold(0u64, |m, id| m | (1u64 << id.index()));
-        self.constraints.push(Constraint {
+        self.push(Constraint {
             lhs: lhs.into(),
             rhs: rhs.into(),
             mask,
@@ -97,7 +130,9 @@ impl ConstraintSet {
 
     /// Appends every constraint of `other` (the `C₁ ∪ C₂` production).
     pub fn extend_from(&mut self, other: &ConstraintSet) {
-        self.constraints.extend_from_slice(&other.constraints);
+        for c in &other.constraints {
+            self.push(*c);
+        }
     }
 
     /// The constraints, in insertion order.
@@ -127,7 +162,7 @@ impl ConstraintSet {
     ///
     /// Returns [`SolveError`] listing every unsatisfiable constraint.
     pub fn solve(&self, space: &QualSpace, vars: &VarSupply) -> Result<Solution, SolveError> {
-        solver::solve(space, vars.count(), &self.constraints)
+        solver::solve(space, vars.count(), &self.constraints, self.collapse.as_ref())
     }
 
     /// Like [`ConstraintSet::solve`] but gives up with
@@ -145,14 +180,41 @@ impl ConstraintSet {
         vars: &VarSupply,
         max_steps: u64,
     ) -> Result<Solution, SolveFailure> {
-        solver::solve_budgeted(space, vars.count(), &self.constraints, max_steps)
+        solver::solve_budgeted(
+            space,
+            vars.count(),
+            &self.constraints,
+            max_steps,
+            self.collapse.as_ref(),
+        )
+    }
+
+    /// Solves on the retained reference path (the original sparse
+    /// worklist solver) instead of the dense one. Exists solely as the
+    /// oracle side of the dense-vs-reference differential suite; the
+    /// two must agree byte for byte on every input.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ConstraintSet::solve_with_budget`].
+    pub fn solve_with_budget_reference(
+        &self,
+        space: &QualSpace,
+        vars: &VarSupply,
+        max_steps: u64,
+    ) -> Result<Solution, SolveFailure> {
+        solver::solve_budgeted_reference(space, vars.count(), &self.constraints, max_steps)
     }
 
     /// Drops every constraint after the first `len` — the rollback half
     /// of a mark/rollback pair, used to discard constraints emitted by
-    /// an analysis that failed partway.
+    /// an analysis that failed partway. The online collapser (when
+    /// enabled) rolls back in lockstep.
     pub fn truncate(&mut self, len: usize) {
         self.constraints.truncate(len);
+        if let Some(col) = &mut self.collapse {
+            col.rollback(len);
+        }
     }
 
     /// Like [`ConstraintSet::solve`] but sized by an explicit variable
@@ -166,7 +228,7 @@ impl ConstraintSet {
         space: &QualSpace,
         var_count: usize,
     ) -> Result<Solution, SolveError> {
-        solver::solve(space, var_count, &self.constraints)
+        solver::solve(space, var_count, &self.constraints, self.collapse.as_ref())
     }
 
     /// Variables mentioned anywhere in the set, deduplicated, in first-use
@@ -207,7 +269,9 @@ impl fmt::Display for ConstraintSet {
 
 impl Extend<Constraint> for ConstraintSet {
     fn extend<T: IntoIterator<Item = Constraint>>(&mut self, iter: T) {
-        self.constraints.extend(iter);
+        for c in iter {
+            self.push(c);
+        }
     }
 }
 
@@ -215,6 +279,7 @@ impl FromIterator<Constraint> for ConstraintSet {
     fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> ConstraintSet {
         ConstraintSet {
             constraints: iter.into_iter().collect(),
+            collapse: None,
         }
     }
 }

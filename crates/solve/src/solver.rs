@@ -9,6 +9,7 @@ use qual_lattice::{QualSet, QualSpace};
 
 use crate::constraint::Constraint;
 use crate::error::{SolveError, SolveFailure, Violation};
+use crate::simplify::Collapser;
 use crate::term::{QVar, Qual};
 
 /// The result of solving a satisfiable constraint set.
@@ -93,13 +94,16 @@ impl Solution {
     }
 }
 
-/// Solves `constraints` over `space` for `var_count` variables.
+/// Solves `constraints` over `space` for `var_count` variables on the
+/// dense hot path (see [`crate::dense`]). `pre` carries equivalence
+/// classes discovered online during constraint generation.
 pub(crate) fn solve(
     space: &QualSpace,
     var_count: usize,
     constraints: &[Constraint],
+    pre: Option<&Collapser>,
 ) -> Result<Solution, SolveError> {
-    match solve_budgeted(space, var_count, constraints, u64::MAX) {
+    match solve_budgeted(space, var_count, constraints, u64::MAX, pre) {
         Ok(s) => Ok(s),
         Err(SolveFailure::Unsat(e)) => Err(e),
         Err(SolveFailure::BudgetExceeded { .. }) => {
@@ -112,10 +116,25 @@ pub(crate) fn solve(
 }
 
 /// Like [`solve`], but gives up with [`SolveFailure::BudgetExceeded`]
-/// once the worklist has taken more than `max_steps` edge-relaxation
-/// steps, turning pathological constraint graphs into a structured
-/// diagnostic instead of an unbounded stall.
+/// once `max_steps` units of work are spent, turning pathological
+/// constraint graphs into a structured diagnostic instead of an
+/// unbounded stall.
 pub(crate) fn solve_budgeted(
+    space: &QualSpace,
+    var_count: usize,
+    constraints: &[Constraint],
+    max_steps: u64,
+    pre: Option<&Collapser>,
+) -> Result<Solution, SolveFailure> {
+    crate::dense::solve_budgeted(space, var_count, constraints, max_steps, pre)
+}
+
+/// The retained reference solver: the original sparse worklist pass,
+/// kept verbatim as the oracle the dense path is differentially tested
+/// against (`tests/dense_differential.rs`) and as an executable spec of
+/// the observable behavior — solution tables, violation order, budget
+/// and cancellation semantics.
+pub(crate) fn solve_budgeted_reference(
     space: &QualSpace,
     var_count: usize,
     constraints: &[Constraint],

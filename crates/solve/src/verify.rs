@@ -198,12 +198,13 @@ impl fmt::Display for CertificateError {
 
 impl std::error::Error for CertificateError {}
 
-/// Whether the two-point order holds at one coordinate: with the
-/// coordinate's canonical bit `bit`, `lhs ⊑ rhs` fails at the coordinate
-/// exactly when the bit is related (`mask`), high on the left, and low
-/// on the right.
-fn coordinate_violated(lhs: QualSet, rhs: QualSet, mask: u64, bit: u64) -> bool {
-    mask & bit != 0 && lhs.bits() & bit != 0 && rhs.bits() & bit == 0
+/// All coordinates where `lhs ⊑ rhs` fails under `mask`, as a word: a
+/// coordinate's bit is set exactly when it is related (`mask`), high on
+/// the left, and low on the right. Checking all 64 coordinates is one
+/// AND-NOT per side instead of a per-coordinate loop, which is what
+/// makes whole-set certification a single sweep over the constraints.
+fn violated_coordinates(lhs: QualSet, rhs: QualSet, mask: u64) -> u64 {
+    lhs.bits() & !rhs.bits() & mask
 }
 
 /// Checks a claimed [`Solution`] against every constraint plus
@@ -214,8 +215,9 @@ fn coordinate_violated(lhs: QualSet, rhs: QualSet, mask: u64, bit: u64) -> bool 
 /// 1. every claimed value stays inside the space's coordinates;
 /// 2. `least(v) ⊑ greatest(v)` for every covered variable;
 /// 3. every constraint mentions only covered variables;
-/// 4. every constraint `lhs ⊓ m ⊑ rhs ⊔ ¬m` holds coordinate by
-///    coordinate under **both** the least and the greatest assignment.
+/// 4. every constraint `lhs ⊓ m ⊑ rhs ⊔ ¬m` holds at every coordinate
+///    under **both** the least and the greatest assignment, checked
+///    word-parallel in a single batch sweep over the constraint slice.
 ///
 /// # Errors
 ///
@@ -228,6 +230,12 @@ pub fn verify_solution(
 ) -> Result<(), CertificateError> {
     let _span = qual_obs::span("certify");
     let top = space.top().bits();
+    // Coordinate lookup by canonical bit index, so a violating word maps
+    // back to its `QualId` without re-walking the space per constraint.
+    let mut coords: [Option<QualId>; 64] = [None; 64];
+    for (qualifier, _) in space.iter() {
+        coords[qualifier.index()] = Some(qualifier);
+    }
     for i in 0..sol.var_count() {
         let var = QVar::from_index(i);
         let (lo, hi) = (sol.least(var), sol.greatest(var));
@@ -270,18 +278,20 @@ pub fn verify_solution(
                 sol.eval_greatest(c.rhs),
             ),
         ] {
-            for (qualifier, _) in space.iter() {
-                let bit = 1u64 << qualifier.index();
-                if coordinate_violated(lhs, rhs, c.mask & top, bit) {
-                    return Err(CertificateError::Violated {
-                        index,
-                        constraint: *c,
-                        assignment,
-                        qualifier,
-                        lhs,
-                        rhs,
-                    });
-                }
+            let bad = violated_coordinates(lhs, rhs, c.mask & top);
+            if bad != 0 {
+                // Lowest set bit = lowest coordinate index, matching the
+                // per-coordinate iteration order this check replaced.
+                let qualifier = coords[bad.trailing_zeros() as usize]
+                    .expect("violations are masked to the space's coordinates");
+                return Err(CertificateError::Violated {
+                    index,
+                    constraint: *c,
+                    assignment,
+                    qualifier,
+                    lhs,
+                    rhs,
+                });
             }
         }
     }

@@ -95,3 +95,53 @@ fn explanation_path_renders_stably() {
     let without_src = render_explanation(None, &space, &exps[0]);
     check("explanation_path_no_src.txt", &without_src);
 }
+
+/// The coalesced-cycle fixture: two pointers aliased in a cycle (so the
+/// online collapser merges their qualifier variables into one class)
+/// with the const flowing through the class into a write. The rendered
+/// chain must cite the *original* constraints — real source spans, in
+/// program order — not the collapsed class representative.
+#[test]
+fn explanation_path_through_coalesced_cycle_renders_stably() {
+    let src = "void k(const char *s) {\n    char *t = s;\n    char *u = t;\n    t = u;\n    *u = 0;\n}\n";
+    let space = QualSpace::figure2();
+    let mut vs = VarSupply::new();
+    let mut cs = qual_solve::ConstraintSet::new();
+    cs.enable_online_collapse();
+    let konst = space.parse_set("const").unwrap();
+    let nc = space.not_q(space.id("const").unwrap());
+    let (a, b, c) = (vs.fresh(), vs.fresh(), vs.fresh());
+    let decl = src.find("const char *s").unwrap() as u32;
+    let init_t = src.find("char *t = s").unwrap() as u32;
+    let init_u = src.find("char *u = t").unwrap() as u32;
+    let back = src.find("t = u").unwrap() as u32;
+    let store = src.find("*u = 0").unwrap() as u32;
+    cs.add_with(konst, a, Provenance::at(decl, decl + 13, "declared const"));
+    cs.add_with(a, b, Provenance::at(init_t, init_t + 11, "initialization"));
+    cs.add_with(b, c, Provenance::at(init_u, init_u + 11, "initialization"));
+    cs.add_with(c, b, Provenance::at(back, back + 5, "assignment"));
+    cs.add_with(c, nc, Provenance::at(store, store + 6, "assignment"));
+
+    // The t/u cycle really did coalesce online — the fixture is
+    // worthless if the collapsed path never runs.
+    assert_eq!(
+        cs.collapser().map(qual_solve::Collapser::merged),
+        Some(1),
+        "the b/c alias cycle must merge during generation"
+    );
+
+    let err = cs.solve(&space, &vs).unwrap_err();
+    let exps = explain(&space, cs.constraints(), &err);
+    assert_eq!(exps.len(), 1, "exactly one violation expected");
+    // Every step cites a real source span (no synthetic provenance from
+    // the collapsed representative leaks into the chain).
+    for step in &exps[0].steps {
+        assert!(
+            step.origin.hi > step.origin.lo,
+            "step lost its original span: {step:?}"
+        );
+    }
+
+    let with_src = render_explanation(Some(src), &space, &exps[0]);
+    check("explanation_coalesced_cycle.txt", &with_src);
+}
